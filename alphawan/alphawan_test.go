@@ -1,0 +1,106 @@
+package alphawan_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/alphawan/alphawan/alphawan"
+)
+
+// TestPublicAPIQuickstart exercises the documented happy path end to end
+// through the facade only: build → probe → plan → re-probe.
+func TestPublicAPIQuickstart(t *testing.T) {
+	env := alphawan.Urban(1)
+	env.ShadowSigma = 0
+	net := alphawan.NewNetwork(1, env)
+	op := net.AddOperator()
+	cfgs := alphawan.StandardConfigs(alphawan.AS923, 4, op.Sync)
+	for i := 0; i < 4; i++ {
+		if _, err := op.AddGateway(alphawan.RAK7268CV2, alphawan.Pt(float64(i)*5, 0), cfgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := 0
+	for ch := 0; ch < 8; ch++ {
+		for dr := alphawan.DR0; dr <= alphawan.DR5; dr++ {
+			ang := 2 * math.Pi * float64(id) / 48
+			op.AddNode(alphawan.Pt(7.5+150*math.Cos(ang), 150*math.Sin(ang)),
+				[]alphawan.Channel{alphawan.AS923.Channel(ch)}, dr)
+			id++
+		}
+	}
+	net.LearningPhase(0, alphawan.Second)
+	before := net.CapacityProbe(net.Sim.Now() + 5*alphawan.Second)
+	if before[op.ID] != 16 {
+		t.Fatalf("standard capacity = %d, want the 16-decoder cap", before[op.ID])
+	}
+	plan, err := alphawan.Plan(alphawan.PlanInput{
+		Log:             op.Server.Log(),
+		Channels:        alphawan.AS923.AllChannels(),
+		Gateways:        op.GatewayInfo(),
+		Sync:            op.Sync,
+		TrafficOverride: 1,
+		NodeSide:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.ApplyGatewayConfigs(plan.GWConfigs); err != nil {
+		t.Fatal(err)
+	}
+	op.ApplyNodePlans(plan.NodePlans)
+	after := net.CapacityProbe(net.Sim.Now() + 10*alphawan.Second)
+	if after[op.ID] != 48 {
+		t.Fatalf("planned capacity = %d, want the 48-user oracle", after[op.ID])
+	}
+}
+
+// TestPublicAPIMaster exercises the TCP Master through the facade.
+func TestPublicAPIMaster(t *testing.T) {
+	secret := []byte("s")
+	m, err := alphawan.NewMaster("127.0.0.1:0", secret, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	c, err := alphawan.DialMaster(m.Addr().String(), "op1", secret, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	alloc, err := c.RequestPlan(alphawan.BandSpecOf(alphawan.AS923), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Channels()) == 0 {
+		t.Error("allocation must carry channels")
+	}
+}
+
+// TestPublicAPIExperiments checks the registry surface.
+func TestPublicAPIExperiments(t *testing.T) {
+	if len(alphawan.Experiments()) < 25 {
+		t.Errorf("experiments = %d", len(alphawan.Experiments()))
+	}
+	e, ok := alphawan.GetExperiment("table4")
+	if !ok {
+		t.Fatal("table4 missing")
+	}
+	if res := e.Run(1); res.Table.Rows() == 0 {
+		t.Error("no rows")
+	}
+}
+
+// TestPublicAPIRegions sanity-checks the exported datasets.
+func TestPublicAPIRegions(t *testing.T) {
+	if alphawan.AS923.TheoreticalCapacity() != 48 {
+		t.Error("AS923 oracle")
+	}
+	if alphawan.MHz(923.2) != alphawan.AS923.Channel(0).Center {
+		t.Error("MHz helper")
+	}
+	if alphawan.RAK7268CV2.PracticalCapacity() != 16 {
+		t.Error("case-study gateway decoders")
+	}
+}

@@ -1,0 +1,51 @@
+// Command alphawan-master runs the AlphaWAN spectrum-sharing Master node:
+// a TCP service that registers network operators and assigns each a
+// frequency-misaligned channel plan (§4.3.2).
+//
+// Usage:
+//
+//	alphawan-master -listen :7600 -secret region-secret [-networks 4]
+//
+// Operators connect with the master.Client protocol (see
+// examples/coexistence) or any JSON-lines TCP client:
+//
+//	{"method":"request_plan","operator":"op1","auth":"<hmac>",
+//	 "band":{"start_hz":923200000,"spacing_hz":200000,"channels":8,"bw_hz":125000},
+//	 "expected_networks":4}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"github.com/alphawan/alphawan/internal/alphawan/master"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+func main() {
+	listen := flag.String("listen", ":7600", "TCP listen address")
+	secret := flag.String("secret", "", "shared HMAC secret (required)")
+	networks := flag.Int("networks", 0, "pre-size the region for this many networks on the AS923 band (0 = first operator's request configures it)")
+	flag.Parse()
+	if *secret == "" {
+		fmt.Fprintln(os.Stderr, "alphawan-master: -secret is required")
+		os.Exit(2)
+	}
+	var reg *master.Registry
+	if *networks > 0 {
+		reg = master.NewRegistry(master.FromBand(region.AS923), *networks)
+	}
+	srv, err := master.NewServer(*listen, []byte(*secret), reg)
+	if err != nil {
+		log.Fatalf("alphawan-master: %v", err)
+	}
+	log.Printf("alphawan-master: listening on %s", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("alphawan-master: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,61 @@
+// Command alphawan-sim runs the paper-reproduction experiments by id and
+// prints their tables.
+//
+// Usage:
+//
+//	alphawan-sim -list
+//	alphawan-sim -run fig02a [-seed 1] [-csv]
+//	alphawan-sim -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/alphawan/alphawan/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids")
+	run := flag.String("run", "", "experiment id to run, or 'all'")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s  %s\n", e.ID, e.Title)
+		}
+	case *run == "all":
+		for _, e := range experiments.All() {
+			runOne(e, *seed, *csv)
+		}
+	case *run != "":
+		e, ok := experiments.Get(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
+			os.Exit(1)
+		}
+		runOne(e, *seed, *csv)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e experiments.Experiment, seed int64, csv bool) {
+	fmt.Printf("# %s — %s\n", e.ID, e.Title)
+	fmt.Printf("# paper: %s\n", e.Paper)
+	res := e.Run(seed)
+	if csv {
+		fmt.Print(res.Table.CSV())
+	} else {
+		fmt.Print(res.Table.String())
+	}
+	for _, n := range res.Notes {
+		fmt.Printf("-> %s\n", n)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,3 @@
+module github.com/alphawan/alphawan
+
+go 1.22

@@ -1,0 +1,128 @@
+package adr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/phy"
+)
+
+func TestObserveRingCaps(t *testing.T) {
+	var s State
+	for i := 0; i < 50; i++ {
+		s.Observe(float64(i))
+	}
+	if s.Samples() != HistorySize {
+		t.Errorf("samples = %d, want %d", s.Samples(), HistorySize)
+	}
+	if m, _ := s.MaxSNR(); m != 49 {
+		t.Errorf("max = %v, want 49 (latest window)", m)
+	}
+}
+
+func TestMaxSNREmptyState(t *testing.T) {
+	var s State
+	if _, ok := s.MaxSNR(); ok {
+		t.Error("empty state must report no SNR")
+	}
+	d := Compute(&s, lora.DR0, 4, DefaultInstallationMargin)
+	if d.Change {
+		t.Error("no observations → no change")
+	}
+}
+
+func TestStrongLinkClimbsToDR5(t *testing.T) {
+	// A strong link (+5 dB SNR) at DR0: margin = 5 - (-20) - 10 = 15 dB →
+	// 5 steps: DR0 → DR5. This is the aggressive DR5 skew of Figure 6d.
+	var s State
+	s.Observe(5)
+	d := Compute(&s, lora.DR0, 0, DefaultInstallationMargin)
+	if d.DR != lora.DR5 {
+		t.Errorf("DR = %v, want DR5", d.DR)
+	}
+	if !d.Change {
+		t.Error("change flag must be set")
+	}
+}
+
+func TestVeryStrongLinkAlsoDropsPower(t *testing.T) {
+	// +20 dB at DR0: margin = 30 dB → 10 steps: 5 to reach DR5, 5 into
+	// power reduction.
+	var s State
+	s.Observe(20)
+	d := Compute(&s, lora.DR0, 0, DefaultInstallationMargin)
+	if d.DR != lora.DR5 {
+		t.Errorf("DR = %v, want DR5", d.DR)
+	}
+	if d.TXPower != 5 {
+		t.Errorf("power index = %d, want 5", d.TXPower)
+	}
+	if phy.TXPowerIndexDBm(d.TXPower) != 10 {
+		t.Errorf("power = %v dBm, want 10", phy.TXPowerIndexDBm(d.TXPower))
+	}
+}
+
+func TestWeakLinkRaisesPower(t *testing.T) {
+	// A device at DR3 with power index 4 whose link degraded: negative
+	// steps raise power (lower the index) but never lower the DR.
+	var s State
+	s.Observe(-15) // DR3 floor is -12.5: margin = -12.5 → -5 steps
+	d := Compute(&s, lora.DR3, 4, DefaultInstallationMargin)
+	if d.DR != lora.DR3 {
+		t.Errorf("DR must not fall, got %v", d.DR)
+	}
+	if d.TXPower != 0 {
+		t.Errorf("power index = %d, want 0 (full power)", d.TXPower)
+	}
+}
+
+func TestBorderlineLinkUnchanged(t *testing.T) {
+	// Margin within one step: nothing to do.
+	var s State
+	s.Observe(lora.DemodFloorSNR(lora.SF10) + DefaultInstallationMargin + 1)
+	d := Compute(&s, lora.DR2, 3, DefaultInstallationMargin)
+	if d.Change {
+		t.Errorf("borderline link must keep settings, got %+v", d)
+	}
+}
+
+func TestComputeIdempotentAtDR5MinPower(t *testing.T) {
+	var s State
+	s.Observe(40)
+	d := Compute(&s, lora.DR5, phy.NumTXPowers-1, DefaultInstallationMargin)
+	if d.Change {
+		t.Errorf("already at the limits: %+v", d)
+	}
+}
+
+func TestComputeMonotoneInSNR(t *testing.T) {
+	f := func(raw int8) bool {
+		snr := float64(raw) / 4
+		var s1, s2 State
+		s1.Observe(snr)
+		s2.Observe(snr + 3)
+		d1 := Compute(&s1, lora.DR0, 4, DefaultInstallationMargin)
+		d2 := Compute(&s2, lora.DR0, 4, DefaultInstallationMargin)
+		if d2.DR < d1.DR {
+			return false
+		}
+		// Power index only starts rising after DR maxes out.
+		return d1.DR < lora.DR5 || d2.TXPower >= d1.TXPower
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecisionsNeverExceedBounds(t *testing.T) {
+	f := func(raw int8, drRaw, pwRaw uint8) bool {
+		var s State
+		s.Observe(float64(raw))
+		d := Compute(&s, lora.DR(drRaw%6), pwRaw%phy.NumTXPowers, DefaultInstallationMargin)
+		return d.DR.Valid() && d.TXPower < phy.NumTXPowers
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

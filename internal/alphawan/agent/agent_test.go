@@ -1,0 +1,113 @@
+package agent
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/gateway"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+func cfg(n int) radio.Config {
+	chs := make([]region.Channel, n)
+	for i := range chs {
+		chs[i] = region.AS923.Channel(i)
+	}
+	return radio.Config{Channels: chs, Sync: lora.SyncPublic}
+}
+
+func testRig(t *testing.T, n int) (*des.Sim, []*Agent) {
+	t.Helper()
+	sim := des.New(1)
+	e := phy.Urban(1)
+	e.ShadowSigma = 0
+	med := medium.New(sim, e)
+	agents := make([]*Agent, n)
+	for i := range agents {
+		gw, err := gateway.New(sim, med, i, radio.Models[3], phy.Pt(float64(i)*100, 0), phy.Antenna{}, cfg(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = New(gw)
+	}
+	return sim, agents
+}
+
+func TestApplySchedulesDistributionAndReboot(t *testing.T) {
+	sim, agents := testRig(t, 1)
+	a := agents[0]
+	var upAt des.Time
+	sim.At(des.Second, func() {
+		var err error
+		upAt, err = a.Apply(sim, cfg(2))
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	sim.Run()
+	want := des.Second + DefaultDistributionDelay + gateway.DefaultRebootTime
+	if upAt != want {
+		t.Errorf("upAt = %v, want %v", upAt, want)
+	}
+	if !a.GW.Online() {
+		t.Error("gateway must be back online after the run")
+	}
+	if len(a.GW.Config().Channels) != 2 {
+		t.Error("new config must be applied")
+	}
+	if a.Applied() != 1 {
+		t.Error("applied counter")
+	}
+}
+
+func TestApplyRejectsInvalidConfigEarly(t *testing.T) {
+	sim, agents := testRig(t, 1)
+	bad := cfg(8)
+	bad.Channels = append(bad.Channels, region.AS923.Channel(0))
+	sim.At(0, func() {
+		if _, err := agents[0].Apply(sim, bad); err == nil {
+			t.Error("invalid config must be rejected before distribution")
+		}
+	})
+	sim.Run()
+	if agents[0].GW.Reboots() != 0 {
+		t.Error("rejected config must not reboot the gateway")
+	}
+}
+
+func TestFleetLastUp(t *testing.T) {
+	sim, agents := testRig(t, 3)
+	agents[2].GW.RebootTime = 10 * des.Second // slowest gateway dominates
+	var last des.Time
+	sim.At(0, func() {
+		var err error
+		last, err = Fleet(sim, agents, []radio.Config{cfg(2), cfg(4), cfg(8)})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	sim.Run()
+	want := DefaultDistributionDelay + 10*des.Second
+	if last != want {
+		t.Errorf("fleet completion = %v, want %v", last, want)
+	}
+	for i, a := range agents {
+		if got := len(a.GW.Config().Channels); got != []int{2, 4, 8}[i] {
+			t.Errorf("gateway %d has %d channels", i, got)
+		}
+	}
+}
+
+func TestFleetLengthMismatch(t *testing.T) {
+	sim, agents := testRig(t, 2)
+	sim.At(0, func() {
+		if _, err := Fleet(sim, agents, []radio.Config{cfg(2)}); err == nil {
+			t.Error("mismatched lengths must fail")
+		}
+	})
+	sim.Run()
+}

@@ -1,0 +1,252 @@
+// Package cp models AlphaWAN's intra-network Channel Planning problem
+// (§4.3.1): jointly choosing the operating channels of every gateway and
+// the channel / data-rate / transmit-power settings of every end node so
+// as to minimize the network-wide risk of packet loss from decoder
+// contention.
+//
+// Formally (paper notation): with binary decisions h_jk (gateway j
+// operates channel k), f_ik (node i transmits on channel k), and d_il
+// (node i uses discrete transmission distance — data rate — l),
+//
+//	link_ij = 1  iff  Σ_{k,l} r_ijl · h_jk · f_ik · d_il > 0
+//	k_j     = Σ_i link_ij · u_i           (load on gateway j's decoders)
+//	φ_j     = max(k_j − C_j, 0)           (gateway loss risk)
+//	Φ_i     = min_{j : link_ij} φ_j       (node loss risk)
+//	minimize Σ_i Φ_i
+//
+// subject to every node connecting to at least one gateway, at most P_j
+// channels per gateway, and a per-gateway frequency span of at most B_j.
+// The problem is a Knapsack variant and NP-hard; the evolve package
+// searches it with an evolutionary algorithm.
+//
+// Beyond the paper's objective, the evaluator also penalizes channel
+// contention — multiple nodes assigned identical (channel, data-rate)
+// settings — so that solutions exploit LoRa's orthogonal data rates fully;
+// without it the oracle-capacity experiments of Figure 12 would stall on
+// same-setting collisions that the decoder-risk term cannot see.
+package cp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// GatewaySpec describes one gateway's planning-relevant resources.
+type GatewaySpec struct {
+	// Decoders is C_j, the decoder-pool size.
+	Decoders int
+	// MaxChannels is P_j, the number of Rx chains.
+	MaxChannels int
+	// SpanHz is B_j, the radio's maximal frequency span.
+	SpanHz region.Hz
+	// FixedChannels, when positive, pins the gateway to exactly this many
+	// operating channels (the Strategy-①-disabled evaluation variant).
+	FixedChannels int
+}
+
+// NodeSpec describes one end node (or an aggregated cluster of nodes with
+// identical reachability — the traffic estimator groups users to keep the
+// problem tractable at 10k+ user scale).
+type NodeSpec struct {
+	// Traffic is u_i: the expected number of concurrent packets the node
+	// contributes within the planning window (1.0 for a capacity probe).
+	Traffic float64
+	// MaxDR[j] is the fastest data rate that closes the link to gateway
+	// j, or -1 when the gateway is unreachable at any rate. Reachability
+	// is nested: a link that closes at DR l also closes at every slower
+	// rate (longer range), which compactly encodes r_ijl.
+	MaxDR []int
+	// Fixed pins the node to (FixedChannel, FixedRing): the solver may
+	// not move it. Used by the gateway-side-only planning variant, where
+	// end devices keep their current settings.
+	Fixed        bool
+	FixedChannel int
+	FixedRing    int
+}
+
+// Problem is one CP instance.
+type Problem struct {
+	Channels []region.Channel
+	Gateways []GatewaySpec
+	Nodes    []NodeSpec
+}
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	if len(p.Channels) == 0 || len(p.Gateways) == 0 {
+		return fmt.Errorf("cp: need at least one channel and one gateway")
+	}
+	for i, n := range p.Nodes {
+		if len(n.MaxDR) != len(p.Gateways) {
+			return fmt.Errorf("cp: node %d has %d reach entries, want %d",
+				i, len(n.MaxDR), len(p.Gateways))
+		}
+	}
+	return nil
+}
+
+// Assignment is one candidate solution.
+type Assignment struct {
+	// GWChannels[j] lists the channel indices gateway j operates.
+	GWChannels [][]int
+	// NodeChannel[i] is the channel index node i transmits on.
+	NodeChannel []int
+	// NodeRing[i] is node i's data rate (transmission distance d_il).
+	NodeRing []int
+}
+
+// Clone deep-copies the assignment.
+func (a *Assignment) Clone() *Assignment {
+	c := &Assignment{
+		GWChannels:  make([][]int, len(a.GWChannels)),
+		NodeChannel: append([]int{}, a.NodeChannel...),
+		NodeRing:    append([]int{}, a.NodeRing...),
+	}
+	for j, chs := range a.GWChannels {
+		c.GWChannels[j] = append([]int{}, chs...)
+	}
+	return c
+}
+
+// Cost breaks a solution's badness into its components.
+type Cost struct {
+	// DecoderRisk is Σ_i Φ_i — the paper's objective.
+	DecoderRisk float64
+	// Unconnected counts nodes violating the connectivity constraint.
+	Unconnected int
+	// ChannelOverload sums, over (channel, DR) pairs, the traffic beyond
+	// the single concurrent packet the pair can carry.
+	ChannelOverload float64
+	// SpanViolations counts gateways whose channel set breaks the radio
+	// constraints (repaired solutions should have zero).
+	SpanViolations int
+}
+
+// Weights when folding a Cost into one scalar: the connectivity constraint
+// dominates, then the radio constraints, then the paper's objective, then
+// the channel-contention tiebreaker.
+const (
+	wUnconnected = 1e7
+	wSpan        = 1e6
+	wDecoder     = 1e2
+	// Overloaded (channel, DR) pairs are *certain* collisions, while a
+	// decoder-risk unit is a potential loss, so overload weighs heavier.
+	wOverload = 2e2
+)
+
+// Total folds the cost into a single minimization objective.
+func (c Cost) Total() float64 {
+	return wUnconnected*float64(c.Unconnected) +
+		wSpan*float64(c.SpanViolations) +
+		wDecoder*c.DecoderRisk +
+		wOverload*c.ChannelOverload
+}
+
+// Feasible reports whether all hard constraints hold.
+func (c Cost) Feasible() bool { return c.Unconnected == 0 && c.SpanViolations == 0 }
+
+// Evaluate computes the cost of an assignment.
+func (p *Problem) Evaluate(a *Assignment) Cost {
+	var cost Cost
+	nGW := len(p.Gateways)
+
+	// Gateway channel sets → bitmask per gateway for O(1) membership, and
+	// radio-constraint checks.
+	operated := make([]uint64, nGW) // supports ≤64 channels; guarded below
+	if len(p.Channels) > 64 {
+		panic("cp: more than 64 channels not supported")
+	}
+	for j, chs := range p.Gateways {
+		set := a.GWChannels[j]
+		if len(set) == 0 || len(set) > chs.MaxChannels ||
+			(chs.FixedChannels > 0 && len(set) != chs.FixedChannels) {
+			cost.SpanViolations++
+			continue
+		}
+		lo, hi := region.Hz(math.MaxInt64), region.Hz(math.MinInt64)
+		ok := true
+		for _, k := range set {
+			if k < 0 || k >= len(p.Channels) {
+				ok = false
+				break
+			}
+			operated[j] |= 1 << uint(k)
+			if l := p.Channels[k].Low(); l < lo {
+				lo = l
+			}
+			if h := p.Channels[k].High(); h > hi {
+				hi = h
+			}
+		}
+		if !ok || hi-lo > chs.SpanHz {
+			cost.SpanViolations++
+			operated[j] = 0
+		}
+	}
+
+	// Gateway loads k_j.
+	loads := make([]float64, nGW)
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		ch, ring := a.NodeChannel[i], a.NodeRing[i]
+		for j := 0; j < nGW; j++ {
+			if n.MaxDR[j] >= ring && operated[j]&(1<<uint(ch)) != 0 {
+				loads[j] += n.Traffic
+			}
+		}
+	}
+
+	// Risks φ_j and node risks Φ_i.
+	risks := make([]float64, nGW)
+	for j, k := range loads {
+		if over := k - float64(p.Gateways[j].Decoders); over > 0 {
+			risks[j] = over
+		}
+	}
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		ch, ring := a.NodeChannel[i], a.NodeRing[i]
+		best := math.Inf(1)
+		for j := 0; j < nGW; j++ {
+			if n.MaxDR[j] >= ring && operated[j]&(1<<uint(ch)) != 0 && risks[j] < best {
+				best = risks[j]
+			}
+		}
+		if math.IsInf(best, 1) {
+			cost.Unconnected++
+			continue
+		}
+		cost.DecoderRisk += best * n.Traffic
+	}
+
+	// Channel contention: traffic beyond one concurrent packet per
+	// (channel, DR) pair.
+	pair := make(map[int]float64)
+	for i := range p.Nodes {
+		key := a.NodeChannel[i]*lora.NumDRs + a.NodeRing[i]
+		pair[key] += p.Nodes[i].Traffic
+	}
+	for _, m := range pair {
+		if m > 1 {
+			cost.ChannelOverload += m - 1
+		}
+	}
+	return cost
+}
+
+// TheoreticalCapacity returns the oracle concurrent-user bound of the
+// instance's spectrum: channels × data rates.
+func (p *Problem) TheoreticalCapacity() int { return len(p.Channels) * lora.NumDRs }
+
+// DecoderBound returns the total decoder budget across gateways — the
+// other ceiling on concurrent receptions.
+func (p *Problem) DecoderBound() int {
+	total := 0
+	for _, g := range p.Gateways {
+		total += g.Decoders
+	}
+	return total
+}

@@ -1,0 +1,141 @@
+// Package logparse implements AlphaWAN's Log parser module (§4.3.3): it
+// interprets the per-gateway receive metadata from the network server's
+// operational logs and extracts the two inputs the CP problem needs —
+// user-gateway link profiles (who can hear whom, and how well) and
+// per-user traffic series.
+package logparse
+
+import (
+	"sort"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/netserver"
+	"github.com/alphawan/alphawan/internal/phy"
+)
+
+// LinkProfile summarizes one device's observed connectivity.
+type LinkProfile struct {
+	Dev frame.DevAddr
+	// BestSNR maps gateway id → the maximum SNR observed on that link.
+	BestSNR map[int]float64
+	// Uplinks is the number of distinct frames logged (deduplicated by
+	// frame counter).
+	Uplinks int
+}
+
+// MaxDRPerGateway converts SNR observations to the CP reach encoding: for
+// each gateway id in gwIDs, the fastest data rate the link supports (with
+// the given margin), or -1 when the gateway never heard the device.
+func (p *LinkProfile) MaxDRPerGateway(gwIDs []int, marginDB float64) []int {
+	out := make([]int, len(gwIDs))
+	for i, id := range gwIDs {
+		out[i] = -1
+		if snr, ok := p.BestSNR[id]; ok {
+			if dr, ok := phy.MaxDR(snr, marginDB); ok {
+				out[i] = int(dr)
+			}
+		}
+	}
+	return out
+}
+
+// GatewayCount returns how many gateways heard the device — the redundancy
+// measure behind Figure 6's "gateways per user".
+func (p *LinkProfile) GatewayCount() int { return len(p.BestSNR) }
+
+// TrafficSeries counts a device's frames per fixed-size window.
+type TrafficSeries struct {
+	Dev    frame.DevAddr
+	Window des.Time
+	Counts []int // index = window number from time 0
+}
+
+// Report is the parsed view of an operational log.
+type Report struct {
+	Profiles map[frame.DevAddr]*LinkProfile
+	Traffic  map[frame.DevAddr]*TrafficSeries
+	Gateways []int // sorted gateway ids seen in the log
+	Window   des.Time
+}
+
+// Parse digests the operational log into link profiles and traffic series
+// with the given aggregation window.
+func Parse(log []netserver.LogEntry, window des.Time) *Report {
+	if window <= 0 {
+		window = des.Minute
+	}
+	r := &Report{
+		Profiles: make(map[frame.DevAddr]*LinkProfile),
+		Traffic:  make(map[frame.DevAddr]*TrafficSeries),
+		Window:   window,
+	}
+	gwSeen := map[int]bool{}
+	// Count distinct frames: per device, a (fcnt, window) pair counts once
+	// even when several gateways logged copies.
+	type frameKey struct {
+		dev  frame.DevAddr
+		fcnt uint32
+	}
+	counted := map[frameKey]bool{}
+
+	for _, e := range log {
+		gwSeen[e.Gateway] = true
+		p, ok := r.Profiles[e.Dev]
+		if !ok {
+			p = &LinkProfile{Dev: e.Dev, BestSNR: make(map[int]float64)}
+			r.Profiles[e.Dev] = p
+		}
+		if snr, ok := p.BestSNR[e.Gateway]; !ok || e.SNRdB > snr {
+			p.BestSNR[e.Gateway] = e.SNRdB
+		}
+
+		key := frameKey{e.Dev, e.FCnt}
+		if counted[key] {
+			continue
+		}
+		counted[key] = true
+		p.Uplinks++
+
+		ts, ok := r.Traffic[e.Dev]
+		if !ok {
+			ts = &TrafficSeries{Dev: e.Dev, Window: window}
+			r.Traffic[e.Dev] = ts
+		}
+		w := int(e.At / window)
+		for len(ts.Counts) <= w {
+			ts.Counts = append(ts.Counts, 0)
+		}
+		ts.Counts[w]++
+	}
+
+	r.Gateways = make([]int, 0, len(gwSeen))
+	for id := range gwSeen {
+		r.Gateways = append(r.Gateways, id)
+	}
+	sort.Ints(r.Gateways)
+	return r
+}
+
+// Devices returns the device addresses in deterministic order.
+func (r *Report) Devices() []frame.DevAddr {
+	out := make([]frame.DevAddr, 0, len(r.Profiles))
+	for d := range r.Profiles {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MeanGatewaysPerDevice averages link redundancy across devices
+// (Figure 6b's metric).
+func (r *Report) MeanGatewaysPerDevice() float64 {
+	if len(r.Profiles) == 0 {
+		return 0
+	}
+	total := 0
+	for _, p := range r.Profiles {
+		total += p.GatewayCount()
+	}
+	return float64(total) / float64(len(r.Profiles))
+}

@@ -1,0 +1,103 @@
+package logparse
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/netserver"
+)
+
+func TestParseProfiles(t *testing.T) {
+	log := []netserver.LogEntry{
+		{At: 0, Gateway: 0, Dev: 0x10, SNRdB: 5, FCnt: 0},
+		{At: 1, Gateway: 1, Dev: 0x10, SNRdB: -3, FCnt: 0}, // same frame, 2nd gateway
+		{At: des.Minute * 2, Gateway: 0, Dev: 0x10, SNRdB: 8, FCnt: 1},
+		{At: des.Minute * 2, Gateway: 2, Dev: 0x20, SNRdB: -12, FCnt: 0},
+	}
+	r := Parse(log, des.Minute)
+	if len(r.Profiles) != 2 {
+		t.Fatalf("profiles = %d", len(r.Profiles))
+	}
+	p := r.Profiles[0x10]
+	if p.Uplinks != 2 {
+		t.Errorf("uplinks = %d, want 2 (copies deduplicated)", p.Uplinks)
+	}
+	if p.BestSNR[0] != 8 {
+		t.Errorf("best SNR at gw0 = %v, want 8", p.BestSNR[0])
+	}
+	if p.BestSNR[1] != -3 {
+		t.Errorf("best SNR at gw1 = %v", p.BestSNR[1])
+	}
+	if p.GatewayCount() != 2 {
+		t.Errorf("gateway count = %d", p.GatewayCount())
+	}
+	if len(r.Gateways) != 3 || r.Gateways[2] != 2 {
+		t.Errorf("gateways = %v", r.Gateways)
+	}
+}
+
+func TestTrafficWindows(t *testing.T) {
+	var log []netserver.LogEntry
+	// 3 frames in window 0, 1 in window 2.
+	for f := uint32(0); f < 3; f++ {
+		log = append(log, netserver.LogEntry{At: des.Time(f) * des.Second, Dev: 0x10, FCnt: f})
+	}
+	log = append(log, netserver.LogEntry{At: 2*des.Minute + des.Second, Dev: 0x10, FCnt: 3})
+	r := Parse(log, des.Minute)
+	ts := r.Traffic[0x10]
+	if len(ts.Counts) != 3 || ts.Counts[0] != 3 || ts.Counts[1] != 0 || ts.Counts[2] != 1 {
+		t.Errorf("counts = %v", ts.Counts)
+	}
+}
+
+func TestMaxDRPerGateway(t *testing.T) {
+	p := &LinkProfile{BestSNR: map[int]float64{0: 5, 1: -13, 2: -25}}
+	got := p.MaxDRPerGateway([]int{0, 1, 2, 3}, 0)
+	// +5 dB → DR5; -13 dB → SF10 floor -15 → DR2; -25 dB → unreachable;
+	// gateway 3 never heard it.
+	want := []int{5, 2, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("reach[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// A 3 dB margin demotes the -13 dB link to DR1.
+	got = p.MaxDRPerGateway([]int{1}, 3)
+	if got[0] != 1 {
+		t.Errorf("with margin: %d, want 1", got[0])
+	}
+}
+
+func TestMeanGatewaysPerDevice(t *testing.T) {
+	log := []netserver.LogEntry{
+		{Dev: 0x10, Gateway: 0, FCnt: 0},
+		{Dev: 0x10, Gateway: 1, FCnt: 0},
+		{Dev: 0x10, Gateway: 2, FCnt: 0},
+		{Dev: 0x20, Gateway: 0, FCnt: 0},
+	}
+	r := Parse(log, des.Minute)
+	if got := r.MeanGatewaysPerDevice(); got != 2 {
+		t.Errorf("mean gateways per device = %v, want 2", got)
+	}
+}
+
+func TestDevicesSorted(t *testing.T) {
+	log := []netserver.LogEntry{
+		{Dev: 0x30, FCnt: 0}, {Dev: 0x10, FCnt: 0}, {Dev: 0x20, FCnt: 0},
+	}
+	r := Parse(log, des.Minute)
+	devs := r.Devices()
+	if len(devs) != 3 || devs[0] != 0x10 || devs[2] != 0x30 {
+		t.Errorf("devices = %v", devs)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	r := Parse(nil, 0)
+	if len(r.Profiles) != 0 || r.MeanGatewaysPerDevice() != 0 {
+		t.Error("empty log must parse to an empty report")
+	}
+	if r.Window != des.Minute {
+		t.Error("zero window must default")
+	}
+}

@@ -1,0 +1,233 @@
+package master
+
+import (
+	"testing"
+	"time"
+
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+var testSpec = FromBand(region.AS923)
+
+func TestShiftFor(t *testing.T) {
+	// 2 networks on a 200 kHz grid: shifts 0 and 100 kHz.
+	if got := ShiftFor(testSpec, 2, 0); got != 0 {
+		t.Errorf("shift(2,0) = %v", got)
+	}
+	if got := ShiftFor(testSpec, 2, 1); got != 100_000 {
+		t.Errorf("shift(2,1) = %v, want 100 kHz", got)
+	}
+	// 4 networks: 50 kHz steps.
+	if got := ShiftFor(testSpec, 4, 3); got != 150_000 {
+		t.Errorf("shift(4,3) = %v, want 150 kHz", got)
+	}
+	// Index wraps modulo n.
+	if ShiftFor(testSpec, 4, 4) != ShiftFor(testSpec, 4, 0) {
+		t.Error("index must wrap")
+	}
+}
+
+func TestAdjacentOverlapMatchesPaperSettings(t *testing.T) {
+	// The paper's Figure 12d settings: 100 kHz shift → 20% overlap,
+	// 75 kHz → 40%, 50 kHz → 60%.
+	cases := map[region.Hz]float64{100_000: 0.2, 75_000: 0.4, 50_000: 0.6}
+	for shift, want := range cases {
+		if got := AdjacentOverlap(testSpec, shift); got != want {
+			t.Errorf("overlap(%v) = %v, want %v", shift, got, want)
+		}
+	}
+}
+
+func TestPlanChannelsShifted(t *testing.T) {
+	chans := PlanChannels(testSpec, 2, 1)
+	if len(chans) == 0 {
+		t.Fatal("no channels")
+	}
+	if chans[0].Center != region.AS923.Channel(0).Center+100_000 {
+		t.Errorf("first channel = %v", chans[0])
+	}
+	// Plan 0 is the unshifted grid.
+	base := PlanChannels(testSpec, 2, 0)
+	if base[0].Center != region.AS923.Channel(0).Center {
+		t.Errorf("plan 0 must be the standard grid, got %v", base[0])
+	}
+}
+
+// TestPlansIsolateFromDetection verifies the core spectrum-sharing
+// property: with the Master's allocation, no operator's gateway locks on
+// another operator's packets.
+func TestPlansIsolateFromDetection(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6} {
+		plans := make([][]region.Channel, n)
+		for k := 0; k < n; k++ {
+			plans[k] = PlanChannels(testSpec, n, k)
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				for _, ca := range plans[a] {
+					for _, cb := range plans[b] {
+						if ov := ca.Overlap(cb); ov >= radio.DetectOverlapThreshold {
+							t.Errorf("n=%d: plans %d/%d overlap %.2f ≥ detect threshold",
+								n, a, b, ov)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaxIsolatedNetworks(t *testing.T) {
+	// 200 kHz grid, 125 kHz BW, 0.75 threshold: shift 200/n must keep
+	// overlap < 0.75 → n ≤ 6 (33.3 kHz shift → 0.733). The paper supports
+	// up to six coexisting networks.
+	if got := MaxIsolatedNetworks(testSpec, radio.DetectOverlapThreshold); got != 6 {
+		t.Errorf("max isolated networks = %d, want 6", got)
+	}
+}
+
+func TestAuth(t *testing.T) {
+	secret := []byte("shared")
+	a := Auth(secret, "op1")
+	if !VerifyAuth(secret, "op1", a) {
+		t.Error("valid auth must verify")
+	}
+	if VerifyAuth(secret, "op2", a) {
+		t.Error("auth is operator-bound")
+	}
+	if VerifyAuth([]byte("other"), "op1", a) {
+		t.Error("auth is secret-bound")
+	}
+}
+
+func TestRegistryAllocation(t *testing.T) {
+	r := NewRegistry(testSpec, 3)
+	a1, err := r.Register("op1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := r.Register("op2")
+	if a1.Index == a2.Index || a1.ShiftHz == a2.ShiftHz {
+		t.Error("operators must get distinct plans")
+	}
+	// Idempotent re-registration.
+	again, _ := r.Register("op1")
+	if again.Index != a1.Index {
+		t.Error("re-registration must return the same plan")
+	}
+	r.Register("op3")
+	if _, err := r.Register("op4"); err == nil {
+		t.Error("a full region must reject new operators")
+	}
+	// Releasing frees the slot (and its misalignment index).
+	r.Release("op2")
+	a4, err := r.Register("op4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a4.Index != a2.Index {
+		t.Errorf("released index %d must be reused, got %d", a2.Index, a4.Index)
+	}
+	if got := len(r.Operators()); got != 3 {
+		t.Errorf("operators = %d", got)
+	}
+}
+
+func TestAllocationChannels(t *testing.T) {
+	r := NewRegistry(testSpec, 2)
+	a, _ := r.Register("op1")
+	chans := a.Channels()
+	if len(chans) != len(a.Centers) {
+		t.Fatal("channel materialization")
+	}
+	if chans[0].Bandwidth != 125_000 {
+		t.Error("BW")
+	}
+}
+
+// TestServerClientEndToEnd exercises the real TCP path with HMAC auth.
+func TestServerClientEndToEnd(t *testing.T) {
+	secret := []byte("region-secret")
+	srv, err := NewServer("127.0.0.1:0", secret, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c1, err := Dial(srv.Addr().String(), "op1", secret, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	p1, err := c1.RequestPlan(testSpec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Index != 0 || len(p1.Centers) == 0 {
+		t.Errorf("plan 1 = %+v", p1)
+	}
+
+	c2, _ := Dial(srv.Addr().String(), "op2", secret, time.Second)
+	defer c2.Close()
+	p2, err := c2.RequestPlan(testSpec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ShiftHz == p1.ShiftHz {
+		t.Error("second operator must get a misaligned plan")
+	}
+
+	ops, err := c1.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Errorf("status = %v", ops)
+	}
+
+	if err := c2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	ops, _ = c1.Status()
+	if len(ops) != 1 {
+		t.Errorf("after release: %v", ops)
+	}
+}
+
+func TestServerRejectsBadAuth(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", []byte("right"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr().String(), "op1", []byte("wrong"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.RequestPlan(testSpec, 2); err == nil {
+		t.Error("wrong secret must be rejected")
+	}
+}
+
+func TestServerRejectsUnknownMethod(t *testing.T) {
+	secret := []byte("s")
+	srv, _ := NewServer("127.0.0.1:0", secret, nil)
+	defer srv.Close()
+	c, _ := Dial(srv.Addr().String(), "op1", secret, time.Second)
+	defer c.Close()
+	if _, err := c.roundTrip(Request{Method: "nonsense"}); err == nil {
+		t.Error("unknown method must fail")
+	}
+}
+
+func TestBandSpecRoundTrip(t *testing.T) {
+	b := testSpec.Band("AS923")
+	if b.Channels != region.AS923.Channels || b.Start != region.AS923.Start {
+		t.Errorf("band = %+v", b)
+	}
+}

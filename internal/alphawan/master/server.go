@@ -1,0 +1,220 @@
+package master
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Request is one JSON-line request from an operator's network server.
+type Request struct {
+	Method string `json:"method"` // "register", "request_plan", "release", "status"
+	// Operator names the requesting network operator.
+	Operator string `json:"operator"`
+	// Auth is the HMAC of the operator name under the shared secret.
+	Auth string `json:"auth"`
+	// Band and ExpectedNetworks configure the region on first use.
+	Band             *BandSpec `json:"band,omitempty"`
+	ExpectedNetworks int       `json:"expected_networks,omitempty"`
+}
+
+// Response is the Master's JSON-line reply.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Plan carries the allocation for register/request_plan.
+	Plan *Allocation `json:"plan,omitempty"`
+	// Operators lists current registrations for status.
+	Operators []string `json:"operators,omitempty"`
+}
+
+// Server is the TCP Master node.
+type Server struct {
+	secret []byte
+
+	mu  sync.Mutex
+	reg *Registry
+
+	ln     net.Listener
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewServer starts a Master on the TCP address with a shared secret. When
+// reg is nil, the first request_plan configures the registry from its Band
+// and ExpectedNetworks fields.
+func NewServer(addr string, secret []byte, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("master: %w", err)
+	}
+	s := &Server{secret: secret, reg: reg, ln: ln, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.once.Do(func() { close(s.closed) })
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req Request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			enc.Encode(Response{Error: "malformed request"})
+			return
+		}
+		enc.Encode(s.handle(&req))
+	}
+}
+
+func (s *Server) handle(req *Request) Response {
+	if !VerifyAuth(s.secret, req.Operator, req.Auth) {
+		return Response{Error: "authentication failed"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Method {
+	case "register", "request_plan":
+		if s.reg == nil {
+			if req.Band == nil {
+				return Response{Error: "region not configured: supply band and expected_networks"}
+			}
+			s.reg = NewRegistry(*req.Band, req.ExpectedNetworks)
+		}
+		plan, err := s.reg.Register(req.Operator)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Plan: plan}
+	case "release":
+		if s.reg != nil {
+			s.reg.Release(req.Operator)
+		}
+		return Response{OK: true}
+	case "status":
+		var ops []string
+		if s.reg != nil {
+			ops = s.reg.Operators()
+		}
+		return Response{OK: true, Operators: ops}
+	default:
+		return Response{Error: fmt.Sprintf("unknown method %q", req.Method)}
+	}
+}
+
+// Client is an operator-side connection to the Master.
+type Client struct {
+	operator string
+	secret   []byte
+	conn     net.Conn
+	enc      *json.Encoder
+	sc       *bufio.Scanner
+}
+
+// Dial connects to a Master.
+func Dial(addr, operator string, secret []byte, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("master: %w", err)
+	}
+	c := &Client{operator: operator, secret: secret, conn: conn, enc: json.NewEncoder(conn)}
+	c.sc = bufio.NewScanner(conn)
+	c.sc.Buffer(make([]byte, 0, 64*1024), 64*1024)
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (*Response, error) {
+	req.Operator = c.operator
+	req.Auth = Auth(c.secret, c.operator)
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("master: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, fmt.Errorf("master: %w", err)
+		}
+		return nil, errors.New("master: connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("master: %w", err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("master: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// RequestPlan registers the operator (configuring the region on first use)
+// and returns its channel allocation.
+func (c *Client) RequestPlan(band BandSpec, expectedNetworks int) (*Allocation, error) {
+	resp, err := c.roundTrip(Request{
+		Method: "request_plan", Band: &band, ExpectedNetworks: expectedNetworks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Plan == nil {
+		return nil, errors.New("master: empty plan in response")
+	}
+	return resp.Plan, nil
+}
+
+// Release frees the operator's allocation.
+func (c *Client) Release() error {
+	_, err := c.roundTrip(Request{Method: "release"})
+	return err
+}
+
+// Status lists the registered operators.
+func (c *Client) Status() ([]string, error) {
+	resp, err := c.roundTrip(Request{Method: "status"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Operators, nil
+}

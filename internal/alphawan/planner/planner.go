@@ -1,0 +1,259 @@
+// Package planner orchestrates AlphaWAN's intra-network channel planning
+// (§4.3.1, §4.3.3): operational logs → link profiles and traffic estimates
+// → CP problem → evolutionary solve → concrete gateway configurations and
+// per-device channel/data-rate/power plans, with the latency breakdown the
+// paper reports in Figure 17.
+package planner
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/alphawan/alphawan/internal/alphawan/cp"
+	"github.com/alphawan/alphawan/internal/alphawan/evolve"
+	"github.com/alphawan/alphawan/internal/alphawan/logparse"
+	"github.com/alphawan/alphawan/internal/alphawan/trafficest"
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/netserver"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// GatewayInfo identifies one gateway available to the plan.
+type GatewayInfo struct {
+	ID      int
+	Chipset radio.Chipset
+}
+
+// Input configures one planning run.
+type Input struct {
+	// Log is the network server's operational log.
+	Log []netserver.LogEntry
+	// Window is the traffic aggregation window (default 1 minute).
+	Window des.Time
+	// Channels is the operator's allocated channel universe (from the
+	// Master in coexistence deployments, or the standard band otherwise).
+	Channels []region.Channel
+	// Gateways lists the fleet, in the order configs are returned.
+	Gateways []GatewayInfo
+	// Sync is the operator's sync word, stamped into gateway configs.
+	Sync lora.SyncWord
+	// MarginDB derates observed SNRs when computing reachability.
+	MarginDB float64
+	// TrafficOverride, when positive, replaces the estimator output for
+	// every device (capacity probes use 1.0: every user concurrent).
+	TrafficOverride float64
+	// Solver and Estimator tune the respective stages; zero values take
+	// defaults.
+	Solver    evolve.Options
+	Estimator trafficest.Options
+	// NodeSide disables per-node reassignment when false *after* solving:
+	// gateway configs still change but nodes keep their settings (the
+	// "w/o node side" variant of Figure 12c).
+	NodeSide bool
+	// FixedChannelsPerGW pins every gateway to exactly this many channels
+	// (Strategy ① disabled) when positive.
+	FixedChannelsPerGW int
+	// TPC additionally applies transmit power control: each device's
+	// power is trimmed so its strongest link sits TPCTargetMarginDB above
+	// the assigned data rate's demodulation floor. Equalizing received
+	// powers suppresses the near-far captures that LoRa's imperfect SF
+	// orthogonality cannot reject (part of Strategy ⑦).
+	TPC bool
+	// TPCTargetMarginDB is the headroom TPC leaves (default 8 dB).
+	TPCTargetMarginDB float64
+}
+
+// NodePlan is the planned setting for one device.
+type NodePlan struct {
+	Channel region.Channel
+	DR      lora.DR
+	TXPower uint8
+}
+
+// Latency is the Figure 17 breakdown.
+type Latency struct {
+	Parse    time.Duration
+	Estimate time.Duration
+	Solve    time.Duration
+}
+
+// Result is the outcome of one planning run.
+type Result struct {
+	// GWConfigs aligns with Input.Gateways.
+	GWConfigs []radio.Config
+	// NodePlans maps each logged device to its new settings (empty map
+	// when Input.NodeSide is false).
+	NodePlans map[frame.DevAddr]NodePlan
+	Cost      cp.Cost
+	Latency   Latency
+	// Problem and Assignment expose the raw solve for ablations.
+	Problem    *cp.Problem
+	Assignment *cp.Assignment
+}
+
+// Plan runs the full pipeline.
+func Plan(in Input) (*Result, error) {
+	if len(in.Gateways) == 0 {
+		return nil, fmt.Errorf("planner: no gateways")
+	}
+	if len(in.Channels) == 0 {
+		return nil, fmt.Errorf("planner: no channels")
+	}
+	if in.Solver.Population == 0 {
+		in.Solver = evolve.DefaultOptions(1)
+	}
+	if in.Estimator.Quantile == 0 {
+		in.Estimator = trafficest.DefaultOptions()
+	}
+
+	var lat Latency
+	t0 := time.Now()
+	report := logparse.Parse(in.Log, in.Window)
+	lat.Parse = time.Since(t0)
+
+	t0 = time.Now()
+	traffic := trafficest.Estimate(report, in.Estimator)
+	lat.Estimate = time.Since(t0)
+
+	// Build the CP problem.
+	gwIDs := make([]int, len(in.Gateways))
+	prob := &cp.Problem{Channels: in.Channels}
+	for i, g := range in.Gateways {
+		gwIDs[i] = g.ID
+		prob.Gateways = append(prob.Gateways, cp.GatewaySpec{
+			Decoders:      g.Chipset.Decoders,
+			MaxChannels:   g.Chipset.RxChains,
+			SpanHz:        g.Chipset.SpanHz,
+			FixedChannels: in.FixedChannelsPerGW,
+		})
+	}
+	// Each device's current settings, observed from the most recent log
+	// rows; used to pin nodes in the gateway-side-only variant.
+	lastSetting := map[frame.DevAddr][2]int{}
+	if !in.NodeSide {
+		chIdx := map[region.Hz]int{}
+		for i, ch := range in.Channels {
+			chIdx[ch.Center] = i
+		}
+		for _, e := range in.Log {
+			if i, ok := chIdx[e.Freq]; ok {
+				lastSetting[e.Dev] = [2]int{i, int(e.DR)}
+			}
+		}
+	}
+
+	devs := report.Devices()
+	for _, dev := range devs {
+		p := report.Profiles[dev]
+		u := traffic[dev]
+		if in.TrafficOverride > 0 {
+			u = in.TrafficOverride
+		}
+		spec := cp.NodeSpec{
+			Traffic: u,
+			MaxDR:   p.MaxDRPerGateway(gwIDs, in.MarginDB),
+		}
+		if !in.NodeSide {
+			if set, ok := lastSetting[dev]; ok {
+				spec.Fixed = true
+				spec.FixedChannel = set[0]
+				spec.FixedRing = set[1]
+			}
+		}
+		prob.Nodes = append(prob.Nodes, spec)
+	}
+
+	t0 = time.Now()
+	res, err := evolve.Solve(prob, in.Solver)
+	if err != nil {
+		return nil, fmt.Errorf("planner: %w", err)
+	}
+	lat.Solve = time.Since(t0)
+
+	out := &Result{
+		Cost: res.Cost, Latency: lat,
+		Problem: prob, Assignment: res.Assignment,
+		NodePlans: map[frame.DevAddr]NodePlan{},
+	}
+	for j := range in.Gateways {
+		cfg := radio.Config{Sync: in.Sync}
+		for _, k := range res.Assignment.GWChannels[j] {
+			cfg.Channels = append(cfg.Channels, in.Channels[k])
+		}
+		out.GWConfigs = append(out.GWConfigs, cfg)
+	}
+	if in.NodeSide {
+		target := in.TPCTargetMarginDB
+		if target <= 0 {
+			target = 8
+		}
+		for i, dev := range devs {
+			ring := res.Assignment.NodeRing[i]
+			power := uint8(3) // 14 dBm: the power the links were profiled at
+			if in.TPC {
+				// Strongest logged link among the gateways the plan
+				// actually connects this device through (its assigned
+				// channel, reachable at the assigned ring) — trimming
+				// against a gateway outside the plan would break the
+				// planned link.
+				prof := report.Profiles[dev]
+				reach := prof.MaxDRPerGateway(gwIDs, in.MarginDB)
+				chIdx := res.Assignment.NodeChannel[i]
+				best := -1000.0
+				for j, gwID := range gwIDs {
+					if reach[j] < ring {
+						continue
+					}
+					operated := false
+					for _, k := range res.Assignment.GWChannels[j] {
+						if k == chIdx {
+							operated = true
+							break
+						}
+					}
+					if !operated {
+						continue
+					}
+					if snr, ok := prof.BestSNR[gwID]; ok && snr > best {
+						best = snr
+					}
+				}
+				slack := best - (lora.DemodFloorSNR(lora.DR(ring).SF()) + target)
+				idx := 3 + int(slack/2) // each index trims 2 dB below 14 dBm
+				if idx < 3 {
+					idx = 3
+				}
+				if idx > phy.NumTXPowers-1 {
+					idx = phy.NumTXPowers - 1
+				}
+				power = uint8(idx)
+			}
+			out.NodePlans[dev] = NodePlan{
+				Channel: in.Channels[res.Assignment.NodeChannel[i]],
+				DR:      lora.DR(ring),
+				TXPower: power,
+			}
+		}
+	}
+	return out, nil
+}
+
+// txPowerForRing maps a data rate ring to a transmit power index from the
+// mapping table (§4.3.1: "specific data rate and transmit power settings
+// for a node are derived from the required transmission distance"):
+// long-distance (slow DR) rings transmit at full power, tight rings back
+// off two indices per step.
+func txPowerForRing(ring int) uint8 {
+	idx := ring
+	if idx >= phy.NumTXPowers {
+		idx = phy.NumTXPowers - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return uint8(idx)
+}

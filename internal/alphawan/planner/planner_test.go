@@ -1,0 +1,182 @@
+package planner
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/netserver"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// synthLog fabricates an operational log: nDev devices, each heard by the
+// given gateways at the given SNR, one frame per minute for 10 minutes.
+func synthLog(nDev int, gws []int, snr float64) []netserver.LogEntry {
+	var log []netserver.LogEntry
+	for d := 0; d < nDev; d++ {
+		dev := frame.DevAddr(0x1000 + d)
+		for f := uint32(0); f < 10; f++ {
+			for _, gw := range gws {
+				log = append(log, netserver.LogEntry{
+					At: des.Time(f) * des.Minute, Gateway: gw, Dev: dev,
+					Freq: region.AS923.Channel(0).Center, DR: lora.DR5,
+					SNRdB: snr, RSSIdBm: snr - 117, FCnt: f,
+				})
+			}
+		}
+	}
+	return log
+}
+
+func input(nDev int, gws int) Input {
+	ids := make([]int, gws)
+	infos := make([]GatewayInfo, gws)
+	for i := range infos {
+		ids[i] = i
+		infos[i] = GatewayInfo{ID: i, Chipset: radio.SX1302}
+	}
+	return Input{
+		Log:             synthLog(nDev, ids, 5),
+		Channels:        region.AS923.AllChannels(),
+		Gateways:        infos,
+		Sync:            lora.SyncPublic,
+		TrafficOverride: 1,
+		NodeSide:        true,
+	}
+}
+
+func TestPlanProducesValidConfigs(t *testing.T) {
+	in := input(48, 4)
+	res, err := Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GWConfigs) != 4 {
+		t.Fatalf("configs = %d", len(res.GWConfigs))
+	}
+	for j, cfg := range res.GWConfigs {
+		if err := cfg.Validate(radio.SX1302); err != nil {
+			t.Errorf("gateway %d config invalid: %v", j, err)
+		}
+		if cfg.Sync != lora.SyncPublic {
+			t.Errorf("gateway %d sync = %v", j, cfg.Sync)
+		}
+	}
+	if len(res.NodePlans) != 48 {
+		t.Errorf("node plans = %d, want 48", len(res.NodePlans))
+	}
+	if !res.Cost.Feasible() {
+		t.Errorf("cost = %+v", res.Cost)
+	}
+	// 48 concurrent users, 4 gateways × 16 decoders: the plan must reach
+	// zero decoder risk (this is the Figure 12a mechanism).
+	if res.Cost.DecoderRisk > 0 {
+		t.Errorf("decoder risk = %v, want 0", res.Cost.DecoderRisk)
+	}
+	if res.Latency.Solve <= 0 {
+		t.Error("solve latency must be measured")
+	}
+}
+
+func TestPlanNodePlansWithinUniverse(t *testing.T) {
+	in := input(20, 2)
+	res, err := Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[region.Hz]bool{}
+	for _, ch := range in.Channels {
+		valid[ch.Center] = true
+	}
+	for dev, np := range res.NodePlans {
+		if !valid[np.Channel.Center] {
+			t.Errorf("device %v assigned foreign channel %v", dev, np.Channel)
+		}
+		if !np.DR.Valid() {
+			t.Errorf("device %v assigned invalid %v", dev, np.DR)
+		}
+	}
+}
+
+func TestPlanWithoutNodeSide(t *testing.T) {
+	in := input(20, 2)
+	in.NodeSide = false
+	res, err := Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NodePlans) != 0 {
+		t.Error("node-side planning disabled must not emit node plans")
+	}
+	if len(res.GWConfigs) != 2 {
+		t.Error("gateway configs must still be produced")
+	}
+}
+
+func TestPlanUsesEstimatorWithoutOverride(t *testing.T) {
+	in := input(10, 2)
+	in.TrafficOverride = 0
+	res, err := Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimated traffic for 1 packet/min devices is far below 1: total
+	// load must be well under a decoder pool, so risk is 0.
+	if res.Cost.DecoderRisk != 0 {
+		t.Errorf("risk = %v", res.Cost.DecoderRisk)
+	}
+	for i := range res.Problem.Nodes {
+		if u := res.Problem.Nodes[i].Traffic; u <= 0 || u >= 1 {
+			t.Errorf("estimated traffic = %v, want (0, 1)", u)
+		}
+	}
+}
+
+func TestPlanValidatesInput(t *testing.T) {
+	if _, err := Plan(Input{}); err == nil {
+		t.Error("empty input must fail")
+	}
+	in := input(5, 1)
+	in.Channels = nil
+	if _, err := Plan(in); err == nil {
+		t.Error("missing channels must fail")
+	}
+}
+
+func TestTxPowerForRing(t *testing.T) {
+	if txPowerForRing(0) != 0 {
+		t.Error("edge ring must use full power (index 0)")
+	}
+	if txPowerForRing(5) != 5 {
+		t.Error("tight ring backs power off")
+	}
+	if txPowerForRing(99) != 7 {
+		t.Error("clamped at the last index")
+	}
+	if txPowerForRing(-1) != 0 {
+		t.Error("negative ring clamps to 0")
+	}
+}
+
+func TestPlanHeterogeneousConfigs(t *testing.T) {
+	// With several gateways, the planner should not hand every gateway an
+	// identical channel set (that is standard LoRaWAN's failure mode).
+	in := input(48, 4)
+	res, err := Plan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, cfg := range res.GWConfigs {
+		key := ""
+		for _, ch := range cfg.Channels {
+			key += ch.Center.String() + ","
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("planner must produce heterogeneous gateway configs")
+	}
+}

@@ -1,0 +1,92 @@
+// Package trafficest implements AlphaWAN's Traffic estimator (§4.3.3): it
+// turns per-device traffic series into the CP input U^t_ND, selecting
+// representative high-demand windows so that the computed channel plan
+// holds up under peak load ("aggressively uses samples with high capacity
+// demand to train the problem solver", §4.3.1).
+package trafficest
+
+import (
+	"sort"
+
+	"github.com/alphawan/alphawan/internal/alphawan/logparse"
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+)
+
+// Options tunes the estimator.
+type Options struct {
+	// Quantile selects the per-device demand sample: 1.0 = peak window,
+	// 0.5 = median. AlphaWAN biases high (default 0.9) so plans absorb
+	// bursts; the ablation benchmarks sweep this.
+	Quantile float64
+	// MinTraffic floors each active device's estimate so rarely-seen
+	// devices still reserve a slice of capacity.
+	MinTraffic float64
+	// AirtimeRef converts packet counts to expected concurrent packets:
+	// the airtime of a typical packet at the device's data rate. When
+	// zero, a DR2 (mid-rate) 23-byte frame is assumed.
+	AirtimeRef des.Time
+}
+
+// DefaultOptions returns the estimator settings used by the planner.
+func DefaultOptions() Options {
+	return Options{Quantile: 0.9, MinTraffic: 0.05}
+}
+
+// Estimate computes per-device expected concurrent traffic u_i from a
+// parsed log report: the chosen quantile of the device's per-window packet
+// count, scaled by airtime/window (the probability the device is on air at
+// a random instant during a busy window).
+func Estimate(r *logparse.Report, opt Options) map[frame.DevAddr]float64 {
+	if opt.Quantile <= 0 || opt.Quantile > 1 {
+		opt.Quantile = 0.9
+	}
+	air := opt.AirtimeRef
+	if air <= 0 {
+		air = des.FromDuration(lora.DefaultParams(lora.DR2).Airtime(23))
+	}
+	out := make(map[frame.DevAddr]float64, len(r.Traffic))
+	for dev, ts := range r.Traffic {
+		q := quantile(ts.Counts, opt.Quantile)
+		u := q * float64(air) / float64(ts.Window)
+		if u < opt.MinTraffic {
+			u = opt.MinTraffic
+		}
+		if u > 1 {
+			// A device cannot occupy more than one decoder at a time.
+			u = 1
+		}
+		out[dev] = u
+	}
+	return out
+}
+
+// quantile returns the q-quantile of the counts (nearest-rank).
+func quantile(counts []int, q float64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	s := append([]int{}, counts...)
+	sort.Ints(s)
+	idx := int(q*float64(len(s))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return float64(s[idx])
+}
+
+// PeakWindowDemand returns the total expected concurrent packets in the
+// busiest window across all devices — the network-wide capacity demand the
+// plan must satisfy.
+func PeakWindowDemand(r *logparse.Report, opt Options) float64 {
+	est := Estimate(r, opt)
+	var total float64
+	for _, u := range est {
+		total += u
+	}
+	return total
+}

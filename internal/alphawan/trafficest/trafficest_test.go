@@ -1,0 +1,94 @@
+package trafficest
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/alphawan/logparse"
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/netserver"
+)
+
+func report(counts map[frame.DevAddr][]int) *logparse.Report {
+	var log []netserver.LogEntry
+	for dev, cs := range counts {
+		fcnt := uint32(0)
+		for w, c := range cs {
+			for k := 0; k < c; k++ {
+				log = append(log, netserver.LogEntry{
+					At:  des.Time(w)*des.Minute + des.Time(k)*des.Second,
+					Dev: dev, FCnt: fcnt,
+				})
+				fcnt++
+			}
+		}
+	}
+	return logparse.Parse(log, des.Minute)
+}
+
+func TestEstimatePeakBias(t *testing.T) {
+	// A device with a quiet history and one busy window: the 0.9 quantile
+	// tracks the busy end, the median the quiet end.
+	counts := []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 30}
+	r := report(map[frame.DevAddr][]int{0x10: counts})
+	hi := Estimate(r, Options{Quantile: 1.0, MinTraffic: 0})[0x10]
+	lo := Estimate(r, Options{Quantile: 0.5, MinTraffic: 0})[0x10]
+	if hi <= lo {
+		t.Errorf("peak-biased estimate %v must exceed median %v", hi, lo)
+	}
+}
+
+func TestEstimateScalesByAirtime(t *testing.T) {
+	r := report(map[frame.DevAddr][]int{0x10: {6}})
+	// 6 packets/min with a 10 s reference airtime → u = 6*10/60 = 1
+	// (clamped); with a 1 s airtime → 0.1.
+	big := Estimate(r, Options{Quantile: 1, AirtimeRef: 10 * des.Second})[0x10]
+	if big != 1 {
+		t.Errorf("clamped estimate = %v, want 1", big)
+	}
+	small := Estimate(r, Options{Quantile: 1, AirtimeRef: des.Second, MinTraffic: 0})[0x10]
+	if small < 0.09 || small > 0.11 {
+		t.Errorf("estimate = %v, want 0.1", small)
+	}
+}
+
+func TestMinTrafficFloor(t *testing.T) {
+	r := report(map[frame.DevAddr][]int{0x10: {1}})
+	got := Estimate(r, Options{Quantile: 0.9, MinTraffic: 0.05, AirtimeRef: des.Millisecond})[0x10]
+	if got != 0.05 {
+		t.Errorf("floored estimate = %v, want 0.05", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	r := report(map[frame.DevAddr][]int{0x10: {3}})
+	got := Estimate(r, Options{})[0x10] // zero Quantile/AirtimeRef → defaults
+	if got <= 0 || got > 1 {
+		t.Errorf("estimate = %v", got)
+	}
+}
+
+func TestPeakWindowDemand(t *testing.T) {
+	r := report(map[frame.DevAddr][]int{
+		0x10: {6}, 0x20: {6}, 0x30: {6},
+	})
+	total := PeakWindowDemand(r, Options{Quantile: 1, AirtimeRef: 10 * des.Second})
+	if total != 3 {
+		t.Errorf("demand = %v, want 3 (three saturated users)", total)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	if q := quantile([]int{1, 2, 3, 4}, 0.5); q != 2 {
+		t.Errorf("median = %v, want 2", q)
+	}
+	if q := quantile([]int{5}, 0.9); q != 5 {
+		t.Errorf("singleton = %v", q)
+	}
+	if q := quantile(nil, 0.9); q != 0 {
+		t.Errorf("empty = %v", q)
+	}
+	if q := quantile([]int{7, 1}, 0.01); q != 1 {
+		t.Errorf("low quantile = %v, want 1", q)
+	}
+}

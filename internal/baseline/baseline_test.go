@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/node"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+func TestStandardConfigsHomogeneousPerPlan(t *testing.T) {
+	cfgs := StandardConfigs(region.Testbed, 6, lora.SyncPublic)
+	if len(cfgs) != 6 {
+		t.Fatal("count")
+	}
+	// The 24-channel testbed has 3 plans; gateways 0 and 3 share plan 0.
+	if cfgs[0].Channels[0] != cfgs[3].Channels[0] {
+		t.Error("gateways 0 and 3 must share a standard plan")
+	}
+	if cfgs[0].Channels[0] == cfgs[1].Channels[0] {
+		t.Error("gateways 0 and 1 are on different plans")
+	}
+	for i, cfg := range cfgs {
+		if len(cfg.Channels) != 8 {
+			t.Errorf("gateway %d has %d channels, want the 8-channel plan", i, len(cfg.Channels))
+		}
+		if err := cfg.Validate(radio.SX1302); err != nil {
+			t.Errorf("gateway %d: %v", i, err)
+		}
+	}
+}
+
+func TestStandardConfigsSmallBand(t *testing.T) {
+	cfgs := StandardConfigs(region.AS923, 3, lora.SyncPublic)
+	for _, cfg := range cfgs {
+		if len(cfg.Channels) != 8 {
+			t.Error("8-channel band: full band per gateway")
+		}
+	}
+	// Homogeneous: all identical.
+	if cfgs[0].Channels[0] != cfgs[2].Channels[0] {
+		t.Error("single-plan band must be fully homogeneous")
+	}
+}
+
+func TestRandomCPConfigsValidAndVaried(t *testing.T) {
+	cfgs := RandomCPConfigs(region.Testbed, 10, radio.SX1302, lora.SyncPublic, 42)
+	sizes := map[int]bool{}
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(radio.SX1302); err != nil {
+			t.Errorf("gateway %d: %v", i, err)
+		}
+		sizes[len(cfg.Channels)] = true
+	}
+	if len(sizes) < 2 {
+		t.Error("Random CP must vary the channel count per gateway")
+	}
+	// Deterministic per seed.
+	again := RandomCPConfigs(region.Testbed, 10, radio.SX1302, lora.SyncPublic, 42)
+	for i := range cfgs {
+		if len(cfgs[i].Channels) != len(again[i].Channels) {
+			t.Fatal("same seed must reproduce configs")
+		}
+	}
+}
+
+func TestRandomNodeAssignment(t *testing.T) {
+	cfgs := RandomCPConfigs(region.Testbed, 5, radio.SX1302, lora.SyncPublic, 1)
+	covered := map[region.Hz]bool{}
+	for _, cfg := range cfgs {
+		for _, ch := range cfg.Channels {
+			covered[ch.Center] = true
+		}
+	}
+	nodes := make([]*node.Node, 30)
+	for i := range nodes {
+		nodes[i] = node.New(medium.NodeID(i), 1, lora.SyncPublic, phy.Pt(0, 0))
+	}
+	RandomNodeAssignment(nodes, cfgs, 2)
+	for i, n := range nodes {
+		if len(n.Channels) != 1 || !covered[n.Channels[0].Center] {
+			t.Errorf("node %d assigned uncovered channel %v", i, n.Channels)
+		}
+		if !n.DR.Valid() {
+			t.Errorf("node %d DR invalid", i)
+		}
+	}
+	// Empty configs: assignment is a no-op, not a panic.
+	RandomNodeAssignment(nodes, nil, 3)
+}
+
+func lmacRig(t *testing.T) (*medium.Medium, *LMAC, *radio.Radio) {
+	t.Helper()
+	e := phy.Urban(1)
+	e.ShadowSigma = 0
+	med := medium.New(des.New(1), e)
+	r, err := radio.New(med.Sim(), radio.SX1302, radio.Config{
+		Channels: region.AS923.AllChannels(), Sync: lora.SyncPublic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := med.Attach(r, phy.Pt(0, 0), phy.Omni(3))
+	med.WirePort(p)
+	return med, NewLMAC(med), r
+}
+
+func TestLMACAvoidsCollision(t *testing.T) {
+	med, l, r := lmacRig(t)
+	delivered := 0
+	med.OnDelivery = func(medium.Delivery) { delivered++ }
+	mk := func(id medium.NodeID) *node.Node {
+		n := node.New(id, 1, lora.SyncPublic, phy.Pt(100, float64(id)))
+		n.Channels = region.AS923.AllChannels()
+		n.DR = lora.DR5
+		n.DutyCycle = 0
+		return n
+	}
+	a, b := mk(1), mk(2)
+	ch := region.AS923.Channel(0)
+	med.Sim().At(0, func() {
+		l.Send(a, ch)
+		l.Send(b, ch) // would collide; LMAC defers it
+	})
+	med.Sim().Run()
+	if delivered != 2 {
+		t.Errorf("delivered = %d, want 2 (LMAC serializes)", delivered)
+	}
+	if l.Deferred != 1 {
+		t.Errorf("deferred = %d, want 1", l.Deferred)
+	}
+	_ = r
+}
+
+func TestLMACDistinctSettingsConcurrent(t *testing.T) {
+	med, l, _ := lmacRig(t)
+	var starts []des.Time
+	med.OnAirDone = func(tx *medium.Transmission) { starts = append(starts, tx.Start) }
+	mk := func(id medium.NodeID, dr lora.DR) *node.Node {
+		n := node.New(id, 1, lora.SyncPublic, phy.Pt(100, float64(id)))
+		n.Channels = region.AS923.AllChannels()
+		n.DR = dr
+		n.DutyCycle = 0
+		return n
+	}
+	med.Sim().At(0, func() {
+		l.Send(mk(1, lora.DR5), region.AS923.Channel(0))
+		l.Send(mk(2, lora.DR4), region.AS923.Channel(0)) // different SF: no defer
+		l.Send(mk(3, lora.DR5), region.AS923.Channel(1)) // different channel
+	})
+	med.Sim().Run()
+	for _, s := range starts {
+		if s != 0 {
+			t.Errorf("orthogonal transmissions must not be deferred, start=%v", s)
+		}
+	}
+	if l.Deferred != 0 {
+		t.Errorf("deferred = %d, want 0", l.Deferred)
+	}
+}
+
+// TestCICResolvesCollisions verifies the medium's CIC mode: two identical
+// transmissions both decode, but decoder limits still bind.
+func TestCICResolvesCollisions(t *testing.T) {
+	e := phy.Urban(1)
+	e.ShadowSigma = 0
+	med := medium.New(des.New(1), e)
+	med.ResolveCollisions = true
+	r, _ := radio.New(med.Sim(), radio.SX1302, radio.Config{
+		Channels: region.AS923.AllChannels(), Sync: lora.SyncPublic,
+	})
+	p := med.Attach(r, phy.Pt(0, 0), phy.Omni(3))
+	med.WirePort(p)
+	delivered := 0
+	med.OnDelivery = func(medium.Delivery) { delivered++ }
+	med.Sim().At(0, func() {
+		for i := 0; i < 2; i++ {
+			med.Transmit(medium.Transmission{
+				Node: medium.NodeID(i), Network: 1, Sync: lora.SyncPublic,
+				Channel: region.AS923.Channel(0), DR: lora.DR5,
+				PayloadLen: 13, PowerDBm: 14, Pos: phy.Pt(100, float64(i)),
+			})
+		}
+	})
+	med.Sim().Run()
+	if delivered != 2 {
+		t.Errorf("CIC must recover both colliders, delivered %d", delivered)
+	}
+
+	// Decoder limit still binds: 10 pairwise collisions (20 packets, all
+	// recoverable by depth-2 SIC) → only 16 decoders' worth received.
+	med2 := medium.New(des.New(1), e)
+	med2.ResolveCollisions = true
+	r2, _ := radio.New(med2.Sim(), radio.SX1302, radio.Config{
+		Channels: region.AS923.AllChannels(), Sync: lora.SyncPublic,
+	})
+	p2 := med2.Attach(r2, phy.Pt(0, 0), phy.Omni(3))
+	med2.WirePort(p2)
+	delivered2 := 0
+	med2.OnDelivery = func(medium.Delivery) { delivered2++ }
+	med2.Sim().At(0, func() {
+		for i := 0; i < 20; i++ {
+			pair := i / 2
+			med2.Transmit(medium.Transmission{
+				Node: medium.NodeID(i), Network: 1, Sync: lora.SyncPublic,
+				Channel: region.AS923.Channel(pair % 8), DR: lora.DR(5 - pair/8),
+				PayloadLen: 13, PowerDBm: 14, Pos: phy.Pt(100, float64(i)),
+			})
+		}
+	})
+	med2.Sim().Run()
+	if delivered2 != 16 {
+		t.Errorf("CIC under COTS decoder limits must cap at 16, got %d", delivered2)
+	}
+
+	// A three-way pile-up exceeds the SIC depth: nothing decodes.
+	med3 := medium.New(des.New(1), e)
+	med3.ResolveCollisions = true
+	r3, _ := radio.New(med3.Sim(), radio.SX1302, radio.Config{
+		Channels: region.AS923.AllChannels(), Sync: lora.SyncPublic,
+	})
+	p3 := med3.Attach(r3, phy.Pt(0, 0), phy.Omni(3))
+	med3.WirePort(p3)
+	delivered3 := 0
+	med3.OnDelivery = func(medium.Delivery) { delivered3++ }
+	med3.Sim().At(0, func() {
+		for i := 0; i < 3; i++ {
+			med3.Transmit(medium.Transmission{
+				Node: medium.NodeID(i), Network: 1, Sync: lora.SyncPublic,
+				Channel: region.AS923.Channel(0), DR: lora.DR5,
+				PayloadLen: 13, PowerDBm: 14, Pos: phy.Pt(100, float64(i)),
+			})
+		}
+	})
+	med3.Sim().Run()
+	if delivered3 != 0 {
+		t.Errorf("3-way pile-up must exceed SIC depth, got %d", delivered3)
+	}
+}

@@ -1,0 +1,134 @@
+// Package cmac implements AES-CMAC (RFC 4493) on top of the standard
+// library's AES block cipher. LoRaWAN uses AES-CMAC to compute the 4-byte
+// Message Integrity Code (MIC) on every frame and to derive session keys
+// during join; the Go standard library does not ship CMAC, so this package
+// provides it.
+package cmac
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"fmt"
+	"hash"
+)
+
+// Size is the CMAC output size in bytes (one AES block).
+const Size = aes.BlockSize
+
+// New returns a hash.Hash computing AES-CMAC with the given key. The key
+// must be 16, 24, or 32 bytes (AES-128/192/256); LoRaWAN uses AES-128.
+func New(key []byte) (hash.Hash, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("cmac: %w", err)
+	}
+	m := &mac{block: block}
+	m.deriveSubkeys()
+	m.Reset()
+	return m, nil
+}
+
+// Sum computes the AES-CMAC of msg under key in one call.
+func Sum(key, msg []byte) ([]byte, error) {
+	h, err := New(key)
+	if err != nil {
+		return nil, err
+	}
+	h.Write(msg)
+	return h.Sum(nil), nil
+}
+
+// Verify reports whether tag is a valid (possibly truncated) AES-CMAC of
+// msg under key. Comparison is constant-time.
+func Verify(key, msg, tag []byte) bool {
+	if len(tag) == 0 || len(tag) > Size {
+		return false
+	}
+	full, err := Sum(key, msg)
+	if err != nil {
+		return false
+	}
+	return subtle.ConstantTimeCompare(full[:len(tag)], tag) == 1
+}
+
+type mac struct {
+	block cipher.Block
+	k1    [Size]byte
+	k2    [Size]byte
+	// x is the running CBC-MAC state; buf holds a partial final block.
+	x    [Size]byte
+	buf  [Size]byte
+	used int
+}
+
+// deriveSubkeys computes K1 and K2 per RFC 4493 §2.3.
+func (m *mac) deriveSubkeys() {
+	var l [Size]byte
+	m.block.Encrypt(l[:], l[:])
+	dbl(&m.k1, &l)
+	dbl(&m.k2, &m.k1)
+}
+
+// dbl doubles a value in GF(2^128) with the CMAC reduction polynomial.
+func dbl(dst, src *[Size]byte) {
+	var carry byte
+	for i := Size - 1; i >= 0; i-- {
+		b := src[i]
+		dst[i] = b<<1 | carry
+		carry = b >> 7
+	}
+	// If the MSB was set, XOR the low byte with 0x87.
+	dst[Size-1] ^= 0x87 * carry
+}
+
+func (m *mac) Reset() {
+	m.x = [Size]byte{}
+	m.used = 0
+}
+
+func (m *mac) Size() int      { return Size }
+func (m *mac) BlockSize() int { return Size }
+
+func (m *mac) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		// Flush a *full* buffered block only when more input follows, so
+		// that the final block (complete or partial) stays in buf for the
+		// subkey XOR in Sum.
+		if m.used == Size {
+			for i := 0; i < Size; i++ {
+				m.x[i] ^= m.buf[i]
+			}
+			m.block.Encrypt(m.x[:], m.x[:])
+			m.used = 0
+		}
+		c := copy(m.buf[m.used:], p)
+		m.used += c
+		p = p[c:]
+	}
+	return n, nil
+}
+
+func (m *mac) Sum(b []byte) []byte {
+	var last [Size]byte
+	if m.used == Size {
+		// Complete final block: XOR with K1.
+		for i := 0; i < Size; i++ {
+			last[i] = m.buf[i] ^ m.k1[i]
+		}
+	} else {
+		// Partial (or empty) final block: pad with 10* and XOR with K2.
+		copy(last[:], m.buf[:m.used])
+		last[m.used] = 0x80
+		for i := 0; i < Size; i++ {
+			last[i] ^= m.k2[i]
+		}
+	}
+	var out [Size]byte
+	for i := 0; i < Size; i++ {
+		out[i] = m.x[i] ^ last[i]
+	}
+	m.block.Encrypt(out[:], out[:])
+	return append(b, out[:]...)
+}

@@ -1,0 +1,181 @@
+// Package des provides a deterministic discrete-event simulator core:
+// a time-ordered event queue with stable tie-breaking and seeded random
+// streams. All of the paper's emulated experiments (Figures 2–21) run on
+// this scheduler so that identical seeds reproduce identical results.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is simulation time measured in microseconds from the start of the
+// run. Microsecond resolution is fine enough to order LoRa preamble
+// boundaries (a SF7 symbol is 1024 µs) without floating-point drift.
+type Time int64
+
+// Common time constructors.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1_000_000
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+	Day         Time = 24 * Hour
+	Week        Time = 7 * Day
+)
+
+// FromDuration converts a time.Duration to simulation time.
+func FromDuration(d time.Duration) Time { return Time(d / time.Microsecond) }
+
+// Duration converts simulation time to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsecond }
+
+func (t Time) String() string { return t.Duration().String() }
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // insertion order, for deterministic tie-breaking
+	fn   func()
+	dead bool
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation run. It is not safe for concurrent
+// use; a run is a single-threaded deterministic process, and experiments
+// parallelize across independent Sim instances instead.
+type Sim struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+	seed  int64
+}
+
+// New creates a simulation with the given seed. Two simulations created
+// with the same seed and fed the same schedule of events are bit-for-bit
+// identical.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Seed returns the seed the simulation was created with.
+func (s *Sim) Seed() int64 { return s.seed }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// NewStream derives an independent deterministic random stream, e.g. one
+// per node, so that adding a node does not perturb every other node's
+// draws.
+func (s *Sim) NewStream(id int64) *rand.Rand {
+	// SplitMix-style mixing of the seed and stream id.
+	z := uint64(s.seed) + uint64(id)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// At schedules fn at absolute time t, which must not be in the past.
+func (s *Sim) At(t Time, fn func()) EventID {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules fn after delay d from now.
+func (s *Sim) After(d Time, fn func()) EventID { return s.At(s.now+d, fn) }
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Sim) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+// Pending returns the number of live events still queued.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Step runs the earliest event. It returns false when the queue is empty.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, leaving later events
+// queued, and advances the clock to the deadline.
+func (s *Sim) RunUntil(deadline Time) {
+	for len(s.queue) > 0 {
+		// Peek.
+		ev := s.queue[0]
+		if ev.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.at
+		ev.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}

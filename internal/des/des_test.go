@@ -1,0 +1,208 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", got)
+	}
+	if s.Now() != 30 {
+		t.Errorf("clock = %v, want 30µs", s.Now())
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events must fire in insertion order, got %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.At(100, func() {
+		s.After(50, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 150 {
+		t.Errorf("After fired at %v, want 150µs", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past must panic")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.Run()
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	id := s.At(10, func() { fired = true })
+	s.Cancel(id)
+	s.Run()
+	if fired {
+		t.Error("cancelled event must not fire")
+	}
+	// Double-cancel and cancel-after-run are no-ops.
+	s.Cancel(id)
+	s.Cancel(EventID{})
+}
+
+func TestPending(t *testing.T) {
+	s := New(1)
+	a := s.At(10, func() {})
+	s.At(20, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+	s.Cancel(a)
+	if s.Pending() != 1 {
+		t.Errorf("pending after cancel = %d, want 1", s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 10,20", fired)
+	}
+	if s.Now() != 25 {
+		t.Errorf("clock = %v, want 25 after RunUntil(25)", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Errorf("remaining events must fire on the next RunUntil, got %v", fired)
+	}
+}
+
+func TestRunUntilSkipsCancelled(t *testing.T) {
+	s := New(1)
+	fired := false
+	id := s.At(10, func() { fired = true })
+	s.Cancel(id)
+	s.RunUntil(20)
+	if fired {
+		t.Error("cancelled head event must be skipped by RunUntil")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		s := New(42)
+		var draws []int64
+		var tick func()
+		n := 0
+		tick = func() {
+			draws = append(draws, s.Rand().Int63())
+			if n++; n < 100 {
+				s.After(Time(1+s.Rand().Intn(1000)), tick)
+			}
+		}
+		s.At(0, tick)
+		s.Run()
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestStreamsAreIndependent(t *testing.T) {
+	s := New(7)
+	r1 := s.NewStream(1)
+	r2 := s.NewStream(2)
+	r1b := New(7).NewStream(1)
+	same, diff := 0, 0
+	for i := 0; i < 32; i++ {
+		v1, v2 := r1.Int63(), r2.Int63()
+		if v1 == r1b.Int63() {
+			same++
+		}
+		if v1 != v2 {
+			diff++
+		}
+	}
+	if same != 32 {
+		t.Error("same (seed, id) must give identical streams")
+	}
+	if diff == 0 {
+		t.Error("different ids must give different streams")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromDuration(1500*time.Microsecond) != 1500 {
+		t.Error("FromDuration broken")
+	}
+	if Second.Duration() != time.Second {
+		t.Error("Duration broken")
+	}
+	if Week != 7*24*60*60*Second {
+		t.Error("week constant broken")
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(3)
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			d := Time(d)
+			s.At(d, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New(1)
+	if s.Step() {
+		t.Error("Step on empty queue must return false")
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"github.com/alphawan/alphawan/internal/baseline"
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/metrics"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/sim"
+	"github.com/alphawan/alphawan/internal/tabulate"
+	"github.com/alphawan/alphawan/internal/traffic"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig04a",
+		Title: "Packet-loss causes vs user scale (single network)",
+		Paper: "Channel contention dominates small networks; decoder contention overtakes it beyond ≈3,000 users.",
+		Run:   runFig04a,
+	})
+	register(Experiment{
+		ID:    "fig04b",
+		Title: "Packet-loss causes vs number of coexisting networks (1k users each)",
+		Paper: "Inter-network decoder contention becomes the leading loss cause with ≥3 coexisting networks.",
+		Run:   runFig04b,
+	})
+}
+
+// cityEnv is the propagation profile of the city experiments: mild urban
+// attenuation (the paper's gateways hear across most of the testbed — a
+// user connects to ≈7 gateways without ADR) with heavy shadowing for link
+// diversity.
+func cityEnv(seed int64) phy.Environment {
+	e := phy.Urban(seed)
+	e.Exponent = 3.0
+	e.ShadowSigma = 6
+	return e
+}
+
+// cityOperator deploys a city-scale operator: gws gateways on a grid over
+// the 2.1 km × 1.6 km testbed area with standard homogeneous plans, and
+// phys physical nodes that jointly emulate `users` duty-cycled users.
+func cityOperator(n *sim.Network, band region.Band, gws, phys int, seed int64) *sim.Operator {
+	op := n.AddOperator()
+	cfgs := baseline.StandardConfigs(band, gws, op.Sync)
+	cols := 5
+	for i := 0; i < gws; i++ {
+		x := 200 + float64(i%cols)*(1700/float64(cols-1))
+		y := 200 + float64(i/cols)*(1200/float64(max(1, (gws-1)/cols)))
+		if _, err := op.AddGateway(cotsModel, phy.Pt(x, y), cfgs[i]); err != nil {
+			panic(err)
+		}
+	}
+	// Real deployments mix provisioning styles: roughly half the devices
+	// are ADR-managed (10 dB installation margin → fast rates near their
+	// gateway), the rest ship with conservative static settings (DR0–DR2,
+	// the LoRaWAN factory defaults) whose long-range SFs are heard — and
+	// burn decoders — at every in-range gateway. Each node hops within the
+	// standard channel plan of its serving gateway.
+	op.UniformNodesMargin(phys, 2100, 1600, band.AllChannels(), seed, 10)
+	for i, nd := range op.Nodes {
+		if i%3 != 0 {
+			nd.DR = lora.DR(i % 3) // static DR0/DR1/DR2
+		}
+	}
+	op.AssignNodesToGatewayPlans()
+	return op
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// cityLoad runs duty-cycled background traffic emulating `users` users on
+// the operator's physical nodes for the window, as the paper's §5.2.1
+// emulation does (one node stands in for up to ten users).
+func cityLoad(n *sim.Network, ops []*sim.Operator, usersPerOp int, duty float64, window des.Time) {
+	start := n.Sim.Now()
+	for _, op := range ops {
+		factor := float64(usersPerOp) / float64(len(op.Nodes))
+		for _, nd := range op.Nodes {
+			// Each emulated user fills its regulatory 1% duty budget, so a
+			// node standing in for k users transmits k× as often — the
+			// paper's §5.2.1 elevated-duty emulation.
+			mean := des.Time(float64(traffic.MeanIntervalForDutyCycle(nd, duty)) / factor)
+			// The node carries many users' slots: no regulatory silence,
+			// but its emulated users occupy distinct time slots (§5.2.1),
+			// i.e. the node never overlaps itself.
+			nd.DutyCycle = 1
+			traffic.StartPoisson(n.Med, nd, start, start+window, mean)
+		}
+	}
+	n.Sim.RunUntil(start + window + des.Minute)
+}
+
+// lossRow extracts the Figure 4 breakdown from network stats.
+func lossRow(s metrics.NetworkStats) (decIntra, decInter, chIntra, chInter, others, total float64) {
+	decIntra = s.LossRatio(metrics.DecoderContentionIntra)
+	decInter = s.LossRatio(metrics.DecoderContentionInter)
+	chIntra = s.LossRatio(metrics.ChannelContentionIntra)
+	chInter = s.LossRatio(metrics.ChannelContentionInter)
+	others = s.LossRatio(metrics.Others)
+	total = decIntra + decInter + chIntra + chInter + others
+	return
+}
+
+func runFig04a(seed int64) *Result {
+	res := &Result{Table: tabulate.New(
+		"Figure 4a — loss ratio by cause vs user connections",
+		"users", "decoder(intra)", "decoder(inter)", "channel(intra)", "channel(inter)", "others", "total loss",
+	)}
+	crossover := 0
+	for _, users := range []int{500, 1000, 2000, 3000, 4000, 6000, 8000} {
+		n := sim.New(seed, cityEnv(seed))
+		op := cityOperator(n, region.AS923, 15, 144, seed)
+		cityLoad(n, []*sim.Operator{op}, users, 0.01, 2*des.Minute)
+		s := n.Col.Network(op.ID)
+		di, dx, ci, cx, ot, tot := lossRow(s)
+		res.Table.AddRow(users, di, dx, ci, cx, ot, tot)
+		if crossover == 0 && di+dx > ci+cx && tot > 0.01 {
+			crossover = users
+		}
+	}
+	if crossover > 0 {
+		res.Note("decoder contention overtakes channel contention at ≈%d users (paper: ≈3,000)", crossover)
+	} else {
+		res.Note("WARNING: decoder contention never dominated in the sweep")
+	}
+	return res
+}
+
+func runFig04b(seed int64) *Result {
+	res := &Result{Table: tabulate.New(
+		"Figure 4b — loss ratio by cause vs coexisting networks (1k users each)",
+		"networks", "decoder(intra)", "decoder(inter)", "channel(intra)", "channel(inter)", "others", "total loss",
+	)}
+	interDominatesAt := 0
+	for nets := 1; nets <= 6; nets++ {
+		n := sim.New(seed, cityEnv(seed))
+		var ops []*sim.Operator
+		for k := 0; k < nets; k++ {
+			ops = append(ops, cityOperator(n, region.AS923, 3, 48, seed+int64(k)))
+		}
+		cityLoad(n, ops, 1000, 0.01, 2*des.Minute)
+		// Average the breakdown across networks (they are symmetric).
+		var di, dx, ci, cx, ot, tot float64
+		for _, op := range ops {
+			a, b, c, d, e, f := lossRow(n.Col.Network(op.ID))
+			di += a
+			dx += b
+			ci += c
+			cx += d
+			ot += e
+			tot += f
+		}
+		fn := float64(nets)
+		di, dx, ci, cx, ot, tot = di/fn, dx/fn, ci/fn, cx/fn, ot/fn, tot/fn
+		res.Table.AddRow(nets, di, dx, ci, cx, ot, tot)
+		if interDominatesAt == 0 && dx > ci+cx && dx > di {
+			interDominatesAt = nets
+		}
+	}
+	if interDominatesAt > 0 {
+		res.Note("inter-network decoder contention becomes the single largest cause from %d coexisting networks (paper: ≥3; our channel-collision model is more pessimistic, delaying the lead)", interDominatesAt)
+	} else {
+		res.Note("WARNING: inter-network decoder contention never dominated")
+	}
+	return res
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/tabulate"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig07",
+		Title: "Directional antennas attenuate but do not reject off-steer packets",
+		Paper: "Packets from non-steered directions are weakened by 14–40 dB yet still received, thanks to LoRa sensitivity — directional antennas alone cannot curb decoder contention.",
+		Run:   runFig07,
+	})
+}
+
+func runFig07(seed int64) *Result {
+	res := &Result{Table: tabulate.New(
+		"Figure 7 — 12 dBi directional antenna vs bearing",
+		"bearing (deg)", "attenuation vs omni (dB)", "received at DR0",
+	)}
+	env := flatEnv(seed)
+	sim := des.New(seed)
+	med := medium.New(sim, env)
+	r, err := radio.New(sim, radio.SX1302, radio.Config{
+		Channels: region.AS923.AllChannels(), Sync: lora.SyncPublic,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ant := phy.Directional12dBi(0) // steered along +x
+	port := med.Attach(r, phy.Pt(0, 0), ant)
+	med.WirePort(port)
+	received := map[medium.NodeID]bool{}
+	med.OnDelivery = func(d medium.Delivery) { received[d.TX.Node] = true }
+
+	bearings := []float64{0, 30, 60, 90, 120, 150, 180}
+	for i, deg := range bearings {
+		rad := deg * math.Pi / 180
+		pos := phy.Pt(400*math.Cos(rad), 400*math.Sin(rad))
+		sim.At(des.Time(i)*10*des.Second, func() {
+			med.Transmit(medium.Transmission{
+				Node: medium.NodeID(i), Network: 1, Sync: lora.SyncPublic,
+				Channel: region.AS923.Channel(i % 8), DR: lora.DR0,
+				PayloadLen: 13, PowerDBm: 20, Pos: pos,
+			})
+		})
+	}
+	sim.Run()
+
+	stillReceivedOffSteer := 0
+	maxAtt := 0.0
+	for i, deg := range bearings {
+		rad := deg * math.Pi / 180
+		att := ant.GainDBi - ant.Gain(rad)
+		ok := 0
+		if received[medium.NodeID(i)] {
+			ok = 1
+			if deg >= 90 {
+				stillReceivedOffSteer++
+			}
+		}
+		if att > maxAtt {
+			maxAtt = att
+		}
+		res.Table.AddRow(deg, att, ok)
+	}
+	res.Note("off-steer attenuation reaches %.0f dB (paper: 14–40 dB band)", maxAtt)
+	if stillReceivedOffSteer > 0 {
+		res.Note("%d off-steer packets (≥90°) still received — directivity does not stop decoder consumption", stillReceivedOffSteer)
+	} else {
+		res.Note("WARNING: no off-steer packet was received (model too aggressive)")
+	}
+	return res
+}

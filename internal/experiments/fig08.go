@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/tabulate"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig08",
+		Title: "Overlapping channels: packet reception vs overlap ratio",
+		Paper: "≤60% overlap (≥40% misalignment) keeps PRR above 80% even with non-orthogonal data rates; full overlap with strong non-orthogonal interference is destructive.",
+		Run:   runFig08,
+	})
+}
+
+// fig08Trial measures the master link's reception once under the given
+// interference condition. Master nodes are scattered (shadowed links) so
+// the aggregate over trials yields a fractional PRR.
+func fig08Trial(seed int64, trial int, overlap float64, orth bool, strongIntf bool) bool {
+	env := phy.Urban(seed + int64(trial))
+	sim := des.New(seed + int64(trial))
+	med := medium.New(sim, env)
+	masterCh := region.AS923.Channel(0)
+	r, err := radio.New(sim, radio.SX1302, radio.Config{
+		Channels: []region.Channel{masterCh}, Sync: lora.SyncPublic,
+	})
+	if err != nil {
+		panic(err)
+	}
+	port := med.Attach(r, phy.Pt(0, 0), phy.Omni(3))
+	med.WirePort(port)
+	ok := false
+	med.OnDelivery = func(d medium.Delivery) {
+		if d.TX.Node == 1 {
+			ok = true
+		}
+	}
+
+	// Interferer channel shifted for the target overlap ratio.
+	shift := region.Hz((1 - overlap) * float64(lora.BW125))
+	intfCh := region.Channel{Center: masterCh.Center + shift, Bandwidth: lora.BW125}
+	intfDR := lora.DR4 // non-orthogonal with the master's DR4
+	if orth {
+		intfDR = lora.DR2
+	}
+	intfPower := 4.0
+	if strongIntf {
+		intfPower = 20.0
+	}
+
+	sim.At(0, func() {
+		// Master link: moderate distance with shadowing → a mix of strong
+		// and borderline trials.
+		ang := 2 * math.Pi * float64(trial) / 37
+		med.Transmit(medium.Transmission{
+			Node: 1, Network: 1, Sync: lora.SyncPublic,
+			Channel: masterCh, DR: lora.DR4, PayloadLen: 13,
+			PowerDBm: 14, Pos: phy.Pt(500*math.Cos(ang), 500*math.Sin(ang)),
+		})
+		// The interfering link is commensurate with the master link
+		// (similar range); "strong" raises its TX power by 16 dB.
+		med.Transmit(medium.Transmission{
+			Node: 2, Network: 2, Sync: lora.SyncPrivate,
+			Channel: intfCh, DR: intfDR, PayloadLen: 13,
+			PowerDBm: intfPower, Pos: phy.Pt(400, 100),
+		})
+	})
+	sim.Run()
+	return ok
+}
+
+func fig08PRR(seed int64, overlap float64, orth, strong bool) float64 {
+	const trials = 40
+	okCount := 0
+	for t := 0; t < trials; t++ {
+		if fig08Trial(seed, t, overlap, orth, strong) {
+			okCount++
+		}
+	}
+	return float64(okCount) / trials
+}
+
+func runFig08(seed int64) *Result {
+	res := &Result{Table: tabulate.New(
+		"Figure 8 — PRR vs channel overlap ratio",
+		"overlap", "weak intf (orth DR)", "strong intf (orth DR)", "weak intf (non-orth)", "strong intf (non-orth)",
+	)}
+	// Baseline PRR without meaningful interference (overlap 0).
+	base := fig08PRR(seed, 0, true, false)
+	var at60, at100 float64
+	for _, ov := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		wo := fig08PRR(seed, ov, true, false)
+		so := fig08PRR(seed, ov, true, true)
+		wn := fig08PRR(seed, ov, false, false)
+		sn := fig08PRR(seed, ov, false, true)
+		res.Table.AddRow(ov, wo, so, wn, sn)
+		if ov == 0.6 {
+			at60 = sn
+		}
+		if ov == 1.0 {
+			at100 = sn
+		}
+	}
+	res.Note("baseline PRR %.2f; strong non-orthogonal interference at 60%% overlap keeps PRR %.2f (paper: >80%% with ≥40%% misalignment)", base, at60)
+	res.Note("full overlap with strong non-orthogonal interference collapses PRR to %.2f (paper: ≈0)", at100)
+	if at60 < 0.8*base {
+		res.Note("WARNING: misalignment does not protect as strongly as the paper reports")
+	}
+	return res
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/sim"
+	"github.com/alphawan/alphawan/internal/tabulate"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Strategy survey: capacity effect of each design principle (§4.2)",
+		Paper: "Strategies ①/②/⑦/⑧ are deployable on COTS hardware; ③ needs new gateways; ④ adds capacity but not per-spectrum efficiency; ⑤/⑥ are blunted by LoRa sensitivity.",
+		Run:   runTable1,
+	})
+}
+
+// strategyProbe measures concurrent capacity for a gateway fleet described
+// by (model, configs) against 48 ring users on the 1.6 MHz band.
+func strategyProbe(seed int64, model radio.GatewayModel, cfgs []radio.Config) int {
+	n := sim.New(seed, flatEnv(seed))
+	op := n.AddOperator()
+	for i, cfg := range cfgs {
+		cfg.Sync = op.Sync
+		if _, err := op.AddGateway(model, phy.Pt(float64(i)*5, 0), cfg); err != nil {
+			panic(err)
+		}
+	}
+	ringNodes(op, 48, float64(len(cfgs)-1)*2.5, 0, 150, region.AS923.AllChannels())
+	got := n.CapacityProbe(5 * des.Second)
+	return got[op.ID]
+}
+
+func runTable1(seed int64) *Result {
+	res := &Result{Table: tabulate.New(
+		"Table 1 — strategy survey (3 gateways, 48 users, 1.6 MHz unless noted)",
+		"strategy", "capacity", "per-MHz", "COTS-deployable",
+	)}
+	full := func(n int) []radio.Config {
+		cfgs := make([]radio.Config, n)
+		for i := range cfgs {
+			cfgs[i] = radio.Config{Channels: region.AS923.AllChannels()}
+		}
+		return cfgs
+	}
+
+	// Baseline: homogeneous SX1302 gateways.
+	base := strategyProbe(seed, cotsModel, full(3))
+	res.Table.AddRow("baseline (standard plans)", base, float64(base)/1.6, "—")
+
+	// ① fewer channels per gateway (3 GWs on disjoint thirds).
+	s1cfgs := []radio.Config{blockConfig(0, 3, 0), blockConfig(3, 3, 0), blockConfig(6, 2, 0)}
+	s1 := strategyProbe(seed, cotsModel, s1cfgs)
+	res.Table.AddRow("① fewer channels per GW", s1, float64(s1)/1.6, "yes")
+
+	// ② heterogeneous overlapping configurations.
+	s2cfgs := []radio.Config{blockConfig(0, 8, 0), blockConfig(0, 4, 0), blockConfig(4, 4, 0)}
+	s2 := strategyProbe(seed, cotsModel, s2cfgs)
+	res.Table.AddRow("② heterogeneous channels", s2, float64(s2)/1.6, "yes")
+
+	// ③ more decoders per gateway: the 32-decoder SX1303 product.
+	s3 := strategyProbe(seed, radio.Models[4], full(3)[:1]) // one RAK7289CV2
+	res.Table.AddRow("③ 32-decoder gateway (×1)", s3, float64(s3)/1.6, "no (hardware upgrade)")
+
+	// ④ more spectrum: same 3 homogeneous gateways, double the band.
+	wide := region.Band{
+		Name: "wide", Start: region.AS923.Start, Spacing: region.AS923.Spacing,
+		Channels: 16, BW: lora.BW125, DutyCycle: 0.01,
+	}
+	n := sim.New(seed, flatEnv(seed))
+	op := n.AddOperator()
+	for i := 0; i < 3; i++ {
+		half := wide.SubBand(8*(i%2), 8)
+		cfg := radio.Config{Channels: half.AllChannels(), Sync: op.Sync}
+		if _, err := op.AddGateway(cotsModel, phy.Pt(float64(i)*5, 0), cfg); err != nil {
+			panic(err)
+		}
+	}
+	ringNodes(op, 96, 5, 0, 150, wide.AllChannels())
+	s4 := n.CapacityProbe(5 * des.Second)[op.ID]
+	res.Table.AddRow("④ double spectrum (3.2 MHz)", s4, float64(s4)/3.2, "spectrum-limited")
+
+	res.Note("① lifts capacity %d → %d and ② %d → %d within the same spectrum (deployable on COTS gateways)", base, s1, base, s2)
+	res.Note("③ doubles a single gateway's budget to %d but requires new hardware; ④ reaches %d users yet its per-MHz efficiency (%.1f) matches the baseline's (%.1f) — more spectrum does not fix the decoder bottleneck", s3, s4, float64(s4)/3.2, float64(base)/1.6)
+	res.Note("⑤ (ADR cell shrink) and ⑥ (directional antennas) are quantified by fig06 and fig07: both attenuate but cannot stop decoder consumption")
+	return res
+}

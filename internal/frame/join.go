@@ -1,0 +1,185 @@
+package frame
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/alphawan/alphawan/internal/crypto/cmac"
+)
+
+// EUI64 is a LoRaWAN extended unique identifier (DevEUI / AppEUI).
+type EUI64 uint64
+
+func (e EUI64) String() string { return fmt.Sprintf("%016x", uint64(e)) }
+
+// JoinRequestFrame is the OTAA join request (LoRaWAN 1.0.x §6.2.4).
+type JoinRequestFrame struct {
+	AppEUI   EUI64
+	DevEUI   EUI64
+	DevNonce uint16
+}
+
+// JoinAcceptFrame is the OTAA join accept (§6.2.5). The CFList optionally
+// carries up to five additional channel frequencies — the vehicle AlphaWAN
+// uses to hand a joining device its planned channels.
+type JoinAcceptFrame struct {
+	AppNonce [3]byte
+	NetID    [3]byte
+	DevAddr  DevAddr
+	// DLSettings and RxDelay are carried verbatim.
+	DLSettings byte
+	RxDelay    byte
+	// CFListFreqsHz holds up to 5 extra channel frequencies (0 = absent).
+	CFListFreqsHz [5]uint64
+}
+
+// Join message errors.
+var (
+	ErrJoinTooShort = errors.New("frame: join message too short")
+	ErrJoinMIC      = errors.New("frame: join MIC verification failed")
+	ErrCFListRange  = errors.New("frame: CFList frequency out of range")
+)
+
+// EncodeJoinRequest serializes and signs a join request under the AppKey.
+func EncodeJoinRequest(j *JoinRequestFrame, appKey AESKey) ([]byte, error) {
+	buf := make([]byte, 0, 1+8+8+2+micSize)
+	buf = append(buf, byte(JoinRequest)<<5|lorawanR1)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(j.AppEUI))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(j.DevEUI))
+	buf = binary.LittleEndian.AppendUint16(buf, j.DevNonce)
+	mic, err := cmac.Sum(appKey[:], buf)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, mic[:micSize]...), nil
+}
+
+// DecodeJoinRequest parses and verifies a join request.
+func DecodeJoinRequest(raw []byte, appKey AESKey) (*JoinRequestFrame, error) {
+	if len(raw) != 1+8+8+2+micSize {
+		return nil, ErrJoinTooShort
+	}
+	if MType(raw[0]>>5) != JoinRequest || raw[0]&0x03 != lorawanR1 {
+		return nil, ErrMType
+	}
+	body, mic := raw[:len(raw)-micSize], raw[len(raw)-micSize:]
+	want, err := cmac.Sum(appKey[:], body)
+	if err != nil {
+		return nil, err
+	}
+	if !constEq(mic, want[:micSize]) {
+		return nil, ErrJoinMIC
+	}
+	return &JoinRequestFrame{
+		AppEUI:   EUI64(binary.LittleEndian.Uint64(body[1:9])),
+		DevEUI:   EUI64(binary.LittleEndian.Uint64(body[9:17])),
+		DevNonce: binary.LittleEndian.Uint16(body[17:19]),
+	}, nil
+}
+
+// PeekJoinDevEUI extracts the DevEUI without verification, so a server can
+// look up the device's AppKey before checking the MIC.
+func PeekJoinDevEUI(raw []byte) (EUI64, error) {
+	if len(raw) < 17 {
+		return 0, ErrJoinTooShort
+	}
+	if MType(raw[0]>>5) != JoinRequest {
+		return 0, ErrMType
+	}
+	return EUI64(binary.LittleEndian.Uint64(raw[9:17])), nil
+}
+
+// EncodeJoinAccept serializes, signs, and encrypts a join accept. Per the
+// specification the network *decrypts* the plaintext with AES so that the
+// resource-constrained device can use its encrypt-only hardware path.
+func EncodeJoinAccept(j *JoinAcceptFrame, appKey AESKey) ([]byte, error) {
+	body := make([]byte, 0, 12+16)
+	body = append(body, j.AppNonce[:]...)
+	body = append(body, j.NetID[:]...)
+	body = binary.LittleEndian.AppendUint32(body, uint32(j.DevAddr))
+	body = append(body, j.DLSettings, j.RxDelay)
+	hasCF := false
+	for _, f := range j.CFListFreqsHz {
+		if f != 0 {
+			hasCF = true
+		}
+	}
+	if hasCF {
+		for _, f := range j.CFListFreqsHz {
+			v := f / 100
+			if v > 0xFFFFFF {
+				return nil, ErrCFListRange
+			}
+			body = append(body, byte(v), byte(v>>8), byte(v>>16))
+		}
+		body = append(body, 0) // CFListType 0: frequency list
+	}
+
+	mhdr := byte(JoinAccept)<<5 | lorawanR1
+	mic, err := cmac.Sum(appKey[:], append([]byte{mhdr}, body...))
+	if err != nil {
+		return nil, err
+	}
+	plain := append(body, mic[:micSize]...)
+	if len(plain)%16 != 0 {
+		return nil, fmt.Errorf("frame: join accept length %d not block-aligned", len(plain))
+	}
+	block, err := aes.NewCipher(appKey[:])
+	if err != nil {
+		return nil, err
+	}
+	enc := make([]byte, len(plain))
+	for i := 0; i < len(plain); i += 16 {
+		block.Decrypt(enc[i:i+16], plain[i:i+16])
+	}
+	return append([]byte{mhdr}, enc...), nil
+}
+
+// DecodeJoinAccept decrypts, verifies, and parses a join accept on the
+// device side.
+func DecodeJoinAccept(raw []byte, appKey AESKey) (*JoinAcceptFrame, error) {
+	if len(raw) != 1+16 && len(raw) != 1+32 {
+		return nil, ErrJoinTooShort
+	}
+	if MType(raw[0]>>5) != JoinAccept || raw[0]&0x03 != lorawanR1 {
+		return nil, ErrMType
+	}
+	block, err := aes.NewCipher(appKey[:])
+	if err != nil {
+		return nil, err
+	}
+	plain := make([]byte, len(raw)-1)
+	for i := 0; i < len(plain); i += 16 {
+		block.Encrypt(plain[i:i+16], raw[1+i:1+i+16])
+	}
+	body, mic := plain[:len(plain)-micSize], plain[len(plain)-micSize:]
+	want, err := cmac.Sum(appKey[:], append([]byte{raw[0]}, body...))
+	if err != nil {
+		return nil, err
+	}
+	if !constEq(mic, want[:micSize]) {
+		return nil, ErrJoinMIC
+	}
+	j := &JoinAcceptFrame{}
+	copy(j.AppNonce[:], body[0:3])
+	copy(j.NetID[:], body[3:6])
+	j.DevAddr = DevAddr(binary.LittleEndian.Uint32(body[6:10]))
+	j.DLSettings = body[10]
+	j.RxDelay = body[11]
+	if len(body) > 12 {
+		cf := body[12:]
+		for i := 0; i < 5; i++ {
+			v := uint64(cf[i*3]) | uint64(cf[i*3+1])<<8 | uint64(cf[i*3+2])<<16
+			j.CFListFreqsHz[i] = v * 100
+		}
+	}
+	return j, nil
+}
+
+// SessionFromJoin derives the node/app session keys agreed by a join
+// exchange.
+func SessionFromJoin(appKey AESKey, acc *JoinAcceptFrame, devNonce uint16) (nwkSKey, appSKey AESKey, err error) {
+	return DeriveSessionKeys(appKey, acc.AppNonce, acc.NetID, devNonce)
+}

@@ -1,0 +1,160 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var joinKey = AESKey{0xAA, 0xBB, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
+
+func TestJoinRequestRoundTrip(t *testing.T) {
+	in := &JoinRequestFrame{AppEUI: 0x70B3D57ED0000001, DevEUI: 0x0004A30B001C0530, DevNonce: 0xBEEF}
+	raw, err := EncodeJoinRequest(in, joinKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 23 {
+		t.Errorf("join request is 23 bytes, got %d", len(raw))
+	}
+	out, err := DecodeJoinRequest(raw, joinKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestJoinRequestMIC(t *testing.T) {
+	in := &JoinRequestFrame{AppEUI: 1, DevEUI: 2, DevNonce: 3}
+	raw, _ := EncodeJoinRequest(in, joinKey)
+	raw[5] ^= 1
+	if _, err := DecodeJoinRequest(raw, joinKey); err != ErrJoinMIC {
+		t.Errorf("tampered request: err = %v, want ErrJoinMIC", err)
+	}
+	other := joinKey
+	other[0] ^= 0xFF
+	raw, _ = EncodeJoinRequest(in, joinKey)
+	if _, err := DecodeJoinRequest(raw, other); err != ErrJoinMIC {
+		t.Errorf("wrong key: err = %v, want ErrJoinMIC", err)
+	}
+}
+
+func TestPeekJoinDevEUI(t *testing.T) {
+	in := &JoinRequestFrame{AppEUI: 7, DevEUI: 0xDEADBEEFCAFE, DevNonce: 1}
+	raw, _ := EncodeJoinRequest(in, joinKey)
+	eui, err := PeekJoinDevEUI(raw)
+	if err != nil || eui != in.DevEUI {
+		t.Errorf("peek = %v, %v", eui, err)
+	}
+	if _, err := PeekJoinDevEUI(raw[:10]); err == nil {
+		t.Error("short frame must fail")
+	}
+	data := make([]byte, 23)
+	data[0] = byte(UnconfirmedDataUp) << 5
+	if _, err := PeekJoinDevEUI(data); err == nil {
+		t.Error("non-join MType must fail")
+	}
+}
+
+func TestJoinAcceptRoundTripNoCFList(t *testing.T) {
+	in := &JoinAcceptFrame{
+		AppNonce: [3]byte{1, 2, 3}, NetID: [3]byte{0x13, 0, 0},
+		DevAddr: 0x26012345, DLSettings: 0x00, RxDelay: 1,
+	}
+	raw, err := EncodeJoinAccept(in, joinKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 17 {
+		t.Errorf("accept without CFList is 17 bytes, got %d", len(raw))
+	}
+	out, err := DecodeJoinAccept(raw, joinKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DevAddr != in.DevAddr || out.AppNonce != in.AppNonce || out.RxDelay != 1 {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestJoinAcceptWithCFList(t *testing.T) {
+	in := &JoinAcceptFrame{
+		AppNonce: [3]byte{9, 8, 7}, NetID: [3]byte{0x13, 0, 0},
+		DevAddr: 0x26000001, RxDelay: 1,
+		CFListFreqsHz: [5]uint64{923_200_000, 923_400_000, 923_600_000, 0, 0},
+	}
+	raw, err := EncodeJoinAccept(in, joinKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 33 {
+		t.Errorf("accept with CFList is 33 bytes, got %d", len(raw))
+	}
+	out, err := DecodeJoinAccept(raw, joinKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CFListFreqsHz != in.CFListFreqsHz {
+		t.Errorf("CFList = %v, want %v", out.CFListFreqsHz, in.CFListFreqsHz)
+	}
+}
+
+func TestJoinAcceptEncrypted(t *testing.T) {
+	in := &JoinAcceptFrame{AppNonce: [3]byte{1, 2, 3}, DevAddr: 0x26012345, RxDelay: 1}
+	raw, _ := EncodeJoinAccept(in, joinKey)
+	// The DevAddr must not appear in clear in the encrypted body.
+	for i := 1; i+4 <= len(raw); i++ {
+		if raw[i] == 0x45 && raw[i+1] == 0x23 && raw[i+2] == 0x01 && raw[i+3] == 0x26 {
+			t.Fatal("join accept body must be encrypted")
+		}
+	}
+	// Wrong key fails the MIC after decryption.
+	other := joinKey
+	other[3] ^= 0x55
+	if _, err := DecodeJoinAccept(raw, other); err != ErrJoinMIC {
+		t.Errorf("wrong key: err = %v, want ErrJoinMIC", err)
+	}
+}
+
+func TestJoinAcceptProperty(t *testing.T) {
+	f := func(addr uint32, an [3]byte, nonce uint16) bool {
+		in := &JoinAcceptFrame{AppNonce: an, NetID: [3]byte{0x13}, DevAddr: DevAddr(addr), RxDelay: 1}
+		raw, err := EncodeJoinAccept(in, joinKey)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeJoinAccept(raw, joinKey)
+		if err != nil || out.DevAddr != in.DevAddr || out.AppNonce != an {
+			return false
+		}
+		// Both sides derive identical session keys.
+		n1, a1, _ := SessionFromJoin(joinKey, in, nonce)
+		n2, a2, _ := SessionFromJoin(joinKey, out, nonce)
+		return n1 == n2 && a1 == a2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinAcceptBadFrequency(t *testing.T) {
+	in := &JoinAcceptFrame{CFListFreqsHz: [5]uint64{1 << 40}}
+	if _, err := EncodeJoinAccept(in, joinKey); err != ErrCFListRange {
+		t.Errorf("err = %v, want ErrCFListRange", err)
+	}
+}
+
+func TestJoinDecodersRejectGarbage(t *testing.T) {
+	if _, err := DecodeJoinRequest([]byte{1, 2}, joinKey); err == nil {
+		t.Error("short join request must fail")
+	}
+	if _, err := DecodeJoinAccept(make([]byte, 20), joinKey); err == nil {
+		t.Error("misaligned join accept must fail")
+	}
+	dataFrame := make([]byte, 23)
+	dataFrame[0] = byte(UnconfirmedDataUp) << 5
+	if _, err := DecodeJoinRequest(dataFrame, joinKey); err != ErrMType {
+		t.Errorf("data frame as join request: %v", err)
+	}
+}

@@ -1,0 +1,189 @@
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// CID identifies a MAC command.
+type CID byte
+
+// MAC command identifiers used by AlphaWAN: LinkADRReq/Ans reconfigure a
+// node's data rate, transmit power, and channel mask; NewChannelReq/Ans
+// create or modify channel definitions ("LoRaWAN channel creation
+// commands", §4.3.2).
+const (
+	CIDLinkADR    CID = 0x03
+	CIDNewChannel CID = 0x07
+)
+
+// LinkADRReq commands a node to a data rate, TX power index, and channel
+// mask (16 channels per mask page selected by Redundancy.ChMaskCntl).
+type LinkADRReq struct {
+	DataRate   uint8 // DR index 0..15
+	TXPower    uint8 // regional TX power index 0..15
+	ChMask     uint16
+	ChMaskCntl uint8 // mask page
+	NbTrans    uint8 // transmission redundancy 1..15
+}
+
+// LinkADRAns acknowledges a LinkADRReq.
+type LinkADRAns struct {
+	ChannelMaskACK bool
+	DataRateACK    bool
+	PowerACK       bool
+}
+
+// OK reports whether the node accepted every part of the request.
+func (a LinkADRAns) OK() bool { return a.ChannelMaskACK && a.DataRateACK && a.PowerACK }
+
+// NewChannelReq defines or redefines channel ChIndex at Freq (in Hz;
+// encoded as Freq/100 per the spec) supporting data rates
+// [MinDR, MaxDR].
+type NewChannelReq struct {
+	ChIndex uint8
+	FreqHz  uint64
+	MinDR   uint8
+	MaxDR   uint8
+}
+
+// NewChannelAns acknowledges a NewChannelReq.
+type NewChannelAns struct {
+	ChannelFreqOK bool
+	DataRateOK    bool
+}
+
+// OK reports whether the node accepted the channel definition.
+func (a NewChannelAns) OK() bool { return a.ChannelFreqOK && a.DataRateOK }
+
+// MACCommand is one parsed MAC command.
+type MACCommand struct {
+	CID        CID
+	LinkADR    *LinkADRReq
+	LinkADRAns *LinkADRAns
+	NewChannel *NewChannelReq
+	NewChanAns *NewChannelAns
+}
+
+// Errors from MAC-command parsing.
+var (
+	ErrCmdTruncated = errors.New("frame: truncated MAC command")
+	ErrCmdUnknown   = errors.New("frame: unknown MAC command")
+)
+
+// MarshalCommands serializes MAC commands for FOpts or an FPort-0 payload.
+// Downlink commands carry requests; uplink commands carry answers.
+func MarshalCommands(cmds []MACCommand) ([]byte, error) {
+	var out []byte
+	for _, c := range cmds {
+		switch {
+		case c.LinkADR != nil:
+			r := c.LinkADR
+			if r.DataRate > 15 || r.TXPower > 15 || r.ChMaskCntl > 7 || r.NbTrans > 15 {
+				return nil, fmt.Errorf("frame: LinkADRReq field out of range: %+v", *r)
+			}
+			out = append(out, byte(CIDLinkADR), r.DataRate<<4|r.TXPower)
+			out = binary.LittleEndian.AppendUint16(out, r.ChMask)
+			out = append(out, r.ChMaskCntl<<4|r.NbTrans)
+		case c.LinkADRAns != nil:
+			a := c.LinkADRAns
+			var b byte
+			if a.ChannelMaskACK {
+				b |= 1
+			}
+			if a.DataRateACK {
+				b |= 2
+			}
+			if a.PowerACK {
+				b |= 4
+			}
+			out = append(out, byte(CIDLinkADR), b)
+		case c.NewChannel != nil:
+			r := c.NewChannel
+			f := r.FreqHz / 100
+			if f > 0xFFFFFF {
+				return nil, fmt.Errorf("frame: NewChannelReq frequency %d out of range", r.FreqHz)
+			}
+			if r.MinDR > 15 || r.MaxDR > 15 {
+				return nil, fmt.Errorf("frame: NewChannelReq DR out of range")
+			}
+			out = append(out, byte(CIDNewChannel), r.ChIndex,
+				byte(f), byte(f>>8), byte(f>>16), r.MaxDR<<4|r.MinDR)
+		case c.NewChanAns != nil:
+			a := c.NewChanAns
+			var b byte
+			if a.ChannelFreqOK {
+				b |= 1
+			}
+			if a.DataRateOK {
+				b |= 2
+			}
+			out = append(out, byte(CIDNewChannel), b)
+		default:
+			return nil, fmt.Errorf("frame: empty MAC command with CID %#x", byte(c.CID))
+		}
+	}
+	return out, nil
+}
+
+// ParseCommands parses a MAC-command stream. uplink selects the direction:
+// uplink streams carry answers, downlink streams carry requests.
+func ParseCommands(data []byte, uplink bool) ([]MACCommand, error) {
+	var cmds []MACCommand
+	for len(data) > 0 {
+		cid := CID(data[0])
+		data = data[1:]
+		switch cid {
+		case CIDLinkADR:
+			if uplink {
+				if len(data) < 1 {
+					return nil, ErrCmdTruncated
+				}
+				b := data[0]
+				cmds = append(cmds, MACCommand{CID: cid, LinkADRAns: &LinkADRAns{
+					ChannelMaskACK: b&1 != 0, DataRateACK: b&2 != 0, PowerACK: b&4 != 0,
+				}})
+				data = data[1:]
+			} else {
+				if len(data) < 4 {
+					return nil, ErrCmdTruncated
+				}
+				cmds = append(cmds, MACCommand{CID: cid, LinkADR: &LinkADRReq{
+					DataRate:   data[0] >> 4,
+					TXPower:    data[0] & 0x0f,
+					ChMask:     binary.LittleEndian.Uint16(data[1:3]),
+					ChMaskCntl: data[3] >> 4 & 0x07,
+					NbTrans:    data[3] & 0x0f,
+				}})
+				data = data[4:]
+			}
+		case CIDNewChannel:
+			if uplink {
+				if len(data) < 1 {
+					return nil, ErrCmdTruncated
+				}
+				b := data[0]
+				cmds = append(cmds, MACCommand{CID: cid, NewChanAns: &NewChannelAns{
+					ChannelFreqOK: b&1 != 0, DataRateOK: b&2 != 0,
+				}})
+				data = data[1:]
+			} else {
+				if len(data) < 5 {
+					return nil, ErrCmdTruncated
+				}
+				f := uint64(data[1]) | uint64(data[2])<<8 | uint64(data[3])<<16
+				cmds = append(cmds, MACCommand{CID: cid, NewChannel: &NewChannelReq{
+					ChIndex: data[0],
+					FreqHz:  f * 100,
+					MinDR:   data[4] & 0x0f,
+					MaxDR:   data[4] >> 4,
+				}})
+				data = data[5:]
+			}
+		default:
+			return nil, fmt.Errorf("%w: CID %#x", ErrCmdUnknown, byte(cid))
+		}
+	}
+	return cmds, nil
+}

@@ -1,0 +1,166 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkADRReqRoundTrip(t *testing.T) {
+	in := []MACCommand{{CID: CIDLinkADR, LinkADR: &LinkADRReq{
+		DataRate: 5, TXPower: 2, ChMask: 0x00ff, ChMaskCntl: 0, NbTrans: 1,
+	}}}
+	raw, err := MarshalCommands(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 5 {
+		t.Fatalf("LinkADRReq is 5 bytes, got %d", len(raw))
+	}
+	out, err := ParseCommands(raw, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].LinkADR == nil {
+		t.Fatalf("parse = %+v", out)
+	}
+	if *out[0].LinkADR != *in[0].LinkADR {
+		t.Errorf("round trip: %+v != %+v", *out[0].LinkADR, *in[0].LinkADR)
+	}
+}
+
+func TestLinkADRReqProperty(t *testing.T) {
+	f := func(dr, pw, cntl, nb uint8, mask uint16) bool {
+		req := LinkADRReq{
+			DataRate: dr % 16, TXPower: pw % 16,
+			ChMask: mask, ChMaskCntl: cntl % 8, NbTrans: nb % 16,
+		}
+		raw, err := MarshalCommands([]MACCommand{{CID: CIDLinkADR, LinkADR: &req}})
+		if err != nil {
+			return false
+		}
+		out, err := ParseCommands(raw, false)
+		if err != nil || len(out) != 1 || out[0].LinkADR == nil {
+			return false
+		}
+		return *out[0].LinkADR == req
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewChannelReqRoundTrip(t *testing.T) {
+	in := []MACCommand{{CID: CIDNewChannel, NewChannel: &NewChannelReq{
+		ChIndex: 3, FreqHz: 923_300_000, MinDR: 0, MaxDR: 5,
+	}}}
+	raw, err := MarshalCommands(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseCommands(raw, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out[0].NewChannel != *in[0].NewChannel {
+		t.Errorf("round trip: %+v != %+v", *out[0].NewChannel, *in[0].NewChannel)
+	}
+}
+
+func TestNewChannelFreqGranularity(t *testing.T) {
+	// Frequencies encode as 24-bit multiples of 100 Hz.
+	req := NewChannelReq{ChIndex: 0, FreqHz: 916_900_000, MinDR: 0, MaxDR: 5}
+	raw, err := MarshalCommands([]MACCommand{{CID: CIDNewChannel, NewChannel: &req}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := ParseCommands(raw, false)
+	if out[0].NewChannel.FreqHz != req.FreqHz {
+		t.Errorf("freq = %d, want %d", out[0].NewChannel.FreqHz, req.FreqHz)
+	}
+}
+
+func TestNewChannelFreqOutOfRange(t *testing.T) {
+	req := NewChannelReq{FreqHz: 1 << 40}
+	if _, err := MarshalCommands([]MACCommand{{CID: CIDNewChannel, NewChannel: &req}}); err == nil {
+		t.Error("frequency beyond 24-bit range must be rejected")
+	}
+}
+
+func TestAnswerRoundTrips(t *testing.T) {
+	in := []MACCommand{
+		{CID: CIDLinkADR, LinkADRAns: &LinkADRAns{true, true, false}},
+		{CID: CIDNewChannel, NewChanAns: &NewChannelAns{true, true}},
+	}
+	raw, err := MarshalCommands(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseCommands(raw, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d commands, want 2", len(out))
+	}
+	if *out[0].LinkADRAns != *in[0].LinkADRAns || out[0].LinkADRAns.OK() {
+		t.Errorf("LinkADRAns = %+v", *out[0].LinkADRAns)
+	}
+	if !out[1].NewChanAns.OK() {
+		t.Errorf("NewChannelAns = %+v", *out[1].NewChanAns)
+	}
+}
+
+func TestMultipleCommandsInStream(t *testing.T) {
+	in := []MACCommand{
+		{CID: CIDNewChannel, NewChannel: &NewChannelReq{ChIndex: 0, FreqHz: 916_900_000, MaxDR: 5}},
+		{CID: CIDNewChannel, NewChannel: &NewChannelReq{ChIndex: 1, FreqHz: 917_100_000, MaxDR: 5}},
+		{CID: CIDLinkADR, LinkADR: &LinkADRReq{DataRate: 3, TXPower: 1, ChMask: 3, NbTrans: 1}},
+	}
+	raw, err := MarshalCommands(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseCommands(raw, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d commands, want 3", len(out))
+	}
+	if out[1].NewChannel.FreqHz != 917_100_000 {
+		t.Errorf("second channel freq = %d", out[1].NewChannel.FreqHz)
+	}
+}
+
+func TestTruncatedCommand(t *testing.T) {
+	raw, _ := MarshalCommands([]MACCommand{{CID: CIDLinkADR, LinkADR: &LinkADRReq{NbTrans: 1}}})
+	if _, err := ParseCommands(raw[:len(raw)-1], false); err == nil {
+		t.Error("truncated LinkADRReq must fail")
+	}
+	if _, err := ParseCommands([]byte{byte(CIDNewChannel)}, true); err == nil {
+		t.Error("truncated NewChannelAns must fail")
+	}
+}
+
+func TestUnknownCID(t *testing.T) {
+	if _, err := ParseCommands([]byte{0xAA}, false); err == nil {
+		t.Error("unknown CID must fail")
+	}
+}
+
+func TestEmptyCommandRejected(t *testing.T) {
+	if _, err := MarshalCommands([]MACCommand{{CID: CIDLinkADR}}); err == nil {
+		t.Error("command with no body must be rejected")
+	}
+}
+
+func TestFieldRangeValidation(t *testing.T) {
+	bad := LinkADRReq{DataRate: 16}
+	if _, err := MarshalCommands([]MACCommand{{CID: CIDLinkADR, LinkADR: &bad}}); err == nil {
+		t.Error("DataRate 16 must be rejected")
+	}
+	bad2 := NewChannelReq{MinDR: 16, FreqHz: 916_900_000}
+	if _, err := MarshalCommands([]MACCommand{{CID: CIDNewChannel, NewChannel: &bad2}}); err == nil {
+		t.Error("MinDR 16 must be rejected")
+	}
+}

@@ -1,0 +1,113 @@
+// Package gateway models a LoRaWAN gateway device: a radio attached to the
+// medium plus the operational behaviours AlphaWAN manages — channel
+// reconfiguration with reboot downtime (Figure 17's dominant latency term)
+// and uplink forwarding toward the network server.
+package gateway
+
+import (
+	"fmt"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+)
+
+// DefaultRebootTime is the mean gateway reboot latency the paper measures
+// (4.62 s, §5.3.3).
+const DefaultRebootTime = des.Time(4_620_000)
+
+// Uplink is a received packet as forwarded to the network server: the
+// payload plus the receive metadata ChirpStack stores in its operational
+// logs (receiving channel, timestamp, SNR — §4.3.3 "Log parser").
+type Uplink struct {
+	GW   *Gateway
+	TX   *medium.Transmission
+	Meta radio.Meta
+	At   des.Time
+}
+
+// Gateway is one gateway in a network.
+type Gateway struct {
+	ID    int
+	Model radio.GatewayModel
+	Pos   phy.Point
+
+	sim  *des.Sim
+	med  *medium.Medium
+	port *medium.Port
+
+	// RebootTime is how long a reconfiguration keeps the gateway offline.
+	RebootTime des.Time
+
+	// OnUplink receives every successfully decoded own-network packet
+	// (the backhaul toward the network server).
+	OnUplink func(Uplink)
+
+	reboots int
+}
+
+// New creates a gateway, attaches its radio to the medium, and wires
+// delivery forwarding. The antenna defaults to a 3 dBi omni unless ant is
+// non-zero.
+func New(sim *des.Sim, med *medium.Medium, id int, model radio.GatewayModel, pos phy.Point, ant phy.Antenna, cfg radio.Config) (*Gateway, error) {
+	r, err := radio.New(sim, model.Chipset, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("gateway %d: %w", id, err)
+	}
+	if ant == (phy.Antenna{}) {
+		ant = phy.Omni(3)
+	}
+	g := &Gateway{
+		ID: id, Model: model, Pos: pos,
+		sim: sim, med: med, RebootTime: DefaultRebootTime,
+	}
+	g.port = med.Attach(r, pos, ant)
+	med.WirePort(g.port)
+	prev := g.port.Radio.OnResult
+	g.port.Radio.OnResult = func(res radio.Result) {
+		prev(res)
+		if res.Reason == radio.DropNone && g.OnUplink != nil {
+			if tx := med.LookupTX(res.Meta.ID); tx != nil {
+				g.OnUplink(Uplink{GW: g, TX: tx, Meta: res.Meta, At: sim.Now()})
+			}
+		}
+	}
+	return g, nil
+}
+
+// Port exposes the medium port (for experiment instrumentation).
+func (g *Gateway) Port() *medium.Port { return g.port }
+
+// Radio exposes the underlying radio.
+func (g *Gateway) Radio() *radio.Radio { return g.port.Radio }
+
+// Config returns the radio's current channel configuration.
+func (g *Gateway) Config() radio.Config { return g.port.Radio.Config() }
+
+// Online reports whether the gateway is currently receiving.
+func (g *Gateway) Online() bool { return !g.port.Down }
+
+// Reboots returns how many reconfiguration reboots the gateway performed.
+func (g *Gateway) Reboots() int { return g.reboots }
+
+// ApplyConfig validates and installs a new channel configuration, taking
+// the gateway offline for RebootTime (the paper's agents reboot gateways
+// to apply updated settings, §5.3.3). The returned time is when the
+// gateway is back online.
+func (g *Gateway) ApplyConfig(cfg radio.Config) (upAt des.Time, err error) {
+	if err := g.port.Radio.Reconfigure(cfg); err != nil {
+		return 0, fmt.Errorf("gateway %d: %w", g.ID, err)
+	}
+	g.reboots++
+	g.port.Down = true
+	upAt = g.sim.Now() + g.RebootTime
+	g.sim.At(upAt, func() { g.port.Down = false })
+	return upAt, nil
+}
+
+// ApplyConfigInstant installs a configuration with no downtime — used to
+// set up initial deployments before a run starts.
+func (g *Gateway) ApplyConfigInstant(cfg radio.Config) error {
+	return g.port.Radio.Reconfigure(cfg)
+}

@@ -1,0 +1,192 @@
+package gateway
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+func env() phy.Environment {
+	e := phy.Urban(1)
+	e.ShadowSigma = 0
+	return e
+}
+
+func cfg(n int) radio.Config {
+	chs := make([]region.Channel, n)
+	for i := range chs {
+		chs[i] = region.AS923.Channel(i)
+	}
+	return radio.Config{Channels: chs, Sync: lora.SyncPublic}
+}
+
+func model() radio.GatewayModel { return radio.Models[3] } // RAK7268CV2 / SX1302
+
+func send(med *medium.Medium, ch int) {
+	med.Transmit(medium.Transmission{
+		Node: 1, Network: 1, Sync: lora.SyncPublic,
+		Channel: region.AS923.Channel(ch), DR: lora.DR5,
+		PayloadLen: 13, PowerDBm: 14, Pos: phy.Pt(100, 0),
+	})
+}
+
+func TestUplinkForwarding(t *testing.T) {
+	sim := des.New(1)
+	med := medium.New(sim, env())
+	gw, err := New(sim, med, 7, model(), phy.Pt(0, 0), phy.Antenna{}, cfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []Uplink
+	gw.OnUplink = func(u Uplink) { ups = append(ups, u) }
+	sim.At(0, func() { send(med, 0) })
+	sim.Run()
+	if len(ups) != 1 {
+		t.Fatalf("uplinks = %d, want 1", len(ups))
+	}
+	u := ups[0]
+	if u.GW != gw || u.TX.Node != 1 || u.Meta.SNRdB == 0 {
+		t.Errorf("uplink = %+v", u)
+	}
+	if u.At != u.TX.End {
+		t.Errorf("uplink forwarded at %v, want decode completion %v", u.At, u.TX.End)
+	}
+}
+
+func TestApplyConfigReboot(t *testing.T) {
+	sim := des.New(1)
+	med := medium.New(sim, env())
+	gw, _ := New(sim, med, 1, model(), phy.Pt(0, 0), phy.Antenna{}, cfg(8))
+	var ups int
+	gw.OnUplink = func(Uplink) { ups++ }
+
+	sim.At(des.Second, func() {
+		upAt, err := gw.ApplyConfig(cfg(2))
+		if err != nil {
+			t.Error(err)
+		}
+		if want := des.Time(des.Second) + DefaultRebootTime; upAt != want {
+			t.Errorf("upAt = %v, want %v", upAt, want)
+		}
+		if gw.Online() {
+			t.Error("gateway must be offline during reboot")
+		}
+	})
+	// During the reboot the gateway hears nothing.
+	sim.At(2*des.Second, func() { send(med, 0) })
+	// After the reboot it receives on the new 2-channel config.
+	sim.At(8*des.Second, func() { send(med, 0) })
+	// But no longer on channel 5 (dropped from the config).
+	sim.At(9*des.Second, func() { send(med, 5) })
+	sim.Run()
+	if ups != 1 {
+		t.Errorf("uplinks = %d, want exactly the post-reboot packet on ch0", ups)
+	}
+	if !gw.Online() {
+		t.Error("gateway must come back online")
+	}
+	if gw.Reboots() != 1 {
+		t.Errorf("reboots = %d, want 1", gw.Reboots())
+	}
+}
+
+func TestApplyConfigValidates(t *testing.T) {
+	sim := des.New(1)
+	med := medium.New(sim, env())
+	gw, _ := New(sim, med, 1, model(), phy.Pt(0, 0), phy.Antenna{}, cfg(8))
+	bad := cfg(8)
+	bad.Channels = append(bad.Channels, region.AS923.Channel(0))
+	sim.At(0, func() {
+		if _, err := gw.ApplyConfig(bad); err == nil {
+			t.Error("invalid config must be rejected")
+		}
+		if !gw.Online() {
+			t.Error("rejected config must not take the gateway down")
+		}
+	})
+	sim.Run()
+	if gw.Reboots() != 0 {
+		t.Error("rejected config must not count as a reboot")
+	}
+}
+
+func TestApplyConfigInstant(t *testing.T) {
+	sim := des.New(1)
+	med := medium.New(sim, env())
+	gw, _ := New(sim, med, 1, model(), phy.Pt(0, 0), phy.Antenna{}, cfg(8))
+	if err := gw.ApplyConfigInstant(cfg(4)); err != nil {
+		t.Fatal(err)
+	}
+	if !gw.Online() || len(gw.Config().Channels) != 4 {
+		t.Error("instant config must apply without downtime")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	sim := des.New(1)
+	med := medium.New(sim, env())
+	bad := cfg(8)
+	bad.Channels = append(bad.Channels, region.AS923.Channel(0))
+	if _, err := New(sim, med, 1, model(), phy.Pt(0, 0), phy.Antenna{}, bad); err == nil {
+		t.Error("New must validate the config")
+	}
+}
+
+func TestMultipleGatewaysHomogeneousSeeSamePackets(t *testing.T) {
+	// §3.2: co-located homogeneous gateways receive the same early packets
+	// and drop the same late ones — extra gateways add nothing.
+	sim := des.New(1)
+	med := medium.New(sim, env())
+	var gws []*Gateway
+	received := map[int]map[int64]bool{}
+	for i := 0; i < 3; i++ {
+		gw, err := New(sim, med, i, model(), phy.Pt(float64(i)*50, 0), phy.Antenna{}, cfg(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		received[i] = map[int64]bool{}
+		gw.OnUplink = func(u Uplink) { received[i][u.TX.ID] = true }
+		gws = append(gws, gw)
+	}
+	// 24 concurrent DR5 packets across 8 channels (3 per channel would
+	// collide, so give each an orthogonal DR triple).
+	end := des.Time(2 * des.Second)
+	id := 0
+	for ch := 0; ch < 8; ch++ {
+		for _, dr := range []lora.DR{lora.DR5, lora.DR4, lora.DR3} {
+			ch, dr := ch, dr
+			air := des.FromDuration(lora.DefaultParams(dr).Airtime(13))
+			idd := medium.NodeID(id)
+			sim.At(end-air, func() {
+				med.Transmit(medium.Transmission{
+					Node: idd, Network: 1, Sync: lora.SyncPublic,
+					Channel: region.AS923.Channel(ch), DR: dr,
+					PayloadLen: 13, PowerDBm: 14, Pos: phy.Pt(200+float64(idd), 100),
+				})
+			})
+			id++
+		}
+	}
+	sim.Run()
+	// All three gateways must have received the *same* 16-packet subset.
+	if len(received[0]) != 16 {
+		t.Fatalf("gateway 0 received %d, want 16", len(received[0]))
+	}
+	for i := 1; i < 3; i++ {
+		if len(received[i]) != len(received[0]) {
+			t.Fatalf("gateway %d received %d, want %d", i, len(received[i]), len(received[0]))
+		}
+		for id := range received[0] {
+			if !received[i][id] {
+				t.Errorf("gateway %d missed packet %d that gateway 0 received", i, id)
+			}
+		}
+	}
+	_ = gws
+}

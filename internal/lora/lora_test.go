@@ -1,0 +1,218 @@
+package lora
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSFValid(t *testing.T) {
+	for s := SF7; s <= SF12; s++ {
+		if !s.Valid() {
+			t.Errorf("%v should be valid", s)
+		}
+	}
+	for _, s := range []SF{0, 5, 6, 13, 99} {
+		if s.Valid() {
+			t.Errorf("SF(%d) should be invalid", int(s))
+		}
+	}
+}
+
+func TestDRSFMapping(t *testing.T) {
+	want := map[DR]SF{DR0: SF12, DR1: SF11, DR2: SF10, DR3: SF9, DR4: SF8, DR5: SF7}
+	for d, sf := range want {
+		if got := d.SF(); got != sf {
+			t.Errorf("%v.SF() = %v, want %v", d, got, sf)
+		}
+		if got := DRFromSF(sf); got != d {
+			t.Errorf("DRFromSF(%v) = %v, want %v", sf, got, d)
+		}
+	}
+}
+
+func TestDRRoundTripProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		d := DR(raw % 6)
+		return DRFromSF(d.SF()) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbolDuration(t *testing.T) {
+	// SF7/125k: 2^7/125000 = 1.024 ms.
+	p := DefaultParams(DR5)
+	if got, want := p.SymbolDuration(), 1024*time.Microsecond; got != want {
+		t.Errorf("SF7 symbol = %v, want %v", got, want)
+	}
+	// SF12/125k: 2^12/125000 = 32.768 ms.
+	p = DefaultParams(DR0)
+	if got, want := p.SymbolDuration(), 32768*time.Microsecond; got != want {
+		t.Errorf("SF12 symbol = %v, want %v", got, want)
+	}
+}
+
+func TestPreambleDuration(t *testing.T) {
+	p := DefaultParams(DR5)
+	// (8 + 4.25) * 1.024ms = 12.544 ms.
+	if got, want := p.PreambleDuration(), 12544*time.Microsecond; got != want {
+		t.Errorf("SF7 preamble = %v, want %v", got, want)
+	}
+}
+
+// TestAirtimeReference checks the Semtech formula against values computed
+// with the official LoRa airtime calculator for a 13-byte PHY payload
+// (10-byte app payload + headers is near the paper's workload).
+func TestAirtimeReference(t *testing.T) {
+	cases := []struct {
+		dr      DR
+		payload int
+		want    time.Duration
+		tol     time.Duration
+	}{
+		{DR5, 13, 46336 * time.Microsecond, 200 * time.Microsecond},
+		{DR4, 13, 82432 * time.Microsecond, 300 * time.Microsecond},
+		{DR0, 13, 1155072 * time.Microsecond, 5 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got := DefaultParams(c.dr).Airtime(c.payload)
+		diff := got - c.want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > c.tol {
+			t.Errorf("Airtime(%v, %d) = %v, want %v ± %v", c.dr, c.payload, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestAirtimeMonotoneInPayload(t *testing.T) {
+	f := func(a, b uint8) bool {
+		n, m := int(a%200), int(b%200)
+		if n > m {
+			n, m = m, n
+		}
+		p := DefaultParams(DR3)
+		return p.Airtime(n) <= p.Airtime(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAirtimeMonotoneInSF(t *testing.T) {
+	for d := DR5; d > DR0; d-- {
+		lo := DefaultParams(d).Airtime(13)
+		hi := DefaultParams(d - 1).Airtime(13)
+		if hi <= lo {
+			t.Errorf("airtime should grow as DR falls: %v=%v, %v=%v", d, lo, d-1, hi)
+		}
+	}
+}
+
+func TestPayloadSymbolsNonNegative(t *testing.T) {
+	f := func(raw uint8, n uint8) bool {
+		p := DefaultParams(DR(raw % 6))
+		return p.PayloadSymbols(int(n)) >= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDemodFloorMonotone(t *testing.T) {
+	for s := SF7; s < SF12; s++ {
+		if DemodFloorSNR(s) <= DemodFloorSNR(s+1) {
+			t.Errorf("demod floor should fall with SF: %v=%.1f, %v=%.1f",
+				s, DemodFloorSNR(s), s+1, DemodFloorSNR(s+1))
+		}
+	}
+}
+
+func TestCoChannelRejection(t *testing.T) {
+	for s := SF7; s <= SF12; s++ {
+		if got := CoChannelRejection(s, s); got != 6.0 {
+			t.Errorf("same-SF capture threshold for %v = %v, want 6", s, got)
+		}
+		for i := SF7; i <= SF12; i++ {
+			if i == s {
+				continue
+			}
+			if got := CoChannelRejection(s, i); got >= 0 {
+				t.Errorf("cross-SF rejection (%v vs %v) = %v, want negative", s, i, got)
+			}
+		}
+	}
+}
+
+func TestOrthogonal(t *testing.T) {
+	if Orthogonal(SF7, SF7) {
+		t.Error("same SF must not be orthogonal")
+	}
+	if !Orthogonal(SF7, SF12) {
+		t.Error("distinct SFs are quasi-orthogonal")
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	// SF12 sensitivity should be near -137 dBm; SF7 near -124.5 dBm
+	// (SX1276 class at a 6 dB noise figure).
+	if got := SensitivityDBm(SF12); math.Abs(got-(-137)) > 1.5 {
+		t.Errorf("SF12 sensitivity = %.1f, want ≈ -137", got)
+	}
+	if got := SensitivityDBm(SF7); math.Abs(got-(-124.5)) > 1.5 {
+		t.Errorf("SF7 sensitivity = %.1f, want ≈ -124.5", got)
+	}
+	for s := SF7; s < SF12; s++ {
+		if SensitivityDBm(s) <= SensitivityDBm(s+1) {
+			t.Errorf("sensitivity should improve with SF")
+		}
+	}
+}
+
+func TestNoiseFloor(t *testing.T) {
+	// -174 + 10log10(125000) + 6 ≈ -117.03 dBm.
+	if got := NoiseFloorDBm(BW125); math.Abs(got-(-117.03)) > 0.1 {
+		t.Errorf("noise floor 125k = %.2f, want ≈ -117.03", got)
+	}
+}
+
+func TestEffectiveBitRate(t *testing.T) {
+	if EffectiveBitRate(DR5) != 5470 || EffectiveBitRate(DR0) != 250 {
+		t.Error("nominal bit rates must match regional parameters")
+	}
+	for d := DR0; d < DR5; d++ {
+		if EffectiveBitRate(d) >= EffectiveBitRate(d+1) {
+			t.Errorf("bit rate should grow with DR")
+		}
+	}
+}
+
+func TestDefaultParamsLDRO(t *testing.T) {
+	if !DefaultParams(DR0).LowDataRateOptimize || !DefaultParams(DR1).LowDataRateOptimize {
+		t.Error("SF11/SF12 at 125k require low-data-rate optimization")
+	}
+	if DefaultParams(DR2).LowDataRateOptimize {
+		t.Error("SF10 must not enable low-data-rate optimization")
+	}
+}
+
+func TestBandwidthValid(t *testing.T) {
+	for _, b := range []Bandwidth{BW125, BW250, BW500} {
+		if !b.Valid() {
+			t.Errorf("%v should be valid", b)
+		}
+	}
+	if Bandwidth(100).Valid() {
+		t.Error("100 Hz is not a LoRa bandwidth")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SF7.String() != "SF7" || DR5.String() != "DR5" || BW125.String() != "BW125k" {
+		t.Error("stringers must be stable (used in experiment tables)")
+	}
+}

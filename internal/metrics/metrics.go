@@ -1,0 +1,310 @@
+// Package metrics aggregates simulation outcomes into the quantities the
+// paper reports: packet reception ratios, network throughput, concurrent
+// user capacity, and the packet-loss cause breakdown (decoder contention
+// vs channel contention vs others, split intra-/inter-network) behind
+// Figures 4 and 13c.
+//
+// A transmission is "received" when at least one own-network gateway
+// delivered it (LoRaWAN gateway redundancy; the network server
+// deduplicates). A lost transmission is attributed to exactly one cause
+// with the precedence decoder > channel > others: if any in-range gateway
+// turned the packet away for lack of decoders, more decoders would have
+// saved it there.
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/radio"
+)
+
+// Cause classifies why a transmission was lost network-wide.
+type Cause int
+
+// Loss causes, matching the paper's Figure 4 legend.
+const (
+	DecoderContentionIntra Cause = iota
+	DecoderContentionInter
+	ChannelContentionIntra
+	ChannelContentionInter
+	Others
+	numCauses
+)
+
+func (c Cause) String() string {
+	switch c {
+	case DecoderContentionIntra:
+		return "decoder-contention(intra)"
+	case DecoderContentionInter:
+		return "decoder-contention(inter)"
+	case ChannelContentionIntra:
+		return "channel-contention(intra)"
+	case ChannelContentionInter:
+		return "channel-contention(inter)"
+	case Others:
+		return "others"
+	}
+	return fmt.Sprintf("Cause(%d)", int(c))
+}
+
+// NetworkStats aggregates one network's outcomes.
+type NetworkStats struct {
+	Sent     int
+	Received int
+	// Losses counts lost transmissions by cause.
+	Losses [numCauses]int
+	// PayloadBytes sums delivered application payload sizes.
+	PayloadBytes int
+	// ByDR counts received packets per data rate (Figure 13d's
+	// spectrum-utilization view and Figure 6's DR histograms).
+	ByDR [lora.NumDRs]int
+	// GatewayCopies counts total gateway deliveries including duplicates
+	// (a packet heard by 3 gateways adds 3) — the redundancy measure of
+	// Figure 6's "gateways per user".
+	GatewayCopies int
+}
+
+// PRR returns the packet reception ratio.
+func (s NetworkStats) PRR() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Received) / float64(s.Sent)
+}
+
+// Lost returns the number of lost transmissions.
+func (s NetworkStats) Lost() int { return s.Sent - s.Received }
+
+// LossRatio returns the fraction of transmissions lost to the cause.
+func (s NetworkStats) LossRatio(c Cause) float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Losses[c]) / float64(s.Sent)
+}
+
+// DecoderContentionRatio sums both decoder-contention causes.
+func (s NetworkStats) DecoderContentionRatio() float64 {
+	return s.LossRatio(DecoderContentionIntra) + s.LossRatio(DecoderContentionInter)
+}
+
+// ChannelContentionRatio sums both channel-contention causes.
+func (s NetworkStats) ChannelContentionRatio() float64 {
+	return s.LossRatio(ChannelContentionIntra) + s.LossRatio(ChannelContentionInter)
+}
+
+// txRecord tracks one transmission's per-gateway outcomes until it leaves
+// the air.
+type txRecord struct {
+	network   medium.NetworkID
+	dr        lora.DR
+	payload   int
+	delivered int
+	// worst drop seen so far under the cause precedence.
+	dropSeen bool
+	cause    Cause
+}
+
+// Collector subscribes to a medium and aggregates per-network statistics.
+type Collector struct {
+	perNet  map[medium.NetworkID]*NetworkStats
+	pending map[int64]*txRecord
+
+	// ConcurrencyProbe, when set, is called with the number of distinct
+	// own-network deliveries for capacity counting.
+	onFinal func(medium.NetworkID, bool)
+}
+
+// NewCollector attaches a collector to the medium. It chains any existing
+// medium callbacks.
+func NewCollector(med *medium.Medium) *Collector {
+	c := &Collector{
+		perNet:  make(map[medium.NetworkID]*NetworkStats),
+		pending: make(map[int64]*txRecord),
+	}
+	prevDeliver := med.OnDelivery
+	med.OnDelivery = func(d medium.Delivery) {
+		if prevDeliver != nil {
+			prevDeliver(d)
+		}
+		c.delivery(d)
+	}
+	prevDrop := med.OnDrop
+	med.OnDrop = func(d medium.Drop) {
+		if prevDrop != nil {
+			prevDrop(d)
+		}
+		c.drop(d)
+	}
+	prevDone := med.OnAirDone
+	med.OnAirDone = func(t *medium.Transmission) {
+		if prevDone != nil {
+			prevDone(t)
+		}
+		c.airDone(t)
+	}
+	return c
+}
+
+func (c *Collector) net(id medium.NetworkID) *NetworkStats {
+	s, ok := c.perNet[id]
+	if !ok {
+		s = &NetworkStats{}
+		c.perNet[id] = s
+	}
+	return s
+}
+
+func (c *Collector) rec(t *medium.Transmission) *txRecord {
+	r, ok := c.pending[t.ID]
+	if !ok {
+		r = &txRecord{network: t.Network, dr: t.DR, payload: t.PayloadLen}
+		c.pending[t.ID] = r
+	}
+	return r
+}
+
+func (c *Collector) delivery(d medium.Delivery) {
+	c.rec(d.TX).delivered++
+}
+
+// causeOf maps a port-level drop to a network-wide cause candidate.
+func causeOf(d medium.Drop) Cause {
+	switch d.Reason {
+	case radio.DropNoDecoder:
+		if d.InterNetwork {
+			return DecoderContentionInter
+		}
+		return DecoderContentionIntra
+	case radio.DropChannelContention:
+		if d.InterNetwork {
+			return ChannelContentionInter
+		}
+		return ChannelContentionIntra
+	default:
+		return Others
+	}
+}
+
+// precedence orders causes: a lower value wins when different gateways
+// dropped the same packet for different reasons.
+func precedence(c Cause) int {
+	switch c {
+	case DecoderContentionInter:
+		return 0
+	case DecoderContentionIntra:
+		return 1
+	case ChannelContentionInter:
+		return 2
+	case ChannelContentionIntra:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func (c *Collector) drop(d medium.Drop) {
+	if d.Reason == radio.DropForeignNetwork {
+		// A foreign gateway filtered the packet; irrelevant to the
+		// sender's own-network outcome.
+		return
+	}
+	r := c.rec(d.TX)
+	cause := causeOf(d)
+	if !r.dropSeen || precedence(cause) < precedence(r.cause) {
+		r.dropSeen = true
+		r.cause = cause
+	}
+}
+
+func (c *Collector) airDone(t *medium.Transmission) {
+	r, ok := c.pending[t.ID]
+	if !ok {
+		// Nobody heard the packet at all: count as a weak-signal loss.
+		r = &txRecord{network: t.Network, dr: t.DR, payload: t.PayloadLen, dropSeen: true, cause: Others}
+	}
+	delete(c.pending, t.ID)
+	s := c.net(r.network)
+	s.Sent++
+	if r.delivered > 0 {
+		s.Received++
+		s.GatewayCopies += r.delivered
+		s.PayloadBytes += r.payload
+		s.ByDR[r.dr]++
+		if c.onFinal != nil {
+			c.onFinal(r.network, true)
+		}
+		return
+	}
+	if !r.dropSeen {
+		r.cause = Others
+	}
+	s.Losses[r.cause]++
+	if c.onFinal != nil {
+		c.onFinal(r.network, false)
+	}
+}
+
+// SetOnFinal registers a callback fired once per transmission when its
+// network-wide outcome is final (received or not). Experiments use it for
+// live capacity probes.
+func (c *Collector) SetOnFinal(fn func(medium.NetworkID, bool)) { c.onFinal = fn }
+
+// Network returns the statistics for one network (zero value if unseen).
+func (c *Collector) Network(id medium.NetworkID) NetworkStats {
+	if s, ok := c.perNet[id]; ok {
+		return *s
+	}
+	return NetworkStats{}
+}
+
+// Networks returns the ids of all networks seen.
+func (c *Collector) Networks() []medium.NetworkID {
+	ids := make([]medium.NetworkID, 0, len(c.perNet))
+	for id := range c.perNet {
+		ids = append(ids, id)
+	}
+	// Deterministic order.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// Total returns statistics aggregated across all networks.
+func (c *Collector) Total() NetworkStats {
+	var t NetworkStats
+	for _, s := range c.perNet {
+		t.Sent += s.Sent
+		t.Received += s.Received
+		t.PayloadBytes += s.PayloadBytes
+		t.GatewayCopies += s.GatewayCopies
+		for i := range s.Losses {
+			t.Losses[i] += s.Losses[i]
+		}
+		for i := range s.ByDR {
+			t.ByDR[i] += s.ByDR[i]
+		}
+	}
+	return t
+}
+
+// Reset clears accumulated statistics (pending transmissions are kept so
+// in-flight packets finalize correctly).
+func (c *Collector) Reset() {
+	c.perNet = make(map[medium.NetworkID]*NetworkStats)
+}
+
+// ThroughputBps returns delivered application payload throughput over a
+// window (Figure 13a).
+func ThroughputBps(s NetworkStats, window des.Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(s.PayloadBytes) * 8 / (float64(window) / 1e6)
+}

@@ -1,0 +1,304 @@
+package metrics
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+type world struct {
+	sim *des.Sim
+	med *medium.Medium
+	col *Collector
+}
+
+func newWorld(t *testing.T, gwSyncs []lora.SyncWord) *world {
+	t.Helper()
+	sim := des.New(1)
+	e := phy.Urban(1)
+	e.ShadowSigma = 0
+	med := medium.New(sim, e)
+	for i, sync := range gwSyncs {
+		chs := region.AS923.AllChannels()
+		r, err := radio.New(sim, radio.SX1302, radio.Config{Channels: chs, Sync: sync})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := med.Attach(r, phy.Pt(float64(i)*40, 0), phy.Omni(3))
+		med.WirePort(p)
+	}
+	return &world{sim: sim, med: med, col: NewCollector(med)}
+}
+
+func (w *world) tx(node medium.NodeID, network medium.NetworkID, sync lora.SyncWord, ch int, dr lora.DR, pos phy.Point) {
+	w.med.Transmit(medium.Transmission{
+		Node: node, Network: network, Sync: sync,
+		Channel: region.AS923.Channel(ch), DR: dr,
+		PayloadLen: 13, PowerDBm: 14, Pos: pos,
+	})
+}
+
+func TestReceivedOnceDespiteMultipleGateways(t *testing.T) {
+	// Two own-network gateways both deliver: Sent=1, Received=1, Copies=2.
+	w := newWorld(t, []lora.SyncWord{lora.SyncPublic, lora.SyncPublic})
+	w.sim.At(0, func() { w.tx(1, 1, lora.SyncPublic, 0, lora.DR5, phy.Pt(100, 0)) })
+	w.sim.Run()
+	s := w.col.Network(1)
+	if s.Sent != 1 || s.Received != 1 {
+		t.Errorf("sent/received = %d/%d, want 1/1", s.Sent, s.Received)
+	}
+	if s.GatewayCopies != 2 {
+		t.Errorf("gateway copies = %d, want 2", s.GatewayCopies)
+	}
+	if s.PRR() != 1 {
+		t.Errorf("PRR = %v", s.PRR())
+	}
+	if s.ByDR[lora.DR5] != 1 {
+		t.Errorf("ByDR = %v", s.ByDR)
+	}
+}
+
+func TestUnheardPacketIsOthers(t *testing.T) {
+	w := newWorld(t, []lora.SyncWord{lora.SyncPublic})
+	// Way out of range: no gateway even detects the preamble... the medium
+	// reports a weak-signal drop, classified as Others.
+	w.sim.At(0, func() { w.tx(1, 1, lora.SyncPublic, 0, lora.DR5, phy.Pt(50_000, 0)) })
+	w.sim.Run()
+	s := w.col.Network(1)
+	if s.Sent != 1 || s.Received != 0 {
+		t.Fatalf("sent/received = %d/%d", s.Sent, s.Received)
+	}
+	if s.Losses[Others] != 1 {
+		t.Errorf("losses = %v, want 1 other", s.Losses)
+	}
+}
+
+func TestChannelContentionIntra(t *testing.T) {
+	w := newWorld(t, []lora.SyncWord{lora.SyncPublic})
+	w.sim.At(0, func() {
+		w.tx(1, 1, lora.SyncPublic, 0, lora.DR5, phy.Pt(100, 0))
+		w.tx(2, 1, lora.SyncPublic, 0, lora.DR5, phy.Pt(0, 100))
+	})
+	w.sim.Run()
+	s := w.col.Network(1)
+	if s.Losses[ChannelContentionIntra] != 2 {
+		t.Errorf("losses = %v, want 2 intra channel contention", s.Losses)
+	}
+}
+
+func TestChannelContentionInter(t *testing.T) {
+	// The same collision, but the interferer belongs to another network.
+	w := newWorld(t, []lora.SyncWord{lora.SyncPublic})
+	w.sim.At(0, func() {
+		w.tx(1, 1, lora.SyncPublic, 0, lora.DR5, phy.Pt(100, 0))
+		w.tx(2, 2, lora.SyncPrivate, 0, lora.DR5, phy.Pt(0, 100))
+	})
+	w.sim.Run()
+	s := w.col.Network(1)
+	if s.Losses[ChannelContentionInter] != 1 {
+		t.Errorf("network 1 losses = %v, want inter channel contention", s.Losses)
+	}
+}
+
+func TestDecoderContentionIntra(t *testing.T) {
+	// 20 own-network packets, decoders exhausted: 16 received, 4 decoder
+	// contention (intra — no foreign packets involved).
+	w := newWorld(t, []lora.SyncWord{lora.SyncPublic})
+	end := des.Time(2 * des.Second)
+	for i := 0; i < 20; i++ {
+		i := i
+		dr := lora.DR(i % 6)
+		ch := i % 8
+		// Distinct (ch, dr) pairs for the first 16; wrap for the rest but
+		// keep them channel-distinct enough to avoid collisions.
+		if i >= 16 {
+			ch = (i + 4) % 8
+			dr = lora.DR((i + 3) % 6)
+		}
+		air := des.FromDuration(lora.DefaultParams(dr).Airtime(13))
+		w.sim.At(end-air, func() {
+			w.tx(medium.NodeID(i), 1, lora.SyncPublic, ch, dr, phy.Pt(100+float64(i), 0))
+		})
+	}
+	w.sim.Run()
+	s := w.col.Network(1)
+	if s.Received != 16 {
+		t.Fatalf("received = %d, want 16 (losses %v)", s.Received, s.Losses)
+	}
+	if s.Losses[DecoderContentionIntra] != 4 {
+		t.Errorf("losses = %v, want 4 intra decoder contention", s.Losses)
+	}
+}
+
+func TestDecoderContentionInter(t *testing.T) {
+	// Foreign packets fill decoders first; the own packet dropped at
+	// lock-on counts as *inter*-network decoder contention.
+	w := newWorld(t, []lora.SyncWord{lora.SyncPublic})
+	end := des.Time(3 * des.Second)
+	for i := 0; i < 16; i++ {
+		i := i
+		dr := lora.DR(i % 6)
+		air := des.FromDuration(lora.DefaultParams(dr).Airtime(13)) + des.Time(16-i)*des.Millisecond
+		w.sim.At(end-air, func() {
+			w.tx(medium.NodeID(100+i), 2, lora.SyncPrivate, i%8, dr, phy.Pt(100+float64(i), 50))
+		})
+	}
+	// Own packet locks on last (shortest preamble, latest start).
+	air := des.FromDuration(lora.DefaultParams(lora.DR5).Airtime(13))
+	w.sim.At(end-air, func() {
+		w.tx(1, 1, lora.SyncPublic, 7, lora.DR4, phy.Pt(120, 0))
+	})
+	w.sim.Run()
+	s := w.col.Network(1)
+	if s.Received != 0 {
+		t.Fatalf("own packet must be squeezed out, received=%d", s.Received)
+	}
+	if s.Losses[DecoderContentionInter] != 1 {
+		t.Errorf("losses = %v, want 1 inter decoder contention", s.Losses)
+	}
+}
+
+func TestForeignFilteringNotCountedAsLoss(t *testing.T) {
+	// A packet from network 2 heard only by network 1's gateway: the
+	// gateway filters it (decode-then-filter). For network 2 it is a loss
+	// with cause Others (nobody served it), not a channel/decoder loss.
+	w := newWorld(t, []lora.SyncWord{lora.SyncPublic})
+	w.sim.At(0, func() { w.tx(9, 2, lora.SyncPrivate, 0, lora.DR5, phy.Pt(100, 0)) })
+	w.sim.Run()
+	s := w.col.Network(2)
+	if s.Sent != 1 || s.Received != 0 {
+		t.Fatalf("sent/received = %d/%d", s.Sent, s.Received)
+	}
+	if s.Losses[Others] != 1 {
+		t.Errorf("losses = %v, want others", s.Losses)
+	}
+}
+
+func TestPrecedenceDecoderOverChannel(t *testing.T) {
+	// Two gateways: at one the packet is dropped for decoders, at the
+	// other it collides. Network-wide the loss is decoder contention.
+	sim := des.New(1)
+	e := phy.Urban(1)
+	e.ShadowSigma = 0
+	med := medium.New(sim, e)
+	// Gateway A: tiny decoder pool (SX1308with 8; fill it), Gateway B: roomy.
+	chs := region.AS923.AllChannels()
+	ra, _ := radio.New(sim, radio.SX1308, radio.Config{Channels: chs, Sync: lora.SyncPublic})
+	pa := med.Attach(ra, phy.Pt(0, 0), phy.Omni(3))
+	med.WirePort(pa)
+	rb, _ := radio.New(sim, radio.SX1302, radio.Config{Channels: chs, Sync: lora.SyncPublic})
+	pb := med.Attach(rb, phy.Pt(1000, 0), phy.Omni(3))
+	med.WirePort(pb)
+	col := NewCollector(med)
+
+	end := des.Time(3 * des.Second)
+	// Fill A's 8 decoders with early DR0/DR1 packets near A, out of range
+	// of B (weak there, they're close to A at 14 dBm... B at 3000 m hears
+	// them too; fine — B has 16 decoders).
+	for i := 0; i < 8; i++ {
+		i := i
+		dr := lora.DR(i % 2)
+		air := des.FromDuration(lora.DefaultParams(dr).Airtime(13)) + des.Time(8-i)*des.Millisecond
+		sim.At(end-air, func() {
+			med.Transmit(medium.Transmission{
+				Node: medium.NodeID(i), Network: 1, Sync: lora.SyncPublic,
+				Channel: region.AS923.Channel(i % 8), DR: dr,
+				PayloadLen: 13, PowerDBm: 14, Pos: phy.Pt(100, float64(i)),
+			})
+		})
+	}
+	// The victim sits between A and B (detectable at both at DR5): at A it
+	// finds the pool exhausted; at B it collides with a much stronger twin
+	// transmitted right next to B.
+	air := des.FromDuration(lora.DefaultParams(lora.DR5).Airtime(13))
+	sim.At(end-air, func() {
+		med.Transmit(medium.Transmission{
+			Node: 50, Network: 1, Sync: lora.SyncPublic,
+			Channel: region.AS923.Channel(3), DR: lora.DR5,
+			PayloadLen: 13, PowerDBm: 14, Pos: phy.Pt(500, 0),
+		})
+		med.Transmit(medium.Transmission{
+			Node: 51, Network: 1, Sync: lora.SyncPublic,
+			Channel: region.AS923.Channel(3), DR: lora.DR5,
+			PayloadLen: 13, PowerDBm: 14, Pos: phy.Pt(1000, 10),
+		})
+	})
+	sim.Run()
+	s := col.Network(1)
+	dec := s.Losses[DecoderContentionIntra] + s.Losses[DecoderContentionInter]
+	if dec == 0 {
+		t.Errorf("decoder contention must take precedence: losses = %v", s.Losses)
+	}
+}
+
+func TestTotalsAndNetworksList(t *testing.T) {
+	w := newWorld(t, []lora.SyncWord{lora.SyncPublic})
+	w.sim.At(0, func() {
+		w.tx(1, 1, lora.SyncPublic, 0, lora.DR5, phy.Pt(100, 0))
+		w.tx(2, 3, lora.SyncPrivate, 1, lora.DR5, phy.Pt(100, 10))
+	})
+	w.sim.Run()
+	ids := w.col.Networks()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Errorf("networks = %v", ids)
+	}
+	tot := w.col.Total()
+	if tot.Sent != 2 {
+		t.Errorf("total sent = %d", tot.Sent)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	s := NetworkStats{PayloadBytes: 1250}
+	if got := ThroughputBps(s, 10*des.Second); got != 1000 {
+		t.Errorf("throughput = %v, want 1000 bps", got)
+	}
+	if ThroughputBps(s, 0) != 0 {
+		t.Error("zero window must not divide by zero")
+	}
+}
+
+func TestOnFinalProbe(t *testing.T) {
+	w := newWorld(t, []lora.SyncWord{lora.SyncPublic})
+	var oks, fails int
+	w.col.SetOnFinal(func(_ medium.NetworkID, ok bool) {
+		if ok {
+			oks++
+		} else {
+			fails++
+		}
+	})
+	w.sim.At(0, func() {
+		w.tx(1, 1, lora.SyncPublic, 0, lora.DR5, phy.Pt(100, 0))
+		w.tx(2, 1, lora.SyncPublic, 1, lora.DR5, phy.Pt(50_000, 0)) // unheard
+	})
+	w.sim.Run()
+	if oks != 1 || fails != 1 {
+		t.Errorf("onFinal: %d ok, %d fail", oks, fails)
+	}
+}
+
+func TestCauseStrings(t *testing.T) {
+	for c := DecoderContentionIntra; c < numCauses; c++ {
+		if c.String() == "" {
+			t.Errorf("cause %d has no string", int(c))
+		}
+	}
+}
+
+func TestResetKeepsPending(t *testing.T) {
+	w := newWorld(t, []lora.SyncWord{lora.SyncPublic})
+	w.sim.At(0, func() { w.tx(1, 1, lora.SyncPublic, 0, lora.DR0, phy.Pt(100, 0)) })
+	// Reset mid-flight: the packet is on air for >1 s.
+	w.sim.At(des.Millisecond*500, func() { w.col.Reset() })
+	w.sim.Run()
+	s := w.col.Network(1)
+	if s.Sent != 1 || s.Received != 1 {
+		t.Errorf("in-flight packet must finalize after Reset: %+v", s)
+	}
+}

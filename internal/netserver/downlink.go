@@ -1,0 +1,75 @@
+package netserver
+
+import (
+	"errors"
+
+	"github.com/alphawan/alphawan/internal/frame"
+)
+
+// Downlink construction: Class A devices open receive windows after each
+// uplink; the server answers with application data and/or MAC commands in
+// a downlink frame. AlphaWAN rides this path to deliver LinkADRReq and
+// NewChannelReq reconfigurations (§4.3.3).
+
+// ErrFOptsOverflow reports MAC commands too large for the FOpts field.
+var ErrFOptsOverflow = errors.New("netserver: MAC commands exceed 15-byte FOpts")
+
+// BuildDownlink encodes a downlink data frame for the device: optional
+// application payload on fport (>0) and optional piggybacked MAC commands
+// in FOpts. The device's downlink frame counter advances.
+func (s *Server) BuildDownlink(dev *Device, fport uint8, payload []byte, cmds []frame.MACCommand) ([]byte, error) {
+	f := &frame.Frame{
+		MType:   frame.UnconfirmedDataDown,
+		DevAddr: dev.Addr,
+		FCnt:    dev.fcntDown,
+	}
+	if len(cmds) > 0 {
+		opts, err := frame.MarshalCommands(cmds)
+		if err != nil {
+			return nil, err
+		}
+		if len(opts) > 15 {
+			return nil, ErrFOptsOverflow
+		}
+		f.FOpts = opts
+	}
+	if len(payload) > 0 {
+		p := fport
+		f.FPort = &p
+		f.Payload = payload
+	}
+	raw, err := frame.Encode(f, dev.NwkSKey, &dev.AppSKey)
+	if err != nil {
+		return nil, err
+	}
+	dev.fcntDown++
+	return raw, nil
+}
+
+// BuildCommandDownlink encodes a MAC-command-only downlink. Commands that
+// fit in FOpts ride there; longer batches go as an FPort-0 payload
+// encrypted under the NwkSKey.
+func (s *Server) BuildCommandDownlink(dev *Device, cmds []frame.MACCommand) ([]byte, error) {
+	opts, err := frame.MarshalCommands(cmds)
+	if err != nil {
+		return nil, err
+	}
+	f := &frame.Frame{
+		MType:   frame.UnconfirmedDataDown,
+		DevAddr: dev.Addr,
+		FCnt:    dev.fcntDown,
+	}
+	if len(opts) <= 15 {
+		f.FOpts = opts
+	} else {
+		p := uint8(0)
+		f.FPort = &p
+		f.Payload = opts
+	}
+	raw, err := frame.Encode(f, dev.NwkSKey, &dev.AppSKey)
+	if err != nil {
+		return nil, err
+	}
+	dev.fcntDown++
+	return raw, nil
+}

@@ -1,0 +1,152 @@
+package netserver
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/node"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// pair builds a server+node sharing a session.
+func pair(t *testing.T) (*Server, *Device, *node.Node) {
+	t.Helper()
+	s := New()
+	nd := node.New(1, 1, lora.SyncPublic, phy.Pt(100, 0))
+	nd.Channels = region.AS923.AllChannels()
+	dev := s.Register(nd.DevAddr, nd.NwkSKey, nd.AppSKey, lora.DR0, 0)
+	return s, dev, nd
+}
+
+func TestDownlinkDataRoundTrip(t *testing.T) {
+	s, dev, nd := pair(t)
+	raw, err := s.BuildDownlink(dev, 7, []byte("set-rate=5m"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := nd.HandleDownlink(raw, nd.Channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.FPort != 7 || !bytes.Equal(dl.Payload, []byte("set-rate=5m")) {
+		t.Errorf("downlink = %+v", dl)
+	}
+}
+
+func TestDownlinkMACCommandsInFOpts(t *testing.T) {
+	s, dev, nd := pair(t)
+	cmds := []frame.MACCommand{{
+		CID: frame.CIDLinkADR,
+		LinkADR: &frame.LinkADRReq{
+			DataRate: 4, TXPower: 2, ChMask: 0b1111, NbTrans: 1,
+		},
+	}}
+	raw, err := s.BuildDownlink(dev, 0, nil, cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := region.AS923.AllChannels()
+	dl, err := nd.HandleDownlink(raw, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.DR != lora.DR4 {
+		t.Errorf("node DR = %v, want DR4", nd.DR)
+	}
+	if len(nd.Channels) != 4 {
+		t.Errorf("channels = %d, want the 4-channel mask", len(nd.Channels))
+	}
+	if len(dl.Answers) != 1 || dl.Answers[0].LinkADRAns == nil || !dl.Answers[0].LinkADRAns.OK() {
+		t.Errorf("answers = %+v", dl.Answers)
+	}
+}
+
+func TestCommandDownlinkLongBatchUsesPort0(t *testing.T) {
+	s, dev, nd := pair(t)
+	// Five NewChannelReq commands = 30 bytes: too long for FOpts.
+	var cmds []frame.MACCommand
+	for i := 0; i < 5; i++ {
+		cmds = append(cmds, frame.MACCommand{
+			CID: frame.CIDNewChannel,
+			NewChannel: &frame.NewChannelReq{
+				ChIndex: uint8(i), FreqHz: uint64(region.AS923.Channel(i).Center), MaxDR: 5,
+			},
+		})
+	}
+	raw, err := s.BuildCommandDownlink(dev, cmds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.Channels = nil
+	dl, err := nd.HandleDownlink(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nd.Channels) != 5 {
+		t.Errorf("channels = %d, want 5 from NewChannelReq batch", len(nd.Channels))
+	}
+	if len(dl.Answers) != 5 {
+		t.Errorf("answers = %d", len(dl.Answers))
+	}
+	if dl.Payload != nil {
+		t.Error("port-0 payload must not surface as app data")
+	}
+}
+
+func TestDownlinkFCntAdvances(t *testing.T) {
+	s, dev, nd := pair(t)
+	r1, _ := s.BuildDownlink(dev, 1, []byte("a"), nil)
+	r2, _ := s.BuildDownlink(dev, 1, []byte("b"), nil)
+	d1, err1 := nd.HandleDownlink(r1, nil)
+	d2, err2 := nd.HandleDownlink(r2, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if bytes.Equal(d1.Payload, d2.Payload) {
+		t.Error("distinct downlinks")
+	}
+	f1, _ := frame.Decode(r1, dev.NwkSKey, &dev.AppSKey)
+	f2, _ := frame.Decode(r2, dev.NwkSKey, &dev.AppSKey)
+	if f2.FCnt != f1.FCnt+1 {
+		t.Errorf("downlink FCnt must advance: %d then %d", f1.FCnt, f2.FCnt)
+	}
+}
+
+func TestDownlinkWrongAddressRejected(t *testing.T) {
+	s, dev, _ := pair(t)
+	other := node.New(2, 1, lora.SyncPublic, phy.Pt(0, 0))
+	raw, _ := s.BuildDownlink(dev, 1, []byte("x"), nil)
+	if _, err := other.HandleDownlink(raw, nil); err == nil {
+		t.Error("a downlink for another DevAddr must be rejected")
+	}
+}
+
+func TestUplinkRejectedAsDownlink(t *testing.T) {
+	_, _, nd := pair(t)
+	up, _ := nd.BuildFrame([]byte("up"))
+	if _, err := nd.HandleDownlink(up, nil); err == nil {
+		t.Error("an uplink frame must be rejected by HandleDownlink")
+	}
+}
+
+func TestFOptsOverflowRejected(t *testing.T) {
+	s, dev, _ := pair(t)
+	var cmds []frame.MACCommand
+	for i := 0; i < 4; i++ {
+		cmds = append(cmds, frame.MACCommand{
+			CID:     frame.CIDLinkADR,
+			LinkADR: &frame.LinkADRReq{DataRate: 1, NbTrans: 1},
+		})
+	}
+	// 4 × 5 bytes = 20 > 15.
+	if _, err := s.BuildDownlink(dev, 0, nil, cmds); err != ErrFOptsOverflow {
+		t.Errorf("err = %v, want ErrFOptsOverflow", err)
+	}
+	// BuildCommandDownlink shunts the same batch to port 0 instead.
+	if _, err := s.BuildCommandDownlink(dev, cmds); err != nil {
+		t.Errorf("command downlink must handle long batches: %v", err)
+	}
+}

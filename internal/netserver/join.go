@@ -1,0 +1,102 @@
+package netserver
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// OTAA device provisioning and the join procedure (§4.3.3: joining devices
+// receive the operator's planned channels in the JoinAccept CFList, so new
+// devices come up already on AlphaWAN's frequencies).
+
+// otaaDevice is a provisioned-but-unjoined device identity.
+type otaaDevice struct {
+	devEUI frame.EUI64
+	appKey frame.AESKey
+	// lastNonce guards against join replays.
+	lastNonce uint16
+	seenJoin  bool
+	// addr is the session address once joined.
+	addr frame.DevAddr
+}
+
+// Join errors.
+var (
+	ErrUnknownDevEUI = errors.New("netserver: unknown DevEUI")
+	ErrJoinReplay    = errors.New("netserver: join nonce replay")
+)
+
+// ProvisionOTAA registers a device identity for over-the-air activation.
+func (s *Server) ProvisionOTAA(devEUI frame.EUI64, appKey frame.AESKey) {
+	if s.otaa == nil {
+		s.otaa = make(map[frame.EUI64]*otaaDevice)
+	}
+	s.otaa[devEUI] = &otaaDevice{devEUI: devEUI, appKey: appKey}
+}
+
+// NetID is the network identifier used in join accepts.
+var defaultNetID = [3]byte{0x13, 0x00, 0x00}
+
+// HandleJoinRequest verifies a join request, activates a session, and
+// returns the encrypted JoinAccept to transmit back to the device. The
+// CFList carries up to five of the operator's planned channel frequencies
+// so joining devices start on the current channel plan.
+func (s *Server) HandleJoinRequest(raw []byte, planned []region.Channel) ([]byte, error) {
+	devEUI, err := frame.PeekJoinDevEUI(raw)
+	if err != nil {
+		return nil, err
+	}
+	dev, ok := s.otaa[devEUI]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownDevEUI, devEUI)
+	}
+	req, err := frame.DecodeJoinRequest(raw, dev.appKey)
+	if err != nil {
+		return nil, err
+	}
+	if dev.seenJoin && req.DevNonce == dev.lastNonce {
+		return nil, fmt.Errorf("%w: nonce %d", ErrJoinReplay, req.DevNonce)
+	}
+
+	// Deterministic per-join parameters: the AppNonce mixes the DevNonce
+	// and join counter so repeated joins derive fresh keys.
+	s.joinSeq++
+	acc := &frame.JoinAcceptFrame{
+		AppNonce: [3]byte{byte(s.joinSeq), byte(s.joinSeq >> 8), byte(req.DevNonce)},
+		NetID:    defaultNetID,
+		DevAddr:  s.nextDevAddr(),
+		RxDelay:  1,
+	}
+	for i, ch := range planned {
+		if i >= len(acc.CFListFreqsHz) {
+			break
+		}
+		acc.CFListFreqsHz[i] = uint64(ch.Center)
+	}
+
+	nwk, app, err := frame.DeriveSessionKeys(dev.appKey, acc.AppNonce, acc.NetID, req.DevNonce)
+	if err != nil {
+		return nil, err
+	}
+	// Replace any previous session for this device.
+	if dev.seenJoin {
+		delete(s.devices, dev.addr)
+	}
+	s.Register(acc.DevAddr, nwk, app, lora.DR0, 0)
+	dev.seenJoin = true
+	dev.lastNonce = req.DevNonce
+	dev.addr = acc.DevAddr
+	s.stats.Joins++
+
+	return frame.EncodeJoinAccept(acc, dev.appKey)
+}
+
+// nextDevAddr allocates session addresses in the server's NetID space.
+func (s *Server) nextDevAddr() frame.DevAddr {
+	s.addrSeq++
+	return frame.DevAddr(uint32(defaultNetID[0])<<25 | s.addrSeq&0x01FFFFFF)
+}

@@ -1,0 +1,167 @@
+package netserver
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/node"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// TestOTAAJoinEndToEnd walks the full activation: provision → join request
+// → join accept with the planned CFList → first data uplink under the
+// derived session keys.
+func TestOTAAJoinEndToEnd(t *testing.T) {
+	s := New()
+	id := node.OTAAIdentity{
+		DevEUI: 0x0004A30B001C0530, AppEUI: 0x70B3D57ED0000001,
+		AppKey: frame.AESKey{9, 9, 9},
+	}
+	s.ProvisionOTAA(id.DevEUI, id.AppKey)
+
+	nd := node.New(1, 1, lora.SyncPublic, phy.Pt(100, 0))
+	nd.SetOTAA(id)
+	if nd.Joined() {
+		t.Fatal("fresh OTAA node must not be joined")
+	}
+
+	req, err := nd.BuildJoinRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := []region.Channel{region.AS923.Channel(2), region.AS923.Channel(5)}
+	acc, err := s.HandleJoinRequest(req, planned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.HandleJoinAccept(acc); err != nil {
+		t.Fatal(err)
+	}
+	if !nd.Joined() {
+		t.Fatal("node must be joined")
+	}
+	if s.Stats().Joins != 1 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+	// The CFList moved the node onto the planned channels.
+	if len(nd.Channels) != 2 || nd.Channels[0] != planned[0] {
+		t.Errorf("channels = %v, want the CFList plan", nd.Channels)
+	}
+
+	// The node's first data uplink decodes at the server with the
+	// session keys both sides derived independently.
+	nd.PayloadLen = 4
+	raw, err := nd.BuildFrame([]byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	s.OnData = func(d Data) { got = d.Payload }
+	if err := s.HandleUplink(raw, UplinkMeta{Gateway: 0, SNRdB: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("ping")) {
+		t.Errorf("payload = %q", got)
+	}
+	_ = medium.NodeID(0)
+}
+
+func TestJoinUnknownDevEUI(t *testing.T) {
+	s := New()
+	nd := node.New(1, 1, lora.SyncPublic, phy.Pt(0, 0))
+	nd.SetOTAA(node.OTAAIdentity{DevEUI: 42, AppKey: frame.AESKey{1}})
+	req, _ := nd.BuildJoinRequest()
+	if _, err := s.HandleJoinRequest(req, nil); err == nil {
+		t.Error("unprovisioned DevEUI must be rejected")
+	}
+}
+
+func TestJoinWrongAppKey(t *testing.T) {
+	s := New()
+	s.ProvisionOTAA(42, frame.AESKey{1, 2, 3})
+	nd := node.New(1, 1, lora.SyncPublic, phy.Pt(0, 0))
+	nd.SetOTAA(node.OTAAIdentity{DevEUI: 42, AppKey: frame.AESKey{4, 5, 6}})
+	req, _ := nd.BuildJoinRequest()
+	if _, err := s.HandleJoinRequest(req, nil); err == nil {
+		t.Error("mismatched AppKey must fail the join MIC")
+	}
+}
+
+func TestJoinReplayRejected(t *testing.T) {
+	s := New()
+	s.ProvisionOTAA(42, frame.AESKey{7})
+	nd := node.New(1, 1, lora.SyncPublic, phy.Pt(0, 0))
+	nd.SetOTAA(node.OTAAIdentity{DevEUI: 42, AppKey: frame.AESKey{7}})
+	req, _ := nd.BuildJoinRequest()
+	if _, err := s.HandleJoinRequest(req, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.HandleJoinRequest(req, nil); err == nil {
+		t.Error("replayed join request must be rejected")
+	}
+	// A fresh request (new nonce) succeeds and replaces the session.
+	req2, _ := nd.BuildJoinRequest()
+	acc, err := s.HandleJoinRequest(req2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.HandleJoinAccept(acc); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Joins != 2 {
+		t.Errorf("joins = %d", s.Stats().Joins)
+	}
+}
+
+func TestRejoinReplacesSession(t *testing.T) {
+	s := New()
+	s.ProvisionOTAA(42, frame.AESKey{7})
+	nd := node.New(1, 1, lora.SyncPublic, phy.Pt(0, 0))
+	nd.SetOTAA(node.OTAAIdentity{DevEUI: 42, AppKey: frame.AESKey{7}})
+	req1, _ := nd.BuildJoinRequest()
+	acc1, _ := s.HandleJoinRequest(req1, nil)
+	nd.HandleJoinAccept(acc1)
+	first := nd.DevAddr
+	req2, _ := nd.BuildJoinRequest()
+	acc2, _ := s.HandleJoinRequest(req2, nil)
+	nd.HandleJoinAccept(acc2)
+	if nd.DevAddr == first {
+		t.Error("rejoin must allocate a fresh DevAddr")
+	}
+	if _, ok := s.Device(first); ok {
+		t.Error("old session must be revoked")
+	}
+	if _, ok := s.Device(nd.DevAddr); !ok {
+		t.Error("new session must exist")
+	}
+}
+
+func TestJoinDevAddrsDistinct(t *testing.T) {
+	s := New()
+	seen := map[frame.DevAddr]bool{}
+	for i := 0; i < 50; i++ {
+		eui := frame.EUI64(100 + i)
+		s.ProvisionOTAA(eui, frame.AESKey{byte(i)})
+		nd := node.New(medium.NodeID(i), 1, lora.SyncPublic, phy.Pt(0, 0))
+		nd.SetOTAA(node.OTAAIdentity{DevEUI: eui, AppKey: frame.AESKey{byte(i)}})
+		req, _ := nd.BuildJoinRequest()
+		acc, err := s.HandleJoinRequest(req, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.HandleJoinAccept(acc); err != nil {
+			t.Fatal(err)
+		}
+		if seen[nd.DevAddr] {
+			t.Fatalf("DevAddr %v reused", nd.DevAddr)
+		}
+		seen[nd.DevAddr] = true
+	}
+	if s.Devices() != 50 {
+		t.Errorf("sessions = %d", s.Devices())
+	}
+}

@@ -1,0 +1,315 @@
+// Package netserver implements the LoRaWAN network-server core that the
+// paper extends (their implementation modifies ChirpStack, itself a Go
+// network server): device sessions with MIC verification, uplink
+// deduplication across gateways, the operational log that AlphaWAN's log
+// parser consumes (§4.3.3), the standard ADR engine, and the downlink
+// MAC-command path used to reconfigure end devices.
+//
+// The server core is transport-agnostic: the simulator feeds it through
+// gateway callbacks and the live stack feeds it through the UDP
+// packet-forwarder bridge.
+package netserver
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/alphawan/alphawan/internal/adr"
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// Device is one registered end device session.
+type Device struct {
+	Addr    frame.DevAddr
+	NwkSKey frame.AESKey
+	AppSKey frame.AESKey
+
+	// DR and TXPower mirror the server's view of the device's settings.
+	DR      lora.DR
+	TXPower uint8
+
+	// ADR holds the SNR history for the standard algorithm.
+	ADR adr.State
+
+	// lastFCnt tracks the highest frame counter seen (replay guard).
+	lastFCnt uint32
+	seenAny  bool
+	// fcntDown is the next downlink frame counter.
+	fcntDown uint32
+}
+
+// LogEntry is one row of the operational log: the per-gateway receive
+// metadata ChirpStack stores and the AlphaWAN log parser consumes.
+type LogEntry struct {
+	At      des.Time
+	Gateway int
+	Dev     frame.DevAddr
+	Freq    region.Hz
+	DR      lora.DR
+	RSSIdBm float64
+	SNRdB   float64
+	FCnt    uint32
+}
+
+// UplinkMeta is the gateway-provided receive metadata for one uplink copy.
+type UplinkMeta struct {
+	Gateway int
+	Freq    region.Hz
+	DR      lora.DR
+	RSSIdBm float64
+	SNRdB   float64
+	At      des.Time
+}
+
+// Data is a deduplicated application-layer delivery.
+type Data struct {
+	Dev     *Device
+	FPort   uint8
+	Payload []byte
+	Meta    UplinkMeta // best-SNR copy
+	Copies  int
+}
+
+// Command is a downlink MAC command addressed to a device.
+type Command struct {
+	Dev  *Device
+	Cmds []frame.MACCommand
+}
+
+// Server is a LoRaWAN network server instance.
+type Server struct {
+	devices map[frame.DevAddr]*Device
+
+	// DedupWindow groups gateway copies of the same frame (ChirpStack
+	// default 200 ms; simulation copies arrive at the same instant).
+	DedupWindow des.Time
+
+	// ADREnabled runs the standard algorithm on every uplink.
+	ADREnabled bool
+	// InstallationMargin feeds the ADR computation.
+	InstallationMargin float64
+
+	// OnData receives each deduplicated application payload.
+	OnData func(Data)
+	// OnCommand receives MAC commands the server wants transmitted to a
+	// device (the control plane delivers them through the gateway's
+	// downlink path or, in simulation, directly).
+	OnCommand func(Command)
+
+	log []LogEntry
+	// dedup tracks the last delivery per (device, fcnt).
+	dedup map[dedupKey]*pendingUplink
+
+	// otaa holds provisioned-but-unjoined device identities; joinSeq and
+	// addrSeq drive AppNonce and DevAddr allocation.
+	otaa    map[frame.EUI64]*otaaDevice
+	joinSeq uint32
+	addrSeq uint32
+
+	// MaxLog bounds the operational log (oldest entries are discarded).
+	MaxLog int
+
+	stats ServerStats
+}
+
+type dedupKey struct {
+	dev  frame.DevAddr
+	fcnt uint32
+}
+
+type pendingUplink struct {
+	firstAt des.Time
+	copies  int
+	best    UplinkMeta
+}
+
+// ServerStats counts server-level events.
+type ServerStats struct {
+	Uplinks     int // gateway copies processed
+	Delivered   int // deduplicated deliveries
+	Duplicates  int
+	BadMIC      int
+	Unknown     int // unknown device address
+	Replays     int
+	ADRCommands int
+	Joins       int
+}
+
+// New creates an empty network server.
+func New() *Server {
+	return &Server{
+		devices:            make(map[frame.DevAddr]*Device),
+		dedup:              make(map[dedupKey]*pendingUplink),
+		DedupWindow:        des.Time(200 * des.Millisecond),
+		InstallationMargin: adr.DefaultInstallationMargin,
+		MaxLog:             1 << 20,
+	}
+}
+
+// Register adds a device session.
+func (s *Server) Register(addr frame.DevAddr, nwk, app frame.AESKey, dr lora.DR, txPower uint8) *Device {
+	d := &Device{Addr: addr, NwkSKey: nwk, AppSKey: app, DR: dr, TXPower: txPower}
+	s.devices[addr] = d
+	return d
+}
+
+// Device looks up a session.
+func (s *Server) Device(addr frame.DevAddr) (*Device, bool) {
+	d, ok := s.devices[addr]
+	return d, ok
+}
+
+// Devices returns the number of registered sessions.
+func (s *Server) Devices() int { return len(s.devices) }
+
+// Stats returns a snapshot of the server statistics.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// Log returns the operational log (live slice; callers must not mutate).
+func (s *Server) Log() []LogEntry { return s.log }
+
+// ClearLog discards the operational log.
+func (s *Server) ClearLog() { s.log = nil }
+
+// Errors reported by HandleUplink.
+var (
+	ErrUnknownDevice = errors.New("netserver: unknown device address")
+	ErrBadMIC        = errors.New("netserver: MIC verification failed")
+	ErrReplay        = errors.New("netserver: frame counter replay")
+)
+
+// HandleUplink processes one gateway copy of an uplink PHYPayload. It logs
+// the copy, verifies the MIC, deduplicates, delivers application data once
+// per frame, and runs ADR.
+func (s *Server) HandleUplink(raw []byte, meta UplinkMeta) error {
+	s.stats.Uplinks++
+	// Peek the DevAddr before full decode to find the session key.
+	if len(raw) < 12 {
+		return fmt.Errorf("netserver: uplink too short (%d bytes)", len(raw))
+	}
+	addr := frame.DevAddr(uint32(raw[1]) | uint32(raw[2])<<8 | uint32(raw[3])<<16 | uint32(raw[4])<<24)
+	dev, ok := s.devices[addr]
+	if !ok {
+		s.stats.Unknown++
+		return fmt.Errorf("%w: %v", ErrUnknownDevice, addr)
+	}
+	f, err := frame.Decode(raw, dev.NwkSKey, &dev.AppSKey)
+	if err != nil {
+		s.stats.BadMIC++
+		return fmt.Errorf("%w: %v", ErrBadMIC, err)
+	}
+
+	s.appendLog(LogEntry{
+		At: meta.At, Gateway: meta.Gateway, Dev: addr,
+		Freq: meta.Freq, DR: meta.DR,
+		RSSIdBm: meta.RSSIdBm, SNRdB: meta.SNRdB, FCnt: f.FCnt,
+	})
+
+	key := dedupKey{addr, f.FCnt}
+	if p, ok := s.dedup[key]; ok && meta.At-p.firstAt <= s.DedupWindow {
+		p.copies++
+		if meta.SNRdB > p.best.SNRdB {
+			p.best = meta
+		}
+		s.stats.Duplicates++
+		if s.ADREnabled && f.ADR {
+			dev.ADR.Observe(meta.SNRdB)
+		}
+		return nil
+	}
+
+	// New frame: replay guard (allow equality only for the dedup window
+	// handled above; FCnt must grow otherwise).
+	if dev.seenAny && f.FCnt <= dev.lastFCnt {
+		s.stats.Replays++
+		return fmt.Errorf("%w: fcnt %d ≤ %d", ErrReplay, f.FCnt, dev.lastFCnt)
+	}
+	dev.lastFCnt = f.FCnt
+	dev.seenAny = true
+	s.dedup[key] = &pendingUplink{firstAt: meta.At, copies: 1, best: meta}
+	s.gcDedup(meta.At)
+
+	s.stats.Delivered++
+	if s.OnData != nil && f.FPort != nil && *f.FPort > 0 {
+		s.OnData(Data{Dev: dev, FPort: *f.FPort, Payload: f.Payload, Meta: meta, Copies: 1})
+	}
+
+	if s.ADREnabled && f.ADR {
+		dev.ADR.Observe(meta.SNRdB)
+		s.runADR(dev)
+	}
+	return nil
+}
+
+// runADR computes and (when changed) issues a LinkADRReq toward the device.
+func (s *Server) runADR(dev *Device) {
+	d := adr.Compute(&dev.ADR, dev.DR, dev.TXPower, s.InstallationMargin)
+	if !d.Change {
+		return
+	}
+	dev.DR = d.DR
+	dev.TXPower = d.TXPower
+	s.stats.ADRCommands++
+	if s.OnCommand != nil {
+		s.OnCommand(Command{Dev: dev, Cmds: []frame.MACCommand{{
+			CID: frame.CIDLinkADR,
+			LinkADR: &frame.LinkADRReq{
+				DataRate: uint8(d.DR), TXPower: d.TXPower,
+				// ChMaskCntl 6: keep all defined channels enabled — this
+				// request only retargets DR and power.
+				ChMask: 0xFFFF, ChMaskCntl: 6, NbTrans: 1,
+			},
+		}}})
+	}
+}
+
+// SendChannelPlan issues NewChannelReq commands reconfiguring a device's
+// channel set — the path AlphaWAN's planner uses to move users to new
+// frequencies (§4.3.2 "LoRaWAN channel creation commands").
+func (s *Server) SendChannelPlan(dev *Device, channels []region.Channel) error {
+	if len(channels) == 0 {
+		return errors.New("netserver: empty channel plan")
+	}
+	cmds := make([]frame.MACCommand, 0, len(channels))
+	for i, ch := range channels {
+		if i > 255 {
+			return errors.New("netserver: too many channels")
+		}
+		cmds = append(cmds, frame.MACCommand{
+			CID: frame.CIDNewChannel,
+			NewChannel: &frame.NewChannelReq{
+				ChIndex: uint8(i), FreqHz: uint64(ch.Center),
+				MinDR: 0, MaxDR: uint8(lora.DR5),
+			},
+		})
+	}
+	if s.OnCommand != nil {
+		s.OnCommand(Command{Dev: dev, Cmds: cmds})
+	}
+	return nil
+}
+
+func (s *Server) appendLog(e LogEntry) {
+	s.log = append(s.log, e)
+	if s.MaxLog > 0 && len(s.log) > s.MaxLog {
+		// Drop the oldest half to amortize the copy.
+		keep := s.log[len(s.log)-s.MaxLog/2:]
+		s.log = append(s.log[:0], keep...)
+	}
+}
+
+// gcDedup drops dedup entries older than 16 windows to bound memory.
+func (s *Server) gcDedup(now des.Time) {
+	if len(s.dedup) < 4096 {
+		return
+	}
+	horizon := now - 16*s.DedupWindow
+	for k, p := range s.dedup {
+		if p.firstAt < horizon {
+			delete(s.dedup, k)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package netserver
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+var (
+	nwk = frame.AESKey{1, 2, 3}
+	app = frame.AESKey{4, 5, 6}
+)
+
+func uplink(t *testing.T, addr frame.DevAddr, fcnt uint32, payload []byte) []byte {
+	t.Helper()
+	p := uint8(1)
+	f := &frame.Frame{
+		MType: frame.UnconfirmedDataUp, DevAddr: addr, ADR: true,
+		FCnt: fcnt, FPort: &p, Payload: payload,
+	}
+	raw, err := frame.Encode(f, nwk, &app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func meta(gw int, snr float64, at des.Time) UplinkMeta {
+	return UplinkMeta{
+		Gateway: gw, Freq: region.AS923.Channel(0).Center, DR: lora.DR5,
+		RSSIdBm: snr - 117, SNRdB: snr, At: at,
+	}
+}
+
+func TestUplinkDelivery(t *testing.T) {
+	s := New()
+	s.Register(0x100, nwk, app, lora.DR0, 0)
+	var got []Data
+	s.OnData = func(d Data) { got = append(got, d) }
+
+	if err := s.HandleUplink(uplink(t, 0x100, 0, []byte("m1")), meta(1, 5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Payload) != "m1" || got[0].FPort != 1 {
+		t.Fatalf("data = %+v", got)
+	}
+	if s.Stats().Delivered != 1 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	// Three gateway copies of the same frame: one delivery, three log rows.
+	s := New()
+	s.Register(0x100, nwk, app, lora.DR0, 0)
+	var deliveries int
+	s.OnData = func(Data) { deliveries++ }
+	raw := uplink(t, 0x100, 7, []byte("x"))
+	for gw := 0; gw < 3; gw++ {
+		if err := s.HandleUplink(raw, meta(gw, float64(gw), des.Time(gw)*des.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if deliveries != 1 {
+		t.Errorf("deliveries = %d, want 1", deliveries)
+	}
+	if s.Stats().Duplicates != 2 {
+		t.Errorf("duplicates = %d, want 2", s.Stats().Duplicates)
+	}
+	if len(s.Log()) != 3 {
+		t.Errorf("log rows = %d, want 3 (every gateway copy)", len(s.Log()))
+	}
+}
+
+func TestUnknownDevice(t *testing.T) {
+	s := New()
+	err := s.HandleUplink(uplink(t, 0x999, 0, []byte("x")), meta(0, 5, 0))
+	if err == nil {
+		t.Error("unknown device must be rejected")
+	}
+	if s.Stats().Unknown != 1 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+}
+
+func TestBadMIC(t *testing.T) {
+	s := New()
+	s.Register(0x100, nwk, app, lora.DR0, 0)
+	raw := uplink(t, 0x100, 0, []byte("x"))
+	raw[len(raw)-1] ^= 0xFF
+	if err := s.HandleUplink(raw, meta(0, 5, 0)); err == nil {
+		t.Error("tampered frame must fail the MIC")
+	}
+	if s.Stats().BadMIC != 1 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+	if len(s.Log()) != 0 {
+		t.Error("frames failing the MIC must not enter the log")
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	s := New()
+	s.Register(0x100, nwk, app, lora.DR0, 0)
+	if err := s.HandleUplink(uplink(t, 0x100, 5, []byte("a")), meta(0, 5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Much later (outside the dedup window), the same FCnt is a replay.
+	err := s.HandleUplink(uplink(t, 0x100, 5, []byte("a")), meta(0, 5, des.Hour))
+	if err == nil {
+		t.Error("replayed frame counter must be rejected")
+	}
+	if err2 := s.HandleUplink(uplink(t, 0x100, 4, []byte("b")), meta(0, 5, des.Hour)); err2 == nil {
+		t.Error("lower frame counter must be rejected")
+	}
+	if s.Stats().Replays != 2 {
+		t.Errorf("stats = %+v", s.Stats())
+	}
+}
+
+func TestADRIssuesLinkADR(t *testing.T) {
+	s := New()
+	s.ADREnabled = true
+	dev := s.Register(0x100, nwk, app, lora.DR0, 0)
+	var cmds []Command
+	s.OnCommand = func(c Command) { cmds = append(cmds, c) }
+	// A strong uplink (+10 dB): margin 10-(-20)-10 = 20 dB → DR5 + power
+	// steps.
+	if err := s.HandleUplink(uplink(t, 0x100, 0, []byte("x")), meta(0, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 1 || cmds[0].Cmds[0].LinkADR == nil {
+		t.Fatalf("commands = %+v", cmds)
+	}
+	req := cmds[0].Cmds[0].LinkADR
+	if lora.DR(req.DataRate) != lora.DR5 {
+		t.Errorf("ADR DR = %d, want 5", req.DataRate)
+	}
+	if dev.DR != lora.DR5 {
+		t.Error("server view of the device must update")
+	}
+	// Subsequent uplinks keep trimming power until the margin is spent,
+	// then the algorithm goes quiet (convergence).
+	for i := uint32(1); i < 10; i++ {
+		if err := s.HandleUplink(uplink(t, 0x100, i, []byte("x")), meta(0, 10, des.Time(i)*des.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	converged := len(cmds)
+	for i := uint32(10); i < 15; i++ {
+		if err := s.HandleUplink(uplink(t, 0x100, i, []byte("x")), meta(0, 10, des.Time(i)*des.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(cmds) != converged {
+		t.Errorf("stable link must converge: %d commands grew to %d", converged, len(cmds))
+	}
+	if dev.DR != lora.DR5 {
+		t.Error("converged DR must stay at DR5")
+	}
+}
+
+func TestADRDisabledIssuesNothing(t *testing.T) {
+	s := New()
+	s.Register(0x100, nwk, app, lora.DR0, 0)
+	var cmds int
+	s.OnCommand = func(Command) { cmds++ }
+	s.HandleUplink(uplink(t, 0x100, 0, []byte("x")), meta(0, 10, 0))
+	if cmds != 0 {
+		t.Error("ADR disabled must not send commands")
+	}
+}
+
+func TestSendChannelPlan(t *testing.T) {
+	s := New()
+	dev := s.Register(0x100, nwk, app, lora.DR0, 0)
+	var got []frame.MACCommand
+	s.OnCommand = func(c Command) { got = c.Cmds }
+	chans := []region.Channel{region.AS923.Channel(2), region.AS923.Channel(5)}
+	if err := s.SendChannelPlan(dev, chans); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("commands = %d, want 2", len(got))
+	}
+	if got[0].NewChannel.FreqHz != uint64(region.AS923.Channel(2).Center) {
+		t.Errorf("freq = %d", got[0].NewChannel.FreqHz)
+	}
+	if got[1].NewChannel.ChIndex != 1 {
+		t.Errorf("chIndex = %d", got[1].NewChannel.ChIndex)
+	}
+	if err := s.SendChannelPlan(dev, nil); err == nil {
+		t.Error("empty plan must be rejected")
+	}
+}
+
+func TestLogBounded(t *testing.T) {
+	s := New()
+	s.MaxLog = 100
+	s.Register(0x100, nwk, app, lora.DR0, 0)
+	for i := 0; i < 500; i++ {
+		s.HandleUplink(uplink(t, 0x100, uint32(i), []byte("x")), meta(0, 5, des.Time(i)*des.Second))
+	}
+	if len(s.Log()) > 100 {
+		t.Errorf("log grew to %d rows, cap 100", len(s.Log()))
+	}
+	s.ClearLog()
+	if len(s.Log()) != 0 {
+		t.Error("ClearLog must discard rows")
+	}
+}
+
+func TestShortUplinkRejected(t *testing.T) {
+	s := New()
+	if err := s.HandleUplink([]byte{1, 2, 3}, meta(0, 5, 0)); err == nil {
+		t.Error("short uplink must be rejected")
+	}
+}
+
+func TestBestSNRTracked(t *testing.T) {
+	s := New()
+	s.Register(0x100, nwk, app, lora.DR0, 0)
+	raw := uplink(t, 0x100, 0, []byte("x"))
+	s.HandleUplink(raw, meta(0, 2, 0))
+	s.HandleUplink(raw, meta(1, 9, des.Millisecond))
+	// dedup entry's best copy should be gateway 1.
+	p := s.dedup[dedupKey{0x100, 0}]
+	if p == nil || p.best.Gateway != 1 || p.copies != 2 {
+		t.Errorf("pending = %+v", p)
+	}
+}
+
+func TestDeviceLookup(t *testing.T) {
+	s := New()
+	s.Register(0x42, nwk, app, lora.DR3, 2)
+	d, ok := s.Device(0x42)
+	if !ok || d.DR != lora.DR3 {
+		t.Errorf("device = %+v, %v", d, ok)
+	}
+	if _, ok := s.Device(0x43); ok {
+		t.Error("unknown lookup must fail")
+	}
+	if s.Devices() != 1 {
+		t.Error("device count")
+	}
+}

@@ -1,0 +1,75 @@
+package node
+
+import (
+	"fmt"
+
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// Downlink is a processed downlink frame.
+type Downlink struct {
+	// FPort and Payload carry application data (FPort > 0).
+	FPort   uint8
+	Payload []byte
+	// Answers are the MAC-command answers the node queues for its next
+	// uplink.
+	Answers []frame.MACCommand
+}
+
+// HandleDownlink decodes a downlink frame addressed to this node, applies
+// any MAC commands (from FOpts or an FPort-0 payload), and returns the
+// application payload plus the MAC answers. universe is the channel table
+// LinkADRReq channel masks index into.
+func (n *Node) HandleDownlink(raw []byte, universe []region.Channel) (*Downlink, error) {
+	f, err := frame.Decode(raw, n.NwkSKey, &n.AppSKey)
+	if err != nil {
+		return nil, err
+	}
+	if f.MType.Uplink() {
+		return nil, fmt.Errorf("node %d: not a downlink frame", n.ID)
+	}
+	if f.DevAddr != n.DevAddr {
+		return nil, fmt.Errorf("node %d: downlink for %v, I am %v", n.ID, f.DevAddr, n.DevAddr)
+	}
+	out := &Downlink{}
+
+	apply := func(cmdBytes []byte) error {
+		cmds, err := frame.ParseCommands(cmdBytes, false)
+		if err != nil {
+			return err
+		}
+		for _, c := range cmds {
+			switch {
+			case c.LinkADR != nil:
+				ans := n.HandleLinkADR(*c.LinkADR, universe)
+				out.Answers = append(out.Answers, frame.MACCommand{
+					CID: frame.CIDLinkADR, LinkADRAns: &ans,
+				})
+			case c.NewChannel != nil:
+				ans := n.HandleNewChannel(*c.NewChannel)
+				out.Answers = append(out.Answers, frame.MACCommand{
+					CID: frame.CIDNewChannel, NewChanAns: &ans,
+				})
+			}
+		}
+		return nil
+	}
+
+	if len(f.FOpts) > 0 {
+		if err := apply(f.FOpts); err != nil {
+			return nil, err
+		}
+	}
+	if f.FPort != nil {
+		if *f.FPort == 0 {
+			if err := apply(f.Payload); err != nil {
+				return nil, err
+			}
+		} else {
+			out.FPort = *f.FPort
+			out.Payload = f.Payload
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package node
+
+import (
+	"fmt"
+
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// Over-the-air activation: a factory-fresh device holds only (DevEUI,
+// AppEUI, AppKey); the join exchange assigns its DevAddr and session keys
+// and — through the CFList — the operator's current channel plan.
+
+// OTAAIdentity is a device's factory identity.
+type OTAAIdentity struct {
+	DevEUI frame.EUI64
+	AppEUI frame.EUI64
+	AppKey frame.AESKey
+}
+
+// SetOTAA installs a factory identity on the node and clears any session
+// state (the node must join before sending data).
+func (n *Node) SetOTAA(id OTAAIdentity) {
+	n.otaa = &id
+	n.joined = false
+	n.devNonce = uint16(n.ID)*257 + 1
+}
+
+// Joined reports whether the node holds a live session.
+func (n *Node) Joined() bool { return n.otaa == nil || n.joined }
+
+// BuildJoinRequest produces the next join request (incrementing the
+// DevNonce so retries are not replays).
+func (n *Node) BuildJoinRequest() ([]byte, error) {
+	if n.otaa == nil {
+		return nil, fmt.Errorf("node %d: no OTAA identity", n.ID)
+	}
+	n.devNonce++
+	return frame.EncodeJoinRequest(&frame.JoinRequestFrame{
+		AppEUI: n.otaa.AppEUI, DevEUI: n.otaa.DevEUI, DevNonce: n.devNonce,
+	}, n.otaa.AppKey)
+}
+
+// HandleJoinAccept processes the server's reply: derives session keys,
+// installs the assigned DevAddr, and adopts the CFList channels when
+// present.
+func (n *Node) HandleJoinAccept(raw []byte) error {
+	if n.otaa == nil {
+		return fmt.Errorf("node %d: no OTAA identity", n.ID)
+	}
+	acc, err := frame.DecodeJoinAccept(raw, n.otaa.AppKey)
+	if err != nil {
+		return err
+	}
+	nwk, app, err := frame.SessionFromJoin(n.otaa.AppKey, acc, n.devNonce)
+	if err != nil {
+		return err
+	}
+	n.DevAddr = acc.DevAddr
+	n.NwkSKey = nwk
+	n.AppSKey = app
+	n.joined = true
+	n.fcnt = 0
+
+	var cf []region.Channel
+	for _, f := range acc.CFListFreqsHz {
+		if f == 0 {
+			continue
+		}
+		cf = append(cf, region.Channel{Center: region.Hz(f), Bandwidth: lora.BW125})
+	}
+	if len(cf) > 0 {
+		n.Channels = cf
+		n.chHop = 0
+	}
+	return nil
+}

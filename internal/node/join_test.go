@@ -1,0 +1,93 @@
+package node
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/phy"
+)
+
+func TestSetOTAAClearsSession(t *testing.T) {
+	n := New(1, 1, lora.SyncPublic, phy.Pt(0, 0))
+	if !n.Joined() {
+		t.Fatal("an ABP node (no OTAA identity) counts as joined")
+	}
+	n.SetOTAA(OTAAIdentity{DevEUI: 1, AppEUI: 2, AppKey: frame.AESKey{3}})
+	if n.Joined() {
+		t.Error("after SetOTAA the node must be unjoined")
+	}
+}
+
+func TestBuildJoinRequestIncrementsNonce(t *testing.T) {
+	n := New(1, 1, lora.SyncPublic, phy.Pt(0, 0))
+	n.SetOTAA(OTAAIdentity{DevEUI: 7, AppKey: frame.AESKey{1}})
+	r1, err := n.BuildJoinRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := n.BuildJoinRequest()
+	j1, _ := frame.DecodeJoinRequest(r1, frame.AESKey{1})
+	j2, _ := frame.DecodeJoinRequest(r2, frame.AESKey{1})
+	if j2.DevNonce != j1.DevNonce+1 {
+		t.Errorf("nonce must increment: %d then %d", j1.DevNonce, j2.DevNonce)
+	}
+}
+
+func TestBuildJoinRequestWithoutIdentity(t *testing.T) {
+	n := New(1, 1, lora.SyncPublic, phy.Pt(0, 0))
+	if _, err := n.BuildJoinRequest(); err == nil {
+		t.Error("ABP node must not build join requests")
+	}
+	if err := n.HandleJoinAccept(nil); err == nil {
+		t.Error("ABP node must not handle join accepts")
+	}
+}
+
+func TestHandleJoinAcceptAdoptsCFList(t *testing.T) {
+	key := frame.AESKey{9}
+	n := New(1, 1, lora.SyncPublic, phy.Pt(0, 0))
+	n.SetOTAA(OTAAIdentity{DevEUI: 7, AppKey: key})
+	raw, _ := n.BuildJoinRequest()
+	req, _ := frame.DecodeJoinRequest(raw, key)
+	acc := &frame.JoinAcceptFrame{
+		AppNonce: [3]byte{1, 2, 3}, NetID: [3]byte{0x13},
+		DevAddr: 0x26000042, RxDelay: 1,
+		CFListFreqsHz: [5]uint64{923_300_000, 923_500_000, 0, 0, 0},
+	}
+	wire, err := frame.EncodeJoinAccept(acc, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.HandleJoinAccept(wire); err != nil {
+		t.Fatal(err)
+	}
+	if n.DevAddr != 0x26000042 || !n.Joined() {
+		t.Errorf("node = addr %v joined %v", n.DevAddr, n.Joined())
+	}
+	if len(n.Channels) != 2 || n.Channels[0].Center != 923_300_000 {
+		t.Errorf("channels = %v", n.Channels)
+	}
+	if n.FCnt() != 0 {
+		t.Error("join must reset the frame counter")
+	}
+	// Keys match the server-side derivation for this nonce.
+	nwk, app, _ := frame.SessionFromJoin(key, acc, req.DevNonce)
+	if n.NwkSKey != nwk || n.AppSKey != app {
+		t.Error("session keys must match the join derivation")
+	}
+}
+
+func TestHandleJoinAcceptRejectsWrongKey(t *testing.T) {
+	n := New(1, 1, lora.SyncPublic, phy.Pt(0, 0))
+	n.SetOTAA(OTAAIdentity{DevEUI: 7, AppKey: frame.AESKey{1}})
+	n.BuildJoinRequest()
+	acc := &frame.JoinAcceptFrame{DevAddr: 1, RxDelay: 1}
+	wire, _ := frame.EncodeJoinAccept(acc, frame.AESKey{2}) // foreign key
+	if err := n.HandleJoinAccept(wire); err == nil {
+		t.Error("a join accept under the wrong AppKey must fail")
+	}
+	if n.Joined() {
+		t.Error("failed join must leave the node unjoined")
+	}
+}

@@ -1,0 +1,235 @@
+// Package node models a LoRaWAN end device: transmission parameters
+// (channel set, data rate, transmit power), frame construction with real
+// session keys, duty-cycle accounting, and the MAC-command handling that
+// lets the network server — and AlphaWAN's channel planner — reconfigure
+// it over the air (§4.3.3 "End-devices").
+package node
+
+import (
+	"fmt"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// Node is one LoRaWAN end device.
+type Node struct {
+	ID      medium.NodeID
+	Network medium.NetworkID
+	Sync    lora.SyncWord
+	DevAddr frame.DevAddr
+	NwkSKey frame.AESKey
+	AppSKey frame.AESKey
+	Pos     phy.Point
+
+	// Channels is the set of uplink channels the node hops across.
+	Channels []region.Channel
+	// DR and PowerDBm are the current ADR-managed settings.
+	DR       lora.DR
+	PowerDBm float64
+	// PayloadLen is the application payload size (the paper uses 10 B).
+	PayloadLen int
+	// DutyCycle caps the node's airtime fraction (1% per regulation).
+	DutyCycle float64
+
+	fcnt uint32
+	// airtimeUsed accumulates on-air time for duty-cycle accounting.
+	airtimeUsed des.Time
+	// nextAllowed is the earliest time the duty cycle permits another
+	// transmission.
+	nextAllowed des.Time
+
+	// chHop deterministically cycles channels.
+	chHop int
+
+	// OTAA state (see join.go).
+	otaa     *OTAAIdentity
+	joined   bool
+	devNonce uint16
+}
+
+// New creates a node with LoRaWAN defaults: DR0 (most robust), 14 dBm,
+// 10-byte payloads, 1% duty cycle, and session keys derived from the
+// device address.
+func New(id medium.NodeID, network medium.NetworkID, sync lora.SyncWord, pos phy.Point) *Node {
+	n := &Node{
+		ID: id, Network: network, Sync: sync,
+		DevAddr:    frame.DevAddr(uint32(network)<<25 | uint32(id)&0x01FFFFFF),
+		Pos:        pos,
+		DR:         lora.DR0,
+		PowerDBm:   14,
+		PayloadLen: 10,
+		DutyCycle:  0.01,
+	}
+	// Deterministic per-device session keys (an OTAA join would derive
+	// them; the experiments do not exercise join traffic).
+	appKey := frame.AESKey{0x2b, 0x7e, 0x15, 0x16}
+	nwk, app, _ := frame.DeriveSessionKeys(appKey, [3]byte{byte(network)}, [3]byte{0x13}, uint16(id))
+	n.NwkSKey, n.AppSKey = nwk, app
+	return n
+}
+
+// FCnt returns the node's current uplink frame counter.
+func (n *Node) FCnt() uint32 { return n.fcnt }
+
+// NextChannel returns the channel the node will use for its next uplink
+// and advances the hop sequence. LoRaWAN nodes hop pseudo-randomly; a
+// round-robin over the configured set has the same statistics and keeps
+// the simulation deterministic.
+func (n *Node) NextChannel() region.Channel {
+	if len(n.Channels) == 0 {
+		panic(fmt.Sprintf("node %d: no channels configured", n.ID))
+	}
+	ch := n.Channels[n.chHop%len(n.Channels)]
+	n.chHop++
+	return ch
+}
+
+// BuildFrame encodes a real LoRaWAN uplink with the node's session keys.
+func (n *Node) BuildFrame(payload []byte) ([]byte, error) {
+	p := uint8(1)
+	f := &frame.Frame{
+		MType:   frame.UnconfirmedDataUp,
+		DevAddr: n.DevAddr,
+		ADR:     true,
+		FCnt:    n.fcnt,
+		FPort:   &p,
+		Payload: payload,
+	}
+	return frame.Encode(f, n.NwkSKey, &n.AppSKey)
+}
+
+// CanSend reports whether the duty cycle permits a transmission now.
+func (n *Node) CanSend(now des.Time) bool { return now >= n.nextAllowed }
+
+// NextAllowed returns the earliest time the duty-cycle regulator permits
+// the next transmission.
+func (n *Node) NextAllowed() des.Time { return n.nextAllowed }
+
+// Send transmits one uplink on the next hop channel, updating duty-cycle
+// state. It returns the transmission, or an error when the duty cycle
+// forbids sending.
+func (n *Node) Send(med *medium.Medium) (*medium.Transmission, error) {
+	now := med.Sim().Now()
+	if !n.CanSend(now) {
+		return nil, fmt.Errorf("node %d: duty cycle blocks until %v", n.ID, n.nextAllowed)
+	}
+	return n.forceSend(med, n.NextChannel())
+}
+
+// SendOn transmits on a specific channel, bypassing the hop sequence but
+// honoring the duty cycle — used by scheduled experiments.
+func (n *Node) SendOn(med *medium.Medium, ch region.Channel) (*medium.Transmission, error) {
+	now := med.Sim().Now()
+	if !n.CanSend(now) {
+		return nil, fmt.Errorf("node %d: duty cycle blocks until %v", n.ID, n.nextAllowed)
+	}
+	return n.forceSend(med, ch)
+}
+
+func (n *Node) forceSend(med *medium.Medium, ch region.Channel) (*medium.Transmission, error) {
+	payload := make([]byte, n.PayloadLen)
+	payload[0] = byte(n.ID)
+	raw, err := n.BuildFrame(payload)
+	if err != nil {
+		return nil, err
+	}
+	n.fcnt++
+	air := des.FromDuration(lora.DefaultParams(n.DR).Airtime(len(raw)))
+	// Duty-cycle: after t seconds on air, stay silent t*(1-dc)/dc.
+	// DutyCycle 1 degenerates to pure self-serialization (no silence, but
+	// never two own packets on air at once) — used by the multi-user
+	// emulation of §5.2.1.
+	if n.DutyCycle > 0 && n.DutyCycle <= 1 {
+		silence := des.Time(float64(air) * (1 - n.DutyCycle) / n.DutyCycle)
+		n.nextAllowed = med.Sim().Now() + air + silence
+	}
+	n.airtimeUsed += air
+
+	tx := med.Transmit(medium.Transmission{
+		Node: n.ID, Network: n.Network, Sync: n.Sync,
+		Channel: ch, DR: n.DR, PayloadLen: len(raw), Raw: raw,
+		PowerDBm: n.PowerDBm, Pos: n.Pos,
+	})
+	return tx, nil
+}
+
+// AirtimeUsed returns the node's cumulative on-air time.
+func (n *Node) AirtimeUsed() des.Time { return n.airtimeUsed }
+
+// HandleLinkADR applies a LinkADRReq from the network server: data rate,
+// TX power index, and a channel mask over the node's allowed channel
+// universe. It returns the LinkADRAns the node would transmit.
+func (n *Node) HandleLinkADR(req frame.LinkADRReq, universe []region.Channel) frame.LinkADRAns {
+	ans := frame.LinkADRAns{ChannelMaskACK: true, DataRateACK: true, PowerACK: true}
+	if !lora.DR(req.DataRate).Valid() {
+		ans.DataRateACK = false
+	}
+	if req.TXPower >= phy.NumTXPowers {
+		ans.PowerACK = false
+	}
+	var chs []region.Channel
+	if req.ChMaskCntl == 6 {
+		// ChMaskCntl 6: enable all defined channels (LoRaWAN regional
+		// parameters) — the form the server uses for pure DR/power
+		// updates.
+		chs = append(chs, universe...)
+	} else {
+		base := int(req.ChMaskCntl) * 16
+		for b := 0; b < 16; b++ {
+			if req.ChMask&(1<<b) == 0 {
+				continue
+			}
+			idx := base + b
+			if idx >= len(universe) {
+				ans.ChannelMaskACK = false
+				break
+			}
+			chs = append(chs, universe[idx])
+		}
+	}
+	if len(chs) == 0 {
+		ans.ChannelMaskACK = false
+	}
+	if !ans.OK() {
+		return ans
+	}
+	n.DR = lora.DR(req.DataRate)
+	n.PowerDBm = phy.TXPowerIndexDBm(req.TXPower)
+	n.Channels = chs
+	n.chHop = 0
+	return ans
+}
+
+// HandleNewChannel applies a NewChannelReq, growing or replacing the
+// node's channel list at the given index.
+func (n *Node) HandleNewChannel(req frame.NewChannelReq) frame.NewChannelAns {
+	ans := frame.NewChannelAns{ChannelFreqOK: true, DataRateOK: true}
+	if req.MaxDR > uint8(lora.DR5) || req.MinDR > req.MaxDR {
+		ans.DataRateOK = false
+	}
+	if req.FreqHz < 100_000_000 {
+		ans.ChannelFreqOK = false
+	}
+	if !ans.OK() {
+		return ans
+	}
+	ch := region.Channel{Center: region.Hz(req.FreqHz), Bandwidth: lora.BW125}
+	for int(req.ChIndex) >= len(n.Channels) {
+		n.Channels = append(n.Channels, region.Channel{})
+	}
+	n.Channels[req.ChIndex] = ch
+	// Drop any zero placeholders when the index skipped ahead.
+	kept := n.Channels[:0]
+	for _, c := range n.Channels {
+		if c.Bandwidth != 0 {
+			kept = append(kept, c)
+		}
+	}
+	n.Channels = kept
+	return ans
+}

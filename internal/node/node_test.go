@@ -1,0 +1,226 @@
+package node
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+func newNode(id medium.NodeID) *Node {
+	n := New(id, 1, lora.SyncPublic, phy.Pt(100, 0))
+	n.Channels = region.AS923.AllChannels()
+	return n
+}
+
+func newMedium() *medium.Medium {
+	e := phy.Urban(1)
+	e.ShadowSigma = 0
+	return medium.New(des.New(1), e)
+}
+
+func TestBuildFrameDecodes(t *testing.T) {
+	n := newNode(42)
+	raw, err := n.BuildFrame([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := frame.Decode(raw, n.NwkSKey, &n.AppSKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DevAddr != n.DevAddr || string(f.Payload) != "hello" {
+		t.Errorf("frame = %+v", f)
+	}
+	if !f.ADR {
+		t.Error("uplinks must set the ADR flag")
+	}
+}
+
+func TestDevAddrEmbedsNetwork(t *testing.T) {
+	a := New(1, 3, lora.SyncPublic, phy.Pt(0, 0))
+	b := New(1, 4, lora.SyncPublic, phy.Pt(0, 0))
+	if a.DevAddr.NwkID() == b.DevAddr.NwkID() {
+		t.Error("different networks must yield different NwkIDs")
+	}
+}
+
+func TestSessionKeysPerDevice(t *testing.T) {
+	a, b := newNode(1), newNode(2)
+	if a.NwkSKey == b.NwkSKey || a.AppSKey == b.AppSKey {
+		t.Error("devices must have distinct session keys")
+	}
+}
+
+func TestChannelHopCyclesAll(t *testing.T) {
+	n := newNode(1)
+	seen := map[region.Hz]int{}
+	for i := 0; i < 16; i++ {
+		seen[n.NextChannel().Center]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("hop covered %d channels, want 8", len(seen))
+	}
+	for f, c := range seen {
+		if c != 2 {
+			t.Errorf("channel %v used %d times, want 2", f, c)
+		}
+	}
+}
+
+func TestNextChannelPanicsWithoutChannels(t *testing.T) {
+	n := New(1, 1, lora.SyncPublic, phy.Pt(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("NextChannel with no channels must panic")
+		}
+	}()
+	n.NextChannel()
+}
+
+func TestSendIncrementsFCnt(t *testing.T) {
+	med := newMedium()
+	n := newNode(1)
+	var sent int
+	med.Sim().At(0, func() {
+		if _, err := n.Send(med); err != nil {
+			t.Error(err)
+		}
+		sent++
+	})
+	med.Sim().Run()
+	if n.FCnt() != 1 {
+		t.Errorf("FCnt = %d, want 1", n.FCnt())
+	}
+}
+
+func TestDutyCycleEnforced(t *testing.T) {
+	med := newMedium()
+	n := newNode(1)
+	n.DR = lora.DR5
+	med.Sim().At(0, func() {
+		if _, err := n.Send(med); err != nil {
+			t.Fatal(err)
+		}
+		// Immediate second send must be blocked by the 1% duty cycle.
+		if _, err := n.Send(med); err == nil {
+			t.Error("second immediate send must violate the duty cycle")
+		}
+	})
+	// A DR5 23-byte frame is ~57 ms on air → ~5.7 s of silence at 1%.
+	med.Sim().At(3*des.Second, func() {
+		if n.CanSend(med.Sim().Now()) {
+			t.Error("3 s is too soon for the 1% duty cycle")
+		}
+	})
+	med.Sim().At(10*des.Second, func() {
+		if !n.CanSend(med.Sim().Now()) {
+			t.Error("10 s must satisfy the duty cycle")
+		}
+	})
+	med.Sim().Run()
+}
+
+func TestAirtimeAccounting(t *testing.T) {
+	med := newMedium()
+	n := newNode(1)
+	n.DR = lora.DR5
+	med.Sim().At(0, func() { n.Send(med) })
+	med.Sim().Run()
+	want := des.FromDuration(lora.DefaultParams(lora.DR5).Airtime(n.PayloadLen + 13))
+	if n.AirtimeUsed() != want {
+		t.Errorf("airtime = %v, want %v", n.AirtimeUsed(), want)
+	}
+}
+
+func TestHandleLinkADR(t *testing.T) {
+	n := newNode(1)
+	universe := region.AS923.AllChannels()
+	ans := n.HandleLinkADR(frame.LinkADRReq{
+		DataRate: 5, TXPower: 2, ChMask: 0b00001111, NbTrans: 1,
+	}, universe)
+	if !ans.OK() {
+		t.Fatalf("ans = %+v", ans)
+	}
+	if n.DR != lora.DR5 {
+		t.Errorf("DR = %v, want DR5", n.DR)
+	}
+	if n.PowerDBm != 16 {
+		t.Errorf("power = %v, want 16 dBm (index 2)", n.PowerDBm)
+	}
+	if len(n.Channels) != 4 {
+		t.Errorf("channels = %d, want 4", len(n.Channels))
+	}
+}
+
+func TestHandleLinkADRRejectsBadMask(t *testing.T) {
+	n := newNode(1)
+	universe := region.AS923.AllChannels()
+	before := n.DR
+	// Mask selects channel 12 of an 8-channel universe.
+	ans := n.HandleLinkADR(frame.LinkADRReq{DataRate: 5, TXPower: 0, ChMask: 1 << 12}, universe)
+	if ans.ChannelMaskACK {
+		t.Error("mask beyond the universe must NACK")
+	}
+	if n.DR != before {
+		t.Error("a NACKed request must not change state")
+	}
+	// Empty mask must NACK too.
+	ans = n.HandleLinkADR(frame.LinkADRReq{DataRate: 5, TXPower: 0, ChMask: 0}, universe)
+	if ans.ChannelMaskACK {
+		t.Error("empty mask must NACK")
+	}
+}
+
+func TestHandleLinkADRRejectsBadDR(t *testing.T) {
+	n := newNode(1)
+	ans := n.HandleLinkADR(frame.LinkADRReq{DataRate: 9, TXPower: 0, ChMask: 1}, region.AS923.AllChannels())
+	if ans.DataRateACK {
+		t.Error("DR9 is not a 125 kHz uplink rate")
+	}
+}
+
+func TestHandleNewChannel(t *testing.T) {
+	n := newNode(1)
+	n.Channels = n.Channels[:2]
+	ans := n.HandleNewChannel(frame.NewChannelReq{
+		ChIndex: 2, FreqHz: 924_500_000, MinDR: 0, MaxDR: 5,
+	})
+	if !ans.OK() {
+		t.Fatalf("ans = %+v", ans)
+	}
+	if len(n.Channels) != 3 || n.Channels[2].Center != region.MHz(924.5) {
+		t.Errorf("channels = %v", n.Channels)
+	}
+}
+
+func TestHandleNewChannelRejects(t *testing.T) {
+	n := newNode(1)
+	if ans := n.HandleNewChannel(frame.NewChannelReq{FreqHz: 50}); ans.ChannelFreqOK {
+		t.Error("sub-100 MHz frequency must NACK")
+	}
+	if ans := n.HandleNewChannel(frame.NewChannelReq{FreqHz: 924_500_000, MinDR: 5, MaxDR: 2}); ans.DataRateOK {
+		t.Error("MinDR > MaxDR must NACK")
+	}
+}
+
+func TestSendOnUsesGivenChannel(t *testing.T) {
+	med := newMedium()
+	n := newNode(1)
+	var got region.Channel
+	med.OnAirDone = func(tx *medium.Transmission) { got = tx.Channel }
+	target := region.AS923.Channel(5)
+	med.Sim().At(0, func() {
+		if _, err := n.SendOn(med, target); err != nil {
+			t.Error(err)
+		}
+	})
+	med.Sim().Run()
+	if got != target {
+		t.Errorf("sent on %v, want %v", got, target)
+	}
+}

@@ -1,0 +1,341 @@
+// Package radio models the packet-reception pipeline of a COTS LoRaWAN
+// gateway radio, as reverse-engineered by the paper (§3.1, Appendix C):
+//
+//	RF front-end → per-chain packet detector → FCFS dispatcher → decoder pool
+//
+// The pivotal behaviours reproduced here are:
+//
+//  1. Lock-on: a packet enters the pipeline when its *preamble finishes*,
+//     not when it starts (Figure 3a/b).
+//  2. FCFS dispatch: the dispatcher allocates decoders strictly in lock-on
+//     order across all Rx chains; when the pool is exhausted, later
+//     packets are dropped regardless of SNR or channel (Figure 3c/d).
+//  3. Decode-then-filter: the sync word distinguishing coexisting networks
+//     is only available after decoding, so foreign packets occupy decoders
+//     all the way through (Figure 3e/f) — the decoder contention problem.
+//
+// The radio knows nothing about propagation; the medium package evaluates
+// whether a locked-on packet actually decodes (SINR, capture) through the
+// judge callback supplied at lock-on.
+package radio
+
+import (
+	"fmt"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// Chipset describes the reception resources of a gateway radio
+// (Table 4 of the paper).
+type Chipset struct {
+	Name string
+	// RxChains is the number of concurrent 125 kHz channels the radio can
+	// monitor (the "+1" wideband/FSK chain of real chipsets is ignored —
+	// the paper's experiments never use it).
+	RxChains int
+	// Decoders is the size of the packet-decoder pool: the hard limit on
+	// concurrent receptions.
+	Decoders int
+	// SpanHz is the maximal frequency span between the lowest and highest
+	// configured channel edges ("maximal radio bandwidth" B_j in §4.3.1).
+	SpanHz region.Hz
+}
+
+// Chipset profiles from Table 4.
+var (
+	SX1301 = Chipset{Name: "SX1301", RxChains: 8, Decoders: 8, SpanHz: 1_600_000}
+	SX1308 = Chipset{Name: "SX1308", RxChains: 8, Decoders: 8, SpanHz: 1_600_000}
+	SX1302 = Chipset{Name: "SX1302", RxChains: 8, Decoders: 16, SpanHz: 1_600_000}
+	SX1303 = Chipset{Name: "SX1303x2", RxChains: 16, Decoders: 32, SpanHz: 3_200_000}
+)
+
+// GatewayModel is one commercial gateway product (Table 4).
+type GatewayModel struct {
+	Manufacturer string
+	Model        string
+	Chipset      Chipset
+}
+
+// TheoreticalCapacity returns the concurrent-user capacity of the
+// channels the radio monitors (chains × orthogonal DRs) — what the
+// decoder pool would need to support to avoid contention.
+func (m GatewayModel) TheoreticalCapacity() int { return m.Chipset.RxChains * lora.NumDRs }
+
+// PracticalCapacity returns the decoder-pool bound on concurrent packets.
+func (m GatewayModel) PracticalCapacity() int { return m.Chipset.Decoders }
+
+// Models reproduces Table 4.
+var Models = []GatewayModel{
+	{"Dragino", "LPS8N", SX1302},
+	{"Dragino", "LPS8V2", SX1302},
+	{"RAKwireless", "RAK7246G", SX1308},
+	{"RAKwireless", "RAK7268CV2", SX1302},
+	{"RAKwireless", "RAK7289CV2", SX1303},
+	{"Kerlink", "Wirnet iBTS", SX1301},
+	{"Kerlink", "Wirnet iFemtoCell", SX1301},
+}
+
+// DropReason classifies why the radio did not deliver a packet.
+type DropReason int
+
+// Drop reasons. The distinction drives the loss-cause breakdowns of
+// Figures 4 and 13c.
+const (
+	// DropNone means the packet was delivered.
+	DropNone DropReason = iota
+	// DropNoDecoder: the dispatcher found the decoder pool exhausted at
+	// lock-on — the decoder contention problem.
+	DropNoDecoder
+	// DropChannelContention: decode failed against an interferer with
+	// identical transmission settings (same channel, same SF).
+	DropChannelContention
+	// DropWeakSignal: decode failed on SINR (noise, cross-channel or
+	// cross-SF interference, poor link).
+	DropWeakSignal
+	// DropForeignNetwork: the packet decoded fine but carried another
+	// network's sync word; it is discarded after having consumed a
+	// decoder (decode-then-filter).
+	DropForeignNetwork
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropNone:
+		return "delivered"
+	case DropNoDecoder:
+		return "decoder-contention"
+	case DropChannelContention:
+		return "channel-contention"
+	case DropWeakSignal:
+		return "weak-signal"
+	case DropForeignNetwork:
+		return "foreign-network"
+	}
+	return fmt.Sprintf("DropReason(%d)", int(r))
+}
+
+// DecodeVerdict is the physical-layer result the medium computes for a
+// packet that occupied a decoder to completion.
+type DecodeVerdict int
+
+// Verdicts returned by the judge callback.
+const (
+	VerdictOK DecodeVerdict = iota
+	VerdictChannelCollision
+	VerdictWeakSignal
+)
+
+// Meta describes one incoming packet as seen by the radio front-end.
+type Meta struct {
+	// ID is the transmission identity (unique per medium transmission).
+	ID int64
+	// Network is the sync word embedded in the frame — readable only
+	// after decode.
+	Network lora.SyncWord
+	SF      lora.SF
+	Channel region.Channel
+	// Chain is the index of the Rx chain that detected the packet.
+	Chain int
+	// RSSIdBm and SNRdB are the front-end estimates recorded as metadata
+	// for the network server's logs.
+	RSSIdBm float64
+	SNRdB   float64
+	// LockOn is when the preamble completed; End is when the packet's
+	// payload finishes on air (decoder release time).
+	LockOn des.Time
+	End    des.Time
+}
+
+// Result reports the fate of one packet at this radio.
+type Result struct {
+	Meta   Meta
+	Reason DropReason
+}
+
+// Judge lets the medium decide, at decode completion, whether the packet
+// survived the channel (capture, SINR). It runs exactly once per locked-on
+// packet.
+type Judge func() DecodeVerdict
+
+// Config is the channel configuration of a radio: which center frequencies
+// its Rx chains monitor. Config is what AlphaWAN's channel planning
+// reprograms (Strategies ① and ②).
+type Config struct {
+	Channels []region.Channel
+	Sync     lora.SyncWord
+}
+
+// Validate checks the configuration against the chipset limits: at most
+// RxChains channels within the radio's frequency span.
+func (c Config) Validate(cs Chipset) error {
+	if len(c.Channels) == 0 {
+		return fmt.Errorf("radio: no channels configured")
+	}
+	if len(c.Channels) > cs.RxChains {
+		return fmt.Errorf("radio: %d channels exceed %s's %d Rx chains",
+			len(c.Channels), cs.Name, cs.RxChains)
+	}
+	lo, hi := c.Channels[0].Low(), c.Channels[0].High()
+	for _, ch := range c.Channels[1:] {
+		if ch.Low() < lo {
+			lo = ch.Low()
+		}
+		if ch.High() > hi {
+			hi = ch.High()
+		}
+	}
+	if span := hi - lo; span > cs.SpanHz {
+		return fmt.Errorf("radio: %v span exceeds %s's %v limit",
+			span, cs.Name, cs.SpanHz)
+	}
+	return nil
+}
+
+// Radio is one gateway radio instance attached to a simulation.
+type Radio struct {
+	sim     *des.Sim
+	chipset Chipset
+	cfg     Config
+
+	busy        int // decoders in use
+	busyForeign int // decoders held by foreign-network packets
+
+	// OnResult receives the fate of every packet that reached the
+	// dispatcher (delivered or dropped, including foreign packets).
+	OnResult func(Result)
+
+	stats Stats
+}
+
+// Stats aggregates the radio's dispatcher activity.
+type Stats struct {
+	Delivered int
+	NoDecoder int
+	Collision int
+	Weak      int
+	Foreign   int
+	PeakInUse int
+	TotalSeen int // packets that reached the dispatcher
+}
+
+// New creates a radio on the simulation with a chipset and configuration.
+func New(sim *des.Sim, cs Chipset, cfg Config) (*Radio, error) {
+	if err := cfg.Validate(cs); err != nil {
+		return nil, err
+	}
+	return &Radio{sim: sim, chipset: cs, cfg: cfg}, nil
+}
+
+// Chipset returns the radio's chipset profile.
+func (r *Radio) Chipset() Chipset { return r.chipset }
+
+// Config returns the current channel configuration.
+func (r *Radio) Config() Config { return r.cfg }
+
+// Reconfigure replaces the channel configuration (the reboot downtime is
+// modelled by the gateway layer, which detaches the radio while it
+// restarts).
+func (r *Radio) Reconfigure(cfg Config) error {
+	if err := cfg.Validate(r.chipset); err != nil {
+		return err
+	}
+	r.cfg = cfg
+	return nil
+}
+
+// Stats returns a snapshot of the dispatcher statistics.
+func (r *Radio) Stats() Stats { return r.stats }
+
+// ResetStats clears the statistics counters.
+func (r *Radio) ResetStats() { r.stats = Stats{} }
+
+// InUse returns the number of decoders currently occupied.
+func (r *Radio) InUse() int { return r.busy }
+
+// FreeDecoders returns the number of idle decoders.
+func (r *Radio) FreeDecoders() int { return r.chipset.Decoders - r.busy }
+
+// ForeignInUse returns how many occupied decoders are currently decoding
+// packets from other networks. A real gateway cannot know this (that is
+// the decode-then-filter problem); the simulator exposes it so that the
+// metrics layer can attribute decoder contention to inter- vs
+// intra-network causes (Figure 4).
+func (r *Radio) ForeignInUse() int { return r.busyForeign }
+
+// LockOn is called by the medium when a packet's preamble completes on a
+// chain of this radio. It implements the FCFS dispatcher: if a decoder is
+// free it is held until m.End and the judge decides the decode outcome;
+// otherwise the packet is dropped immediately as decoder contention.
+//
+// LockOn must be called at simulation time m.LockOn.
+func (r *Radio) LockOn(m Meta, judge Judge) {
+	r.stats.TotalSeen++
+	if r.busy >= r.chipset.Decoders {
+		r.stats.NoDecoder++
+		r.emit(Result{Meta: m, Reason: DropNoDecoder})
+		return
+	}
+	r.busy++
+	foreign := m.Network != r.cfg.Sync
+	if foreign {
+		r.busyForeign++
+	}
+	if r.busy > r.stats.PeakInUse {
+		r.stats.PeakInUse = r.busy
+	}
+	r.sim.At(m.End, func() {
+		r.busy--
+		if foreign {
+			r.busyForeign--
+		}
+		res := Result{Meta: m}
+		switch judge() {
+		case VerdictChannelCollision:
+			r.stats.Collision++
+			res.Reason = DropChannelContention
+		case VerdictWeakSignal:
+			r.stats.Weak++
+			res.Reason = DropWeakSignal
+		default:
+			// Decoded successfully — only now can the sync word be read.
+			if m.Network != r.cfg.Sync {
+				r.stats.Foreign++
+				res.Reason = DropForeignNetwork
+			} else {
+				r.stats.Delivered++
+				res.Reason = DropNone
+			}
+		}
+		r.emit(res)
+	})
+}
+
+func (r *Radio) emit(res Result) {
+	if r.OnResult != nil {
+		r.OnResult(res)
+	}
+}
+
+// DetectOverlapThreshold is the minimum spectral overlap between a packet
+// and an Rx chain's channel for the packet detector to lock on at all.
+// Below this, the front-end's frequency selectivity truncates the signal
+// before the pipeline (§4.2.4) — the physical basis of Strategy ⑧.
+// The default 0.75 is consistent with the paper's finding that >30%
+// misalignment (<70% overlap) reliably isolates coexisting networks.
+const DetectOverlapThreshold = 0.75
+
+// Detects reports which configured chain (if any) will detect a packet on
+// channel ch: the chain with the highest spectral overlap at or above
+// DetectOverlapThreshold.
+func (r *Radio) Detects(ch region.Channel) (chain int, ok bool) {
+	best := -1
+	bestOv := 0.0
+	for i, c := range r.cfg.Channels {
+		if ov := ch.Overlap(c); ov >= DetectOverlapThreshold && ov > bestOv {
+			best, bestOv = i, ov
+		}
+	}
+	return best, best >= 0
+}

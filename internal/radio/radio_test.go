@@ -1,0 +1,314 @@
+package radio
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+func testConfig(n int) Config {
+	chs := make([]region.Channel, n)
+	for i := range chs {
+		chs[i] = region.Testbed.Channel(i)
+	}
+	return Config{Channels: chs, Sync: lora.SyncPublic}
+}
+
+func okJudge() DecodeVerdict { return VerdictOK }
+
+func meta(id int64, lock, end des.Time) Meta {
+	return Meta{
+		ID: id, Network: lora.SyncPublic, SF: lora.SF7,
+		Channel: region.Testbed.Channel(int(id) % 8),
+		LockOn:  lock, End: end,
+	}
+}
+
+func TestDecoderPoolLimit(t *testing.T) {
+	// 20 concurrent packets into a 16-decoder SX1302: exactly 16 received
+	// in lock-on order, 4 dropped as decoder contention (Figure 3b).
+	sim := des.New(1)
+	r, err := New(sim, SX1302, testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered, dropped []int64
+	r.OnResult = func(res Result) {
+		switch res.Reason {
+		case DropNone:
+			delivered = append(delivered, res.Meta.ID)
+		case DropNoDecoder:
+			dropped = append(dropped, res.Meta.ID)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		m := meta(int64(i), des.Time(1000+i), des.Time(100_000))
+		sim.At(m.LockOn, func() { r.LockOn(m, okJudge) })
+	}
+	sim.Run()
+	if len(delivered) != 16 || len(dropped) != 4 {
+		t.Fatalf("delivered=%d dropped=%d, want 16/4", len(delivered), len(dropped))
+	}
+	for i, id := range delivered {
+		if id != int64(i) {
+			t.Errorf("FCFS violated: delivered[%d] = %d", i, id)
+		}
+	}
+	for i, id := range dropped {
+		if id != int64(16+i) {
+			t.Errorf("late packets must drop: dropped[%d] = %d", i, id)
+		}
+	}
+}
+
+func TestDecoderReleaseAllowsLaterPackets(t *testing.T) {
+	sim := des.New(1)
+	r, _ := New(sim, SX1308, testConfig(8)) // 8 decoders
+	got := map[int64]DropReason{}
+	r.OnResult = func(res Result) { got[res.Meta.ID] = res.Reason }
+	// 8 packets occupy all decoders until t=50ms.
+	for i := 0; i < 8; i++ {
+		m := meta(int64(i), 1000, 50_000)
+		sim.At(m.LockOn, func() { r.LockOn(m, okJudge) })
+	}
+	// A 9th locking on at t=10ms is dropped; a 10th at t=60ms succeeds.
+	m9 := meta(9, 10_000, 70_000)
+	sim.At(m9.LockOn, func() { r.LockOn(m9, okJudge) })
+	m10 := meta(10, 60_000, 90_000)
+	sim.At(m10.LockOn, func() { r.LockOn(m10, okJudge) })
+	sim.Run()
+	if got[9] != DropNoDecoder {
+		t.Errorf("packet 9 = %v, want decoder-contention", got[9])
+	}
+	if got[10] != DropNone {
+		t.Errorf("packet 10 = %v, want delivered after release", got[10])
+	}
+	if r.InUse() != 0 {
+		t.Errorf("all decoders must be released, in use: %d", r.InUse())
+	}
+}
+
+// TestFCFSIgnoresSNR reproduces Figure 3c: the dispatcher does not
+// prioritize high-SNR packets — order alone decides.
+func TestFCFSIgnoresSNR(t *testing.T) {
+	sim := des.New(1)
+	r, _ := New(sim, SX1302, testConfig(8))
+	var dropped []int64
+	r.OnResult = func(res Result) {
+		if res.Reason == DropNoDecoder {
+			dropped = append(dropped, res.Meta.ID)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		m := meta(int64(i), des.Time(1000+i), des.Time(100_000))
+		if i >= 16 {
+			m.SNRdB = 20 // late packets are *strong*
+		} else {
+			m.SNRdB = -10
+		}
+		sim.At(m.LockOn, func() { r.LockOn(m, okJudge) })
+	}
+	sim.Run()
+	if len(dropped) != 4 {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	for _, id := range dropped {
+		if id < 16 {
+			t.Errorf("strong late packet must still drop, got early %d dropped", id)
+		}
+	}
+}
+
+// TestForeignPacketsConsumeDecoders reproduces Figure 3e/f: packets from a
+// coexisting network are filtered only after decode, so they occupy
+// decoders and displace own-network packets.
+func TestForeignPacketsConsumeDecoders(t *testing.T) {
+	sim := des.New(1)
+	r, _ := New(sim, SX1302, testConfig(8))
+	var ownDelivered, ownDropped, foreign int
+	r.OnResult = func(res Result) {
+		switch res.Reason {
+		case DropNone:
+			ownDelivered++
+		case DropNoDecoder:
+			if res.Meta.Network == lora.SyncPublic {
+				ownDropped++
+			}
+		case DropForeignNetwork:
+			foreign++
+		}
+	}
+	// 10 foreign packets lock on first, then 10 own packets.
+	for i := 0; i < 20; i++ {
+		m := meta(int64(i), des.Time(1000+i), des.Time(100_000))
+		if i < 10 {
+			m.Network = lora.SyncPrivate
+		}
+		sim.At(m.LockOn, func() { r.LockOn(m, okJudge) })
+	}
+	sim.Run()
+	// 16 decoders: 10 foreign + first 6 own get decoders; 4 own dropped.
+	if foreign != 10 {
+		t.Errorf("foreign filtered = %d, want 10", foreign)
+	}
+	if ownDelivered != 6 || ownDropped != 4 {
+		t.Errorf("own delivered/dropped = %d/%d, want 6/4", ownDelivered, ownDropped)
+	}
+}
+
+func TestJudgeVerdictsMapToReasons(t *testing.T) {
+	sim := des.New(1)
+	r, _ := New(sim, SX1302, testConfig(8))
+	got := map[int64]DropReason{}
+	r.OnResult = func(res Result) { got[res.Meta.ID] = res.Reason }
+	verdicts := map[int64]DecodeVerdict{1: VerdictOK, 2: VerdictChannelCollision, 3: VerdictWeakSignal}
+	for id, v := range verdicts {
+		id, v := id, v
+		m := meta(id, 1000, 2000)
+		sim.At(m.LockOn, func() { r.LockOn(m, func() DecodeVerdict { return v }) })
+	}
+	sim.Run()
+	if got[1] != DropNone || got[2] != DropChannelContention || got[3] != DropWeakSignal {
+		t.Errorf("verdict mapping wrong: %v", got)
+	}
+	st := r.Stats()
+	if st.Delivered != 1 || st.Collision != 1 || st.Weak != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	// Too many channels for the chipset.
+	if err := testConfig(8).Validate(SX1301); err != nil {
+		t.Errorf("8 channels fit SX1301: %v", err)
+	}
+	bad := testConfig(8)
+	bad.Channels = append(bad.Channels, region.Testbed.Channel(0))
+	if err := bad.Validate(SX1301); err == nil {
+		t.Error("9 channels must not fit 8 chains")
+	}
+	// Span limit: AS923 ch0 and a channel 2 MHz away exceed 1.6 MHz span.
+	wide := Config{Sync: lora.SyncPublic, Channels: []region.Channel{
+		region.Testbed.Channel(0),
+		{Center: region.Testbed.Channel(0).Center + 2_000_000, Bandwidth: lora.BW125},
+	}}
+	if err := wide.Validate(SX1302); err == nil {
+		t.Error("2 MHz span must exceed SX1302's 1.6 MHz limit")
+	}
+	if err := wide.Validate(SX1303); err != nil {
+		t.Errorf("2 MHz span fits SX1303's 3.2 MHz: %v", err)
+	}
+	// Empty config invalid.
+	if err := (Config{}).Validate(SX1302); err == nil {
+		t.Error("empty channel set must be invalid")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	sim := des.New(1)
+	if _, err := New(sim, SX1301, testConfig(9)); err == nil {
+		t.Error("New must validate the configuration")
+	}
+}
+
+func TestReconfigure(t *testing.T) {
+	sim := des.New(1)
+	r, _ := New(sim, SX1302, testConfig(8))
+	two := testConfig(2)
+	if err := r.Reconfigure(two); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Config().Channels) != 2 {
+		t.Error("reconfigure must replace channels")
+	}
+	if err := r.Reconfigure(testConfig(9)); err == nil {
+		t.Error("invalid reconfigure must fail")
+	}
+	if len(r.Config().Channels) != 2 {
+		t.Error("failed reconfigure must not change the config")
+	}
+}
+
+func TestDetects(t *testing.T) {
+	sim := des.New(1)
+	r, _ := New(sim, SX1302, testConfig(4)) // chains on AS923 ch0..ch3
+	if chain, ok := r.Detects(region.Testbed.Channel(2)); !ok || chain != 2 {
+		t.Errorf("aligned channel: chain=%d ok=%v", chain, ok)
+	}
+	if _, ok := r.Detects(region.Testbed.Channel(6)); ok {
+		t.Error("unconfigured channel must not be detected")
+	}
+	// 60% overlap (50 kHz shift) is below the 75% detect threshold:
+	// frequency selectivity truncates the packet before the pipeline.
+	shifted := region.Channel{
+		Center:    region.Testbed.Channel(1).Center + 50_000,
+		Bandwidth: lora.BW125,
+	}
+	if _, ok := r.Detects(shifted); ok {
+		t.Error("60 percent overlap packet must be filtered by frequency selectivity")
+	}
+	// 80% overlap (25 kHz shift) locks on.
+	slight := region.Channel{
+		Center:    region.Testbed.Channel(1).Center + 25_000,
+		Bandwidth: lora.BW125,
+	}
+	if chain, ok := r.Detects(slight); !ok || chain != 1 {
+		t.Errorf("80%%-overlap packet should lock on chain 1, got %d,%v", chain, ok)
+	}
+}
+
+func TestTable4Capacities(t *testing.T) {
+	// Table 4: practical capacity = decoders; theoretical = chains × 6.
+	want := map[string]struct{ practical, theory int }{
+		"LPS8N":       {16, 48},
+		"RAK7246G":    {8, 48},
+		"RAK7268CV2":  {16, 48},
+		"RAK7289CV2":  {32, 96},
+		"Wirnet iBTS": {8, 48},
+	}
+	for _, m := range Models {
+		w, ok := want[m.Model]
+		if !ok {
+			continue
+		}
+		if got := m.PracticalCapacity(); got != w.practical {
+			t.Errorf("%s practical = %d, want %d", m.Model, got, w.practical)
+		}
+		if got := m.TheoreticalCapacity(); got != w.theory {
+			t.Errorf("%s theoretical = %d, want %d", m.Model, got, w.theory)
+		}
+		if m.PracticalCapacity() >= m.TheoreticalCapacity() {
+			t.Errorf("%s: no COTS gateway has enough decoders for its spectrum", m.Model)
+		}
+	}
+}
+
+func TestPeakInUseStat(t *testing.T) {
+	sim := des.New(1)
+	r, _ := New(sim, SX1302, testConfig(8))
+	for i := 0; i < 5; i++ {
+		m := meta(int64(i), 1000, 2000)
+		sim.At(m.LockOn, func() { r.LockOn(m, okJudge) })
+	}
+	sim.Run()
+	if st := r.Stats(); st.PeakInUse != 5 || st.TotalSeen != 5 {
+		t.Errorf("stats = %+v, want peak 5 seen 5", st)
+	}
+	r.ResetStats()
+	if r.Stats().TotalSeen != 0 {
+		t.Error("ResetStats must clear counters")
+	}
+}
+
+func TestDropReasonStrings(t *testing.T) {
+	for r := DropNone; r <= DropForeignNetwork; r++ {
+		if r.String() == "" {
+			t.Errorf("reason %d has no string", int(r))
+		}
+	}
+	if DropReason(99).String() == "" {
+		t.Error("unknown reason must format")
+	}
+}

@@ -1,0 +1,103 @@
+package region
+
+// This file carries the small observational datasets reproduced from the
+// paper's appendices: the per-country LoRaWAN spectrum allocations behind
+// Figure 18 and the operator status table (Table 2).
+
+// SpectrumAllocation describes the LoRaWAN spectrum available in one
+// country or region (Appendix A, Figure 18).
+type SpectrumAllocation struct {
+	Region       string
+	UplinkMHz    float64
+	DownlinkMHz  float64
+	SharedUplink bool // uplink and downlink share the same band
+}
+
+// OverallMHz returns the total LoRaWAN spectrum of the allocation.
+func (s SpectrumAllocation) OverallMHz() float64 {
+	if s.SharedUplink {
+		return s.UplinkMHz
+	}
+	return s.UplinkMHz + s.DownlinkMHz
+}
+
+// SpectrumDataset is a representative sample of worldwide LoRaWAN spectrum
+// allocations. The paper's Figure 18 reports that over 70% of countries
+// and regions authorize less than 6.5 MHz for LoRaWAN; this dataset is
+// synthesized to preserve that CDF shape: a small set of wide-band
+// countries (US/CA/AU class, ~26 MHz) and a long tail of narrow
+// allocations (EU868/AS923/IN865 class, 1.1–7 MHz).
+var SpectrumDataset = func() []SpectrumAllocation {
+	var ds []SpectrumAllocation
+	// Wide ISM allocations: 902–928 MHz class (US, Canada, Australia,
+	// Brazil, Mexico and a few others) — uplink and downlink share 26 MHz.
+	wide := []string{"US", "CA", "AU", "BR", "MX", "AR", "CL", "PE", "CO", "NZ"}
+	for _, r := range wide {
+		ds = append(ds, SpectrumAllocation{Region: r, UplinkMHz: 26, DownlinkMHz: 26, SharedUplink: true})
+	}
+	// Mid allocations: AS923-class 2–7 MHz.
+	mid := []struct {
+		r  string
+		up float64
+	}{
+		{"JP", 2.0}, {"SG", 2.0}, {"HK", 2.0}, {"TW", 2.0}, {"TH", 2.0},
+		{"MY", 2.0}, {"ID", 2.0}, {"VN", 2.0}, {"PH", 2.0}, {"KR", 6.0},
+		{"IL", 3.5}, {"SA", 4.0}, {"AE", 4.0}, {"ZA", 3.0}, {"KE", 3.0},
+	}
+	for _, m := range mid {
+		ds = append(ds, SpectrumAllocation{Region: m.r, UplinkMHz: m.up, DownlinkMHz: m.up, SharedUplink: true})
+	}
+	// Narrow EU868-class allocations (bulk of countries): ~1.1–3 MHz
+	// uplink sharing the same band for downlink.
+	narrow := []string{
+		"DE", "FR", "GB", "IT", "ES", "NL", "BE", "CH", "AT", "SE",
+		"NO", "FI", "DK", "PL", "CZ", "SK", "HU", "RO", "BG", "GR",
+		"PT", "IE", "LT", "LV", "EE", "SI", "HR", "RS", "UA", "TR",
+		"MA", "TN", "EG", "NG", "GH", "IN", "PK", "BD", "LK", "NP",
+		"RU", "KZ", "UZ", "GE", "AM", "AZ", "BY", "MD", "AL", "MK",
+		"CY", "MT", "LU", "IS", "BA", "ME", "XK", "DZ", "JO", "LB",
+	}
+	for _, r := range narrow {
+		ds = append(ds, SpectrumAllocation{Region: r, UplinkMHz: 3.0, DownlinkMHz: 3.0, SharedUplink: true})
+	}
+	// A handful of very narrow allocations.
+	tiny := []string{"IN865", "CN779", "KZ865", "RU864-n", "EG-n"}
+	for _, r := range tiny {
+		ds = append(ds, SpectrumAllocation{Region: r, UplinkMHz: 1.1, DownlinkMHz: 1.1, SharedUplink: true})
+	}
+	return ds
+}()
+
+// FractionBelow returns the fraction of dataset entries whose overall
+// spectrum is below the threshold in MHz (the CDF of Figure 18).
+func FractionBelow(ds []SpectrumAllocation, mhz float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range ds {
+		if d.OverallMHz() < mhz {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ds))
+}
+
+// Operator mirrors one row of the paper's Table 2: status of commercial
+// LoRaWAN operators.
+type Operator struct {
+	Name           string
+	Regions        string
+	Mode           string // "Public" or "Private"
+	Gateways       int
+	EndNodes       int
+	UserGrowthRate float64 // fractional annual growth
+}
+
+// OperatorDataset reproduces Table 2.
+var OperatorDataset = []Operator{
+	{Name: "The Things Industries", Regions: "Global", Mode: "Public", Gateways: 50_000, EndNodes: 1_000_000, UserGrowthRate: 0.50},
+	{Name: "Netmore Senet", Regions: "EU/US/AU", Mode: "Public", Gateways: 20_000, EndNodes: 2_300_000, UserGrowthRate: 2.51},
+	{Name: "Actility", Regions: "EU/US/AS", Mode: "Public", Gateways: 40_000, EndNodes: 4_000_000, UserGrowthRate: 0.75},
+	{Name: "ZENNER Connect", Regions: "EU/US", Mode: "Public", Gateways: 110_000, EndNodes: 8_900_000, UserGrowthRate: 0.78},
+}

@@ -1,0 +1,183 @@
+// Package region defines LoRaWAN regional parameters: channel frequencies,
+// standard channel plans, duty-cycle limits, and the spectrum datasets used
+// by the paper's Figure 18 and Table 2.
+//
+// The paper's experiments run in the AS923 band (923–925 MHz) and in a
+// US915-style sub-band layout (916.8–921.6 MHz, 24 channels). Both are
+// expressible with the generic Band type here; Figure 19's "channel plan"
+// grouping (8 consecutive channels per plan) is provided by Band.Plan.
+package region
+
+import (
+	"fmt"
+
+	"github.com/alphawan/alphawan/internal/lora"
+)
+
+// Hz is a frequency in hertz. Channel centers are exact multiples of
+// 100 kHz in all LoRaWAN bands, so int64 hertz is lossless.
+type Hz int64
+
+// MHz constructs a frequency from megahertz.
+func MHz(v float64) Hz { return Hz(v * 1e6) }
+
+func (f Hz) String() string { return fmt.Sprintf("%.1f MHz", float64(f)/1e6) }
+
+// Channel is one LoRa uplink channel: a center frequency and bandwidth.
+type Channel struct {
+	Center    Hz
+	Bandwidth lora.Bandwidth
+}
+
+// Low and High return the channel edges.
+func (c Channel) Low() Hz  { return c.Center - Hz(c.Bandwidth)/2 }
+func (c Channel) High() Hz { return c.Center + Hz(c.Bandwidth)/2 }
+
+// Overlap returns the spectral overlap ratio of two channels: shared
+// bandwidth divided by the victim's bandwidth, in [0, 1]. This is the
+// "channel overlap ratio" on the x-axis of the paper's Figure 8.
+func (c Channel) Overlap(o Channel) float64 {
+	lo := c.Low()
+	if o.Low() > lo {
+		lo = o.Low()
+	}
+	hi := c.High()
+	if o.High() < hi {
+		hi = o.High()
+	}
+	if hi <= lo {
+		return 0
+	}
+	return float64(hi-lo) / float64(c.Bandwidth)
+}
+
+// Misalignment returns 1 - Overlap: the frequency misalignment ratio used
+// when the Master assigns operator channel plans (§4.3.2).
+func (c Channel) Misalignment(o Channel) float64 { return 1 - c.Overlap(o) }
+
+func (c Channel) String() string {
+	return fmt.Sprintf("%s/%s", c.Center, c.Bandwidth)
+}
+
+// Band describes a contiguous LoRaWAN uplink band divided into uniformly
+// spaced channels (Figure 19 layout: CH0 at the lowest frequency).
+type Band struct {
+	Name     string
+	Start    Hz // center frequency of CH 0
+	Spacing  Hz // channel grid spacing (200 kHz in US915/AS923)
+	Channels int
+	BW       lora.Bandwidth
+	// DutyCycle is the per-device duty-cycle cap (e.g. 0.01 for the 1%
+	// limit the paper's nodes follow).
+	DutyCycle float64
+}
+
+// Channel returns the i-th channel (CH i) of the band.
+func (b Band) Channel(i int) Channel {
+	if i < 0 || i >= b.Channels {
+		panic(fmt.Sprintf("region: channel %d out of range [0,%d)", i, b.Channels))
+	}
+	return Channel{Center: b.Start + Hz(i)*b.Spacing, Bandwidth: b.BW}
+}
+
+// AllChannels returns every channel of the band in index order.
+func (b Band) AllChannels() []Channel {
+	cs := make([]Channel, b.Channels)
+	for i := range cs {
+		cs[i] = b.Channel(i)
+	}
+	return cs
+}
+
+// PlanSize is the number of channels in one standard LoRaWAN channel plan
+// (Figure 19: "every eight channels form a group termed a channel plan").
+const PlanSize = 8
+
+// Plans returns the number of standard channel plans in the band.
+func (b Band) Plans() int { return b.Channels / PlanSize }
+
+// Plan returns the channel indices of standard plan p (0-based): plan 0 is
+// CH0..CH7, plan 1 is CH8..CH15, and so on.
+func (b Band) Plan(p int) []int {
+	if p < 0 || p >= b.Plans() {
+		panic(fmt.Sprintf("region: plan %d out of range [0,%d)", p, b.Plans()))
+	}
+	idx := make([]int, PlanSize)
+	for i := range idx {
+		idx[i] = p*PlanSize + i
+	}
+	return idx
+}
+
+// Width returns the total spectral width spanned by the band's channels,
+// edge to edge.
+func (b Band) Width() Hz {
+	return b.Channel(b.Channels-1).High() - b.Channel(0).Low()
+}
+
+// SubBand returns a Band covering channels [first, first+count) of b.
+// Experiments use this to vary operating spectrum (e.g. 1.6 → 6.4 MHz in
+// Figure 12b).
+func (b Band) SubBand(first, count int) Band {
+	if first < 0 || count <= 0 || first+count > b.Channels {
+		panic(fmt.Sprintf("region: sub-band [%d,%d) out of range", first, first+count))
+	}
+	nb := b
+	nb.Name = fmt.Sprintf("%s[%d:%d]", b.Name, first, first+count)
+	nb.Start = b.Start + Hz(first)*b.Spacing
+	nb.Channels = count
+	return nb
+}
+
+// US915 is the fixed-plan United States band: 64 × 125 kHz uplink channels
+// from 902.3 MHz on a 200 kHz grid (Figure 19). No duty-cycle limit applies
+// in the US; dwell-time rules are approximated by the generous 10% cap.
+var US915 = Band{
+	Name:      "US915",
+	Start:     MHz(902.3),
+	Spacing:   200_000,
+	Channels:  64,
+	BW:        lora.BW125,
+	DutyCycle: 0.10,
+}
+
+// EU868 is the dynamic European band: modelled as 8 channels from
+// 867.1 MHz with a 1% duty-cycle limit.
+var EU868 = Band{
+	Name:      "EU868",
+	Start:     MHz(867.1),
+	Spacing:   200_000,
+	Channels:  8,
+	BW:        lora.BW125,
+	DutyCycle: 0.01,
+}
+
+// AS923 is the Asian band used in the paper's coexistence experiments
+// (923–925 MHz): 8 channels from 923.2 MHz, 1% duty cycle.
+var AS923 = Band{
+	Name:      "AS923",
+	Start:     MHz(923.2),
+	Spacing:   200_000,
+	Channels:  8,
+	BW:        lora.BW125,
+	DutyCycle: 0.01,
+}
+
+// Testbed is the paper's evaluation spectrum: 916.8–921.6 MHz, 4.8 MHz
+// wide, 24 LoRaWAN channels (§5.1.1), allowing 144 concurrent users at
+// 6 orthogonal data rates per channel.
+var Testbed = Band{
+	Name:      "Testbed",
+	Start:     MHz(916.9), // center of CH0; CH0 low edge 916.8375 MHz
+	Spacing:   200_000,
+	Channels:  24,
+	BW:        lora.BW125,
+	DutyCycle: 0.01,
+}
+
+// TheoreticalCapacity returns the maximum number of concurrent users a
+// band supports: one user per (channel, data-rate) pair, since distinct
+// channels are frequency-isolated and distinct DRs are quasi-orthogonal.
+// This is the paper's "Oracle LoRaWAN" bound (48 users over 8 channels,
+// 144 over 24).
+func (b Band) TheoreticalCapacity() int { return b.Channels * lora.NumDRs }

@@ -1,0 +1,200 @@
+package region
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/alphawan/alphawan/internal/lora"
+)
+
+func TestUS915Layout(t *testing.T) {
+	// Figure 19: CH0 at 902.3 MHz, CH63 at 914.9 MHz.
+	if got := US915.Channel(0).Center; got != MHz(902.3) {
+		t.Errorf("US915 CH0 = %v, want 902.3 MHz", got)
+	}
+	if got := US915.Channel(63).Center; got != MHz(914.9) {
+		t.Errorf("US915 CH63 = %v, want 914.9 MHz", got)
+	}
+	if got := US915.Plans(); got != 8 {
+		t.Errorf("US915 has %d plans, want 8", got)
+	}
+}
+
+func TestPlanGrouping(t *testing.T) {
+	// Figure 19: plan #1 is CH0..CH7, plan #2 is CH8..CH15.
+	p0 := US915.Plan(0)
+	if p0[0] != 0 || p0[7] != 7 || len(p0) != 8 {
+		t.Errorf("plan 0 = %v, want CH0..CH7", p0)
+	}
+	p1 := US915.Plan(1)
+	if p1[0] != 8 || p1[7] != 15 {
+		t.Errorf("plan 1 = %v, want CH8..CH15", p1)
+	}
+}
+
+func TestPlanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Plan(-1) must panic")
+		}
+	}()
+	US915.Plan(-1)
+}
+
+func TestChannelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Channel(64) must panic on US915")
+		}
+	}()
+	US915.Channel(64)
+}
+
+func TestOverlapIdentity(t *testing.T) {
+	c := AS923.Channel(0)
+	if got := c.Overlap(c); got != 1 {
+		t.Errorf("self overlap = %v, want 1", got)
+	}
+	if got := c.Misalignment(c); got != 0 {
+		t.Errorf("self misalignment = %v, want 0", got)
+	}
+}
+
+func TestOverlapDisjoint(t *testing.T) {
+	a := AS923.Channel(0)
+	b := AS923.Channel(1) // 200 kHz away, 125 kHz wide: disjoint
+	if got := a.Overlap(b); got != 0 {
+		t.Errorf("disjoint overlap = %v, want 0", got)
+	}
+}
+
+func TestOverlapPartial(t *testing.T) {
+	a := Channel{Center: MHz(923.2), Bandwidth: lora.BW125}
+	b := Channel{Center: a.Center + 50_000, Bandwidth: lora.BW125}
+	// Shift of 50 kHz on 125 kHz BW: shared = 75 kHz → 0.6 overlap.
+	if got := a.Overlap(b); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("overlap = %v, want 0.6", got)
+	}
+}
+
+func TestOverlapSymmetricSameBW(t *testing.T) {
+	f := func(shift int16) bool {
+		a := Channel{Center: MHz(920), Bandwidth: lora.BW125}
+		b := Channel{Center: a.Center + Hz(shift)*100, Bandwidth: lora.BW125}
+		return math.Abs(a.Overlap(b)-b.Overlap(a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapBounds(t *testing.T) {
+	f := func(shift int32) bool {
+		a := Channel{Center: MHz(920), Bandwidth: lora.BW125}
+		b := Channel{Center: a.Center + Hz(shift%1_000_000), Bandwidth: lora.BW125}
+		ov := a.Overlap(b)
+		return ov >= 0 && ov <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTestbedBand(t *testing.T) {
+	// §5.1.1: 916.8–921.6 MHz, 4.8 MHz, 24 channels, 144 concurrent users.
+	if Testbed.Channels != 24 {
+		t.Fatalf("testbed channels = %d, want 24", Testbed.Channels)
+	}
+	if got := Testbed.TheoreticalCapacity(); got != 144 {
+		t.Errorf("testbed oracle capacity = %d, want 144", got)
+	}
+	w := float64(Testbed.Width()) / 1e6
+	if w < 4.5 || w > 4.8 {
+		t.Errorf("testbed width = %.2f MHz, want ≈ 4.7 (24 ch on a 200 kHz grid)", w)
+	}
+}
+
+func TestSubBand(t *testing.T) {
+	sb := Testbed.SubBand(8, 8)
+	if sb.Channels != 8 {
+		t.Fatalf("sub-band channels = %d", sb.Channels)
+	}
+	if sb.Channel(0) != Testbed.Channel(8) {
+		t.Error("sub-band CH0 must equal parent CH8")
+	}
+	if got := sb.TheoreticalCapacity(); got != 48 {
+		t.Errorf("8-channel oracle = %d, want 48 (Figure 2a)", got)
+	}
+}
+
+func TestSubBandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range sub-band must panic")
+		}
+	}()
+	Testbed.SubBand(20, 8)
+}
+
+func TestAS923OracleIs48(t *testing.T) {
+	// Figure 2a: oracle for an 8-channel 1.6 MHz spectrum is 48.
+	if got := AS923.TheoreticalCapacity(); got != 48 {
+		t.Errorf("AS923 oracle = %d, want 48", got)
+	}
+}
+
+func TestSpectrumDatasetCDF(t *testing.T) {
+	// Appendix A: >70% of countries/regions authorize < 6.5 MHz.
+	if got := FractionBelow(SpectrumDataset, 6.5); got <= 0.70 {
+		t.Errorf("fraction below 6.5 MHz = %.2f, want > 0.70", got)
+	}
+	// And the wide 26 MHz allocations exist (US915 class).
+	if got := FractionBelow(SpectrumDataset, 27); got != 1.0 {
+		t.Errorf("all allocations are below 27 MHz, got %.2f", got)
+	}
+	if got := FractionBelow(SpectrumDataset, 25); got >= 1.0 {
+		t.Errorf("some allocations are ≥ 25 MHz (US class), got %.2f", got)
+	}
+}
+
+func TestFractionBelowEmpty(t *testing.T) {
+	if FractionBelow(nil, 5) != 0 {
+		t.Error("empty dataset must return 0")
+	}
+}
+
+func TestOperatorDataset(t *testing.T) {
+	if len(OperatorDataset) != 4 {
+		t.Fatalf("Table 2 has 4 operators, got %d", len(OperatorDataset))
+	}
+	var nodes int
+	for _, o := range OperatorDataset {
+		if o.Gateways <= 0 || o.EndNodes <= 0 {
+			t.Errorf("%s has non-positive fleet", o.Name)
+		}
+		nodes += o.EndNodes
+	}
+	if nodes < 16_000_000 {
+		t.Errorf("Table 2 totals ≈ 16.2M nodes, got %d", nodes)
+	}
+}
+
+func TestDutyCycles(t *testing.T) {
+	if AS923.DutyCycle != 0.01 || EU868.DutyCycle != 0.01 {
+		t.Error("AS923/EU868 use the 1% duty cycle the paper's nodes follow")
+	}
+}
+
+func TestWidthMatchesSpacing(t *testing.T) {
+	// Width of an n-channel band = (n-1)*spacing + BW.
+	f := func(raw uint8) bool {
+		n := int(raw%23) + 1
+		sb := Testbed.SubBand(0, n)
+		want := Hz(n-1)*Testbed.Spacing + Hz(Testbed.BW)
+		return sb.Width() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+// Package sim composes full network scenarios for the paper's
+// experiments: one shared wireless medium, one or more operator networks
+// (each with gateways, end nodes, and a network server), metric
+// collection, and the helpers experiments use — capacity probes,
+// background traffic, and applying planner output to a live network.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/alphawan/alphawan/internal/alphawan/planner"
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/gateway"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/metrics"
+	"github.com/alphawan/alphawan/internal/netserver"
+	"github.com/alphawan/alphawan/internal/node"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/traffic"
+)
+
+// SyncWords assigns per-operator sync words. LoRaWAN only defines two on
+// the air (public/private); the simulator distinguishes more coexisting
+// operators logically, which is conservative: real same-sync networks
+// would contend at least as much.
+func SyncWords(i int) lora.SyncWord {
+	words := []lora.SyncWord{0x34, 0x12, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0x21}
+	return words[i%len(words)]
+}
+
+// Operator is one network operator in a scenario.
+type Operator struct {
+	ID     medium.NetworkID
+	Sync   lora.SyncWord
+	Server *netserver.Server
+
+	Gateways []*gateway.Gateway
+	Nodes    []*node.Node
+
+	byAddr map[frame.DevAddr]*node.Node
+	net    *Network
+}
+
+// Network is a composed scenario.
+type Network struct {
+	Sim *des.Sim
+	Med *medium.Medium
+	Col *metrics.Collector
+
+	Operators []*Operator
+
+	nextGW int
+}
+
+// New creates an empty scenario over an environment.
+func New(seed int64, env phy.Environment) *Network {
+	s := des.New(seed)
+	med := medium.New(s, env)
+	n := &Network{Sim: s, Med: med}
+	n.Col = metrics.NewCollector(med)
+	return n
+}
+
+// AddOperator creates operator i (0-based) with its own network server.
+// Control-plane downlinks (MAC commands) are applied to nodes directly —
+// the simulated equivalent of the ChirpStack downlink path.
+func (n *Network) AddOperator() *Operator {
+	i := len(n.Operators)
+	op := &Operator{
+		ID:     medium.NetworkID(i + 1),
+		Sync:   SyncWords(i),
+		Server: netserver.New(),
+		byAddr: make(map[frame.DevAddr]*node.Node),
+		net:    n,
+	}
+	op.Server.OnCommand = func(c netserver.Command) {
+		nd, ok := op.byAddr[c.Dev.Addr]
+		if !ok {
+			return
+		}
+		for _, cmd := range c.Cmds {
+			switch {
+			case cmd.LinkADR != nil:
+				nd.HandleLinkADR(*cmd.LinkADR, nd.Channels)
+			case cmd.NewChannel != nil:
+				nd.HandleNewChannel(*cmd.NewChannel)
+			}
+		}
+	}
+	n.Operators = append(n.Operators, op)
+	return op
+}
+
+// AddGateway deploys a gateway for the operator and wires its uplinks into
+// the operator's network server.
+func (op *Operator) AddGateway(model radio.GatewayModel, pos phy.Point, cfg radio.Config) (*gateway.Gateway, error) {
+	cfg.Sync = op.Sync
+	gw, err := gateway.New(op.net.Sim, op.net.Med, op.net.nextGW, model, pos, phy.Antenna{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	op.net.nextGW++
+	gw.OnUplink = func(u gateway.Uplink) {
+		if u.TX.Raw == nil {
+			return
+		}
+		op.Server.HandleUplink(u.TX.Raw, netserver.UplinkMeta{
+			Gateway: u.GW.ID, Freq: u.TX.Channel.Center, DR: u.TX.DR,
+			RSSIdBm: u.Meta.RSSIdBm, SNRdB: u.Meta.SNRdB, At: u.At,
+		})
+	}
+	op.Gateways = append(op.Gateways, gw)
+	return gw, nil
+}
+
+// AddNode deploys an end node for the operator and registers its session.
+func (op *Operator) AddNode(pos phy.Point, channels []region.Channel, dr lora.DR) *node.Node {
+	id := medium.NodeID(len(op.byAddr))
+	nd := node.New(id, op.ID, op.Sync, pos)
+	nd.Channels = channels
+	nd.DR = dr
+	op.Server.Register(nd.DevAddr, nd.NwkSKey, nd.AppSKey, dr, 0)
+	op.byAddr[nd.DevAddr] = nd
+	op.Nodes = append(op.Nodes, nd)
+	return nd
+}
+
+// NodeByAddr resolves an operator's node from its device address.
+func (op *Operator) NodeByAddr(addr frame.DevAddr) (*node.Node, bool) {
+	nd, ok := op.byAddr[addr]
+	return nd, ok
+}
+
+// GatewayInfo lists the operator's gateways in the shape the planner
+// consumes.
+func (op *Operator) GatewayInfo() []planner.GatewayInfo {
+	out := make([]planner.GatewayInfo, len(op.Gateways))
+	for i, gw := range op.Gateways {
+		out[i] = planner.GatewayInfo{ID: gw.ID, Chipset: gw.Model.Chipset}
+	}
+	return out
+}
+
+// ApplyGatewayConfigs reconfigures the operator's gateways instantly
+// (initial deployment) — use agents for reboot-latency-accurate upgrades.
+func (op *Operator) ApplyGatewayConfigs(cfgs []radio.Config) error {
+	if len(cfgs) != len(op.Gateways) {
+		return fmt.Errorf("sim: %d configs for %d gateways", len(cfgs), len(op.Gateways))
+	}
+	for i, gw := range op.Gateways {
+		cfg := cfgs[i]
+		cfg.Sync = op.Sync
+		if err := gw.ApplyConfigInstant(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyNodePlans installs planner output on the operator's nodes.
+func (op *Operator) ApplyNodePlans(plans map[frame.DevAddr]planner.NodePlan) {
+	for addr, p := range plans {
+		nd, ok := op.byAddr[addr]
+		if !ok {
+			continue
+		}
+		nd.Channels = []region.Channel{p.Channel}
+		nd.DR = p.DR
+		nd.PowerDBm = phy.TXPowerIndexDBm(p.TXPower)
+	}
+}
+
+// CapacityProbe schedules every listed node to transmit one packet, all
+// concurrently on air (ends aligned) at the probe time, runs the
+// simulation to completion, and returns the number of distinct packets
+// each operator's server received. This is the paper's "maximum number of
+// concurrent users" measurement.
+func (n *Network) CapacityProbe(at des.Time) map[medium.NetworkID]int {
+	n.Col.Reset()
+	for _, op := range n.Operators {
+		traffic.ScheduleBurst(n.Med, op.Nodes, at, traffic.AlignEnds, 0)
+	}
+	n.Sim.Run()
+	out := make(map[medium.NetworkID]int, len(n.Operators))
+	for _, op := range n.Operators {
+		out[op.ID] = n.Col.Network(op.ID).Received
+	}
+	return out
+}
+
+// TotalCapacity sums a probe result over operators.
+func TotalCapacity(probe map[medium.NetworkID]int) int {
+	total := 0
+	for _, v := range probe {
+		total += v
+	}
+	return total
+}
+
+// UniformNodes deploys count nodes for the operator, spread over a w×h
+// area, on the given channels. Data rates are assigned per the node's best
+// link SNR to any of the operator's gateways (the realistic initial state
+// before any planning).
+func (op *Operator) UniformNodes(count int, w, h float64, channels []region.Channel, seed int64) {
+	op.UniformNodesMargin(count, w, h, channels, seed, 0)
+}
+
+// UniformNodesMargin is UniformNodes with an explicit SNR margin in the
+// link-quality→data-rate mapping. Deployments provisioned by ADR reserve
+// the ~10 dB installation margin, pushing many users to slower,
+// longer-range rates — the realistic pre-planning state for the
+// city-scale experiments.
+func (op *Operator) UniformNodesMargin(count int, w, h float64, channels []region.Channel, seed int64, marginDB float64) {
+	pts := traffic.JitterPositions(count, w, h, seed)
+	env := op.net.Med.Environment()
+	for _, p := range pts {
+		pos := phy.Pt(p.X, p.Y)
+		best := -1000.0
+		for _, gw := range op.Gateways {
+			snr := env.SNRdB(phy.Link{TXPowerDBm: 14, TXPos: pos, RXPos: gw.Pos, RXAntenna: phy.Omni(3)})
+			if snr > best {
+				best = snr
+			}
+		}
+		dr, ok := phy.MaxDR(best, marginDB)
+		if !ok {
+			dr = lora.DR0 // edge node: most robust rate, may still fail
+		}
+		op.AddNode(pos, channels, dr)
+	}
+}
+
+// AssignNodesToGatewayPlans points every node's channel set at the
+// channels its strongest gateway operates — the realistic standard-LoRaWAN
+// configuration where devices are provisioned with the channel plan of
+// their serving area (e.g. a US915 sub-band ChMask).
+func (op *Operator) AssignNodesToGatewayPlans() {
+	env := op.net.Med.Environment()
+	for _, nd := range op.Nodes {
+		best := -1000.0
+		var bestGW *gateway.Gateway
+		for _, gw := range op.Gateways {
+			snr := env.SNRdB(phy.Link{TXPowerDBm: nd.PowerDBm, TXPos: nd.Pos, RXPos: gw.Pos, RXAntenna: phy.Omni(3)})
+			if snr > best {
+				best = snr
+				bestGW = gw
+			}
+		}
+		if bestGW != nil {
+			nd.Channels = append([]region.Channel{}, bestGW.Config().Channels...)
+		}
+	}
+}
+
+// LearningPhase transmits one packet per node, serialized with the given
+// gap so nothing contends, populating every operator's logs with complete
+// link profiles. Real deployments accumulate the same knowledge over
+// normal operation; the paper's planner reads weeks of history (§4.3.1).
+// It returns the time when the phase completes.
+func (n *Network) LearningPhase(start, gap des.Time) des.Time {
+	return n.LearningSweep(start, gap, nil, 1)
+}
+
+// LearningSweep is LearningPhase with channel coverage: each node sends
+// `rounds` serialized packets, hopping over `channels` (its own set when
+// nil), so gateways on *every* plan log the node's link. Real networks
+// accumulate this as devices hop; the sweep compresses weeks of history.
+func (n *Network) LearningSweep(start, gap des.Time, channels []region.Channel, rounds int) des.Time {
+	if rounds < 1 {
+		rounds = 1
+	}
+	at := start
+	for _, op := range n.Operators {
+		for _, nd := range op.Nodes {
+			nd := nd
+			for r := 0; r < rounds; r++ {
+				r := r
+				n.Sim.At(at, func() {
+					saved := nd.DutyCycle
+					nd.DutyCycle = 0
+					if channels != nil {
+						// Spread rounds across the whole universe.
+						ch := channels[(int(nd.ID)+r*len(channels)/rounds)%len(channels)]
+						nd.SendOn(n.Med, ch)
+					} else {
+						nd.Send(n.Med)
+					}
+					nd.DutyCycle = saved
+				})
+				at += gap
+			}
+		}
+	}
+	n.Sim.RunUntil(at + 5*des.Second)
+	return n.Sim.Now()
+}
+
+// RunBackgroundTraffic starts Poisson traffic on every node of every
+// operator between start and stop with the given mean interval, then runs
+// the simulation until stop plus drain time.
+func (n *Network) RunBackgroundTraffic(start, stop, meanInterval des.Time) {
+	for _, op := range n.Operators {
+		for _, nd := range op.Nodes {
+			traffic.StartPoisson(n.Med, nd, start, stop, meanInterval)
+		}
+	}
+	n.Sim.RunUntil(stop + des.Minute)
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/baseline"
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+func TestLearningSweepCoversAllPlans(t *testing.T) {
+	// With a multi-plan band and standard configs, a plain LearningPhase
+	// logs a node only at its own plan's gateways; LearningSweep with the
+	// full channel universe reaches every plan.
+	n := New(1, env())
+	op := n.AddOperator()
+	cfgs := baseline.StandardConfigs(region.Testbed, 3, op.Sync)
+	for i := 0; i < 3; i++ {
+		if _, err := op.AddGateway(radio.Models[3], phy.Pt(float64(i)*5, 0), cfgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nd := op.AddNode(phy.Pt(100, 0), cfgs[0].Channels, lora.DR5)
+	_ = nd
+	n.LearningSweep(0, des.Second, region.Testbed.AllChannels(), 3)
+	gws := map[int]bool{}
+	for _, e := range op.Server.Log() {
+		gws[e.Gateway] = true
+	}
+	if len(gws) != 3 {
+		t.Errorf("sweep reached %d gateways' logs, want all 3 plans", len(gws))
+	}
+}
+
+func TestAssignNodesToGatewayPlans(t *testing.T) {
+	n := New(1, env())
+	op := n.AddOperator()
+	cfgs := baseline.StandardConfigs(region.Testbed, 3, op.Sync)
+	var gws []*struct{ x float64 }
+	_ = gws
+	for i := 0; i < 3; i++ {
+		// Spread the gateways so each node has a clear nearest plan.
+		if _, err := op.AddGateway(radio.Models[3], phy.Pt(float64(i)*1500, 0), cfgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := op.AddNode(phy.Pt(0, 50), region.Testbed.AllChannels(), lora.DR5)
+	b := op.AddNode(phy.Pt(1500, 50), region.Testbed.AllChannels(), lora.DR5)
+	op.AssignNodesToGatewayPlans()
+	if a.Channels[0] != cfgs[0].Channels[0] {
+		t.Errorf("node a assigned %v, want plan 0", a.Channels[0])
+	}
+	if b.Channels[0] != cfgs[1].Channels[0] {
+		t.Errorf("node b assigned %v, want plan 1", b.Channels[0])
+	}
+}
+
+func TestCapacityProbeResetsCollector(t *testing.T) {
+	n := build48(t, 1)
+	first := n.CapacityProbe(5 * des.Second)
+	second := n.CapacityProbe(n.Sim.Now() + 5*des.Second)
+	if first[1] != second[1] {
+		t.Errorf("repeated probes must agree: %d vs %d", first[1], second[1])
+	}
+	// The collector only holds the latest probe's transmissions.
+	if s := n.Col.Network(1); s.Sent != 48 {
+		t.Errorf("collector sent = %d, want one probe's worth", s.Sent)
+	}
+}
+
+func TestApplyGatewayConfigsLengthMismatch(t *testing.T) {
+	n := build48(t, 2)
+	if err := n.Operators[0].ApplyGatewayConfigs(nil); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestNodeByAddr(t *testing.T) {
+	n := build48(t, 1)
+	op := n.Operators[0]
+	nd := op.Nodes[7]
+	got, ok := op.NodeByAddr(nd.DevAddr)
+	if !ok || got != nd {
+		t.Error("NodeByAddr lookup failed")
+	}
+	if _, ok := op.NodeByAddr(0xFFFFFFF); ok {
+		t.Error("unknown address must miss")
+	}
+}
+
+func TestMultiOperatorIDs(t *testing.T) {
+	n := New(1, env())
+	a := n.AddOperator()
+	b := n.AddOperator()
+	if a.ID == b.ID || a.Sync == b.Sync {
+		t.Error("operators must get distinct ids and sync words")
+	}
+}

@@ -1,0 +1,56 @@
+package tabulate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 22.5)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "alpha  1") {
+		t.Errorf("row = %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "22.50") {
+		t.Errorf("float row = %q", lines[4])
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if formatFloat(3.0) != "3" {
+		t.Error("integral floats render without decimals")
+	}
+	if formatFloat(3.14159) != "3.14" {
+		t.Error("floats render with 2 decimals")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("x,y", `q"uote`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"uote\"\n"
+	if csv != want {
+		t.Errorf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestRows(t *testing.T) {
+	tb := New("", "a")
+	if tb.Rows() != 0 {
+		t.Error("empty")
+	}
+	tb.AddRow(1)
+	if tb.Rows() != 1 {
+		t.Error("one row")
+	}
+}

@@ -1,0 +1,187 @@
+// Package traffic generates the workloads of the paper's experiments:
+// synchronized concurrent bursts (the capacity probes of Figures 2, 5, 12),
+// Poisson duty-cycled background traffic for city-scale runs (Figures 4
+// and 13), and the week-granularity user-expansion timeline of Appendix D.
+package traffic
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/node"
+)
+
+// BurstAlign selects how a concurrent burst aligns its packets in time.
+type BurstAlign int
+
+// Alignment modes for ScheduleBurst.
+const (
+	// AlignEnds schedules every packet to finish at the same instant, so
+	// all occupy decoders simultaneously — the paper's concurrency probe.
+	AlignEnds BurstAlign = iota
+	// AlignStarts starts every packet at the same instant (Scheme (a) of
+	// Figure 3 generalized: lock-on order follows preamble length).
+	AlignStarts
+	// AlignLockOns staggers starts so preambles *end* in node order
+	// (Scheme (b) of Figure 3).
+	AlignLockOns
+)
+
+// ScheduleBurst schedules one concurrent transmission per node around
+// reference time at (which must leave room for the longest airtime when
+// ends are aligned). Slot adds a per-node micro-slot offset (node i is
+// shifted by i×slot) as in the paper's 20-micro-slot experiments.
+func ScheduleBurst(med *medium.Medium, nodes []*node.Node, at des.Time, align BurstAlign, slot des.Time) {
+	sim := med.Sim()
+	for i, n := range nodes {
+		n := n
+		off := des.Time(i) * slot
+		var start des.Time
+		params := lora.DefaultParams(n.DR)
+		// The frame adds 13 bytes of LoRaWAN overhead to the payload.
+		phyLen := n.PayloadLen + 13
+		air := des.FromDuration(params.Airtime(phyLen))
+		pre := des.FromDuration(params.PreambleDuration())
+		switch align {
+		case AlignEnds:
+			start = at + off - air
+		case AlignStarts:
+			start = at + off
+		case AlignLockOns:
+			start = at + off - pre
+		}
+		if start < 0 {
+			start = 0
+		}
+		sim.At(start, func() {
+			// Burst probes bypass duty-cycle bookkeeping: they model the
+			// paper's controlled concurrent nodes.
+			saved := n.DutyCycle
+			n.DutyCycle = 0
+			n.Send(med)
+			n.DutyCycle = saved
+		})
+	}
+}
+
+// PoissonUser drives one node with exponential inter-arrival times whose
+// mean is set by the duty cycle: a node at 1% duty sending ~46 ms packets
+// averages one packet every ~4.6 s of allowed airtime budget; real IoT
+// users report far less often, so MeanInterval is configurable.
+type PoissonUser struct {
+	Node *node.Node
+	// MeanInterval is the average gap between transmissions.
+	MeanInterval des.Time
+	// Stop, when non-zero, ends the user's traffic.
+	Stop des.Time
+
+	rng *rand.Rand
+}
+
+// StartPoisson begins Poisson traffic for a node, returning the generator.
+// The first packet is scheduled one random inter-arrival after start.
+func StartPoisson(med *medium.Medium, n *node.Node, start, stop, meanInterval des.Time) *PoissonUser {
+	u := &PoissonUser{
+		Node: n, MeanInterval: meanInterval, Stop: stop,
+		rng: med.Sim().NewStream(int64(n.ID) + int64(n.Network)<<32),
+	}
+	med.Sim().At(start+u.nextGap(), func() { u.tick(med) })
+	return u
+}
+
+func (u *PoissonUser) nextGap() des.Time {
+	g := des.Time(u.rng.ExpFloat64() * float64(u.MeanInterval))
+	if g < des.Millisecond {
+		g = des.Millisecond
+	}
+	return g
+}
+
+func (u *PoissonUser) tick(med *medium.Medium) {
+	now := med.Sim().Now()
+	if u.Stop != 0 && now >= u.Stop {
+		return
+	}
+	if u.Node.CanSend(now) {
+		u.Node.Send(med)
+		med.Sim().At(now+u.nextGap(), func() { u.tick(med) })
+		return
+	}
+	// The regulator is holding the node (duty cycle or self-serialization
+	// under the multi-user emulation): retry as soon as it opens.
+	med.Sim().At(u.Node.NextAllowed(), func() { u.tick(med) })
+}
+
+// MeanIntervalForDutyCycle returns the Poisson inter-arrival that keeps a
+// node at the target duty cycle for its current DR and payload.
+func MeanIntervalForDutyCycle(n *node.Node, duty float64) des.Time {
+	air := des.FromDuration(lora.DefaultParams(n.DR).Airtime(n.PayloadLen + 13))
+	return des.Time(float64(air) / duty)
+}
+
+// ExpansionEvent is one step of the Appendix D timeline.
+type ExpansionEvent struct {
+	Week     int
+	AddUsers int
+	// AddGateways, AddChannels, and NewOperator mirror the weeks-13/27/43
+	// interventions of Figure 21.
+	AddGateways int
+	AddChannels int
+	NewOperator bool
+}
+
+// AppendixDTimeline reproduces the Appendix D scenario: 1,180 initial
+// users, ≈150 new users joining weekly, a 7,000-user application surge
+// with 5 extra gateways in week 13, 8 extra channels in week 27, and a
+// coexisting operator with 5 gateways and 3,430 users in week 43.
+func AppendixDTimeline() []ExpansionEvent {
+	evs := []ExpansionEvent{{Week: 1, AddUsers: 1180}}
+	for w := 2; w <= 53; w++ {
+		e := ExpansionEvent{Week: w, AddUsers: 150}
+		switch w {
+		case 13:
+			e.AddUsers += 7000
+			e.AddGateways = 5
+		case 27:
+			e.AddChannels = 8
+		case 43:
+			e.NewOperator = true
+		}
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// TotalUsers returns the cumulative primary-network user count after the
+// timeline runs through the given week.
+func TotalUsers(evs []ExpansionEvent, week int) int {
+	total := 0
+	for _, e := range evs {
+		if e.Week > week {
+			break
+		}
+		total += e.AddUsers
+	}
+	return total
+}
+
+// JitterPositions spreads n points uniformly over a w×h meter area using
+// a deterministic low-discrepancy sequence, mimicking the testbed's node
+// placement (Figure 11).
+func JitterPositions(n int, w, h float64, seed int64) []struct{ X, Y float64 } {
+	pts := make([]struct{ X, Y float64 }, n)
+	// Kronecker (golden-ratio) sequence: uniform, deterministic, and
+	// well-spread for any n.
+	const g = 1.32471795724474602596 // plastic number
+	a1, a2 := 1/g, 1/(g*g)
+	x0 := math.Mod(float64(seed)*0.7548776662466927, 1)
+	y0 := math.Mod(float64(seed)*0.5698402909980532, 1)
+	for i := range pts {
+		pts[i].X = math.Mod(x0+a1*float64(i+1), 1) * w
+		pts[i].Y = math.Mod(y0+a2*float64(i+1), 1) * h
+	}
+	return pts
+}

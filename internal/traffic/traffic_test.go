@@ -1,0 +1,229 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/node"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+func newMedium(seed int64) *medium.Medium {
+	e := phy.Urban(seed)
+	e.ShadowSigma = 0
+	return medium.New(des.New(seed), e)
+}
+
+func mkNodes(n int, dr lora.DR) []*node.Node {
+	out := make([]*node.Node, n)
+	for i := range out {
+		nd := node.New(medium.NodeID(i), 1, lora.SyncPublic, phy.Pt(100+float64(i), 0))
+		nd.Channels = region.AS923.AllChannels()
+		nd.DR = dr
+		out[i] = nd
+	}
+	return out
+}
+
+func TestBurstAlignEnds(t *testing.T) {
+	med := newMedium(1)
+	var ends []des.Time
+	med.OnAirDone = func(tx *medium.Transmission) { ends = append(ends, tx.End) }
+	nodes := mkNodes(6, lora.DR0)
+	// Mix data rates so airtimes differ.
+	for i, n := range nodes {
+		n.DR = lora.DR(i)
+	}
+	at := des.Time(5 * des.Second)
+	ScheduleBurst(med, nodes, at, AlignEnds, 0)
+	med.Sim().Run()
+	if len(ends) != 6 {
+		t.Fatalf("transmissions = %d, want 6", len(ends))
+	}
+	for _, e := range ends {
+		if e != at {
+			t.Errorf("end = %v, want %v", e, at)
+		}
+	}
+}
+
+func TestBurstAlignStarts(t *testing.T) {
+	med := newMedium(1)
+	var starts []des.Time
+	med.OnAirDone = func(tx *medium.Transmission) { starts = append(starts, tx.Start) }
+	nodes := mkNodes(4, lora.DR5)
+	ScheduleBurst(med, nodes, des.Second, AlignStarts, 0)
+	med.Sim().Run()
+	for _, s := range starts {
+		if s != des.Second {
+			t.Errorf("start = %v, want 1s", s)
+		}
+	}
+}
+
+func TestBurstAlignLockOnsWithSlots(t *testing.T) {
+	// Scheme (b) of Figure 3: final preamble symbols arrive in node order,
+	// one per micro slot.
+	med := newMedium(1)
+	lockons := map[medium.NodeID]des.Time{}
+	med.OnAirDone = func(tx *medium.Transmission) { lockons[tx.Node] = tx.LockOn }
+	nodes := mkNodes(5, lora.DR5)
+	for i, n := range nodes {
+		n.DR = lora.DR(i % 6) // heterogeneous preamble lengths
+	}
+	at := des.Time(10 * des.Second)
+	slot := des.Time(20 * des.Millisecond)
+	ScheduleBurst(med, nodes, at, AlignLockOns, slot)
+	med.Sim().Run()
+	for i := range nodes {
+		want := at + des.Time(i)*slot
+		if got := lockons[medium.NodeID(i)]; got != want {
+			t.Errorf("node %d lock-on = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestBurstPreservesDutyCycleState(t *testing.T) {
+	med := newMedium(1)
+	nodes := mkNodes(1, lora.DR5)
+	ScheduleBurst(med, nodes, des.Second, AlignStarts, 0)
+	med.Sim().Run()
+	if nodes[0].DutyCycle != 0.01 {
+		t.Error("burst must restore the node's duty cycle")
+	}
+}
+
+func TestPoissonUserRate(t *testing.T) {
+	med := newMedium(2)
+	n := mkNodes(1, lora.DR5)[0]
+	n.DutyCycle = 0 // let the Poisson clock set the rate
+	var count int
+	med.OnAirDone = func(*medium.Transmission) { count++ }
+	mean := des.Time(10 * des.Second)
+	horizon := des.Time(1000 * des.Second)
+	StartPoisson(med, n, 0, horizon, mean)
+	med.Sim().RunUntil(horizon + des.Minute)
+	// Expect ≈100 packets; allow ±40% for Poisson noise.
+	if count < 60 || count > 140 {
+		t.Errorf("packets = %d, want ≈100", count)
+	}
+}
+
+func TestPoissonUserStops(t *testing.T) {
+	med := newMedium(3)
+	n := mkNodes(1, lora.DR5)[0]
+	var count int
+	med.OnAirDone = func(*medium.Transmission) { count++ }
+	StartPoisson(med, n, 0, 10*des.Second, des.Second)
+	med.Sim().RunUntil(100 * des.Second)
+	after := count
+	med.Sim().RunUntil(200 * des.Second)
+	if count != after {
+		t.Error("traffic must stop at the stop time")
+	}
+	if med.Sim().Pending() != 0 {
+		t.Errorf("generator must unwind, %d events pending", med.Sim().Pending())
+	}
+}
+
+func TestPoissonRespectsdutyCycle(t *testing.T) {
+	// With a mean interval far below the duty-cycle floor, the node's
+	// regulator must cap the actual send rate.
+	med := newMedium(4)
+	n := mkNodes(1, lora.DR0)[0] // DR0: ~1.4 s airtime, 1% duty → ~140 s gap
+	var count int
+	med.OnAirDone = func(*medium.Transmission) { count++ }
+	StartPoisson(med, n, 0, 1000*des.Second, des.Second)
+	med.Sim().RunUntil(1100 * des.Second)
+	if count > 10 {
+		t.Errorf("duty cycle must cap DR0 sends at ≈7 over 1000 s, got %d", count)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() int {
+		med := newMedium(7)
+		var count int
+		med.OnAirDone = func(*medium.Transmission) { count++ }
+		for _, n := range mkNodes(10, lora.DR5) {
+			n.DutyCycle = 0
+			StartPoisson(med, n, 0, 100*des.Second, 5*des.Second)
+		}
+		med.Sim().RunUntil(200 * des.Second)
+		return count
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("runs diverged: %d vs %d", a, b)
+	}
+}
+
+func TestMeanIntervalForDutyCycle(t *testing.T) {
+	n := mkNodes(1, lora.DR5)[0]
+	got := MeanIntervalForDutyCycle(n, 0.01)
+	air := des.FromDuration(lora.DefaultParams(lora.DR5).Airtime(23))
+	if got != des.Time(float64(air)/0.01) {
+		t.Errorf("interval = %v", got)
+	}
+}
+
+func TestAppendixDTimeline(t *testing.T) {
+	evs := AppendixDTimeline()
+	if len(evs) != 53 {
+		t.Fatalf("weeks = %d, want 53", len(evs))
+	}
+	// Week 12 cumulative ≈ 1180 + 11×150 = 2830 (paper: 3,090 by week 12
+	// including week 12's join; our count after week 12 is 2830+150).
+	if got := TotalUsers(evs, 12); got != 2830 {
+		t.Errorf("users after week 12 = %d, want 2830", got)
+	}
+	// Week 13 adds the 7,000-user surge + 5 gateways.
+	if evs[12].AddUsers != 7150 || evs[12].AddGateways != 5 {
+		t.Errorf("week 13 = %+v", evs[12])
+	}
+	// Week 27 adds spectrum; week 43 brings the second operator.
+	if evs[26].AddChannels != 8 {
+		t.Errorf("week 27 = %+v", evs[26])
+	}
+	if !evs[42].NewOperator {
+		t.Errorf("week 43 = %+v", evs[42])
+	}
+	// Final scale ≈ 16,000 primary users (paper: 22,180 incl. the second
+	// operator's 3,430 and week-13 surge; primary-network total below).
+	final := TotalUsers(evs, 53)
+	if final < 15000 || final > 17000 {
+		t.Errorf("final users = %d", final)
+	}
+}
+
+func TestJitterPositionsSpread(t *testing.T) {
+	pts := JitterPositions(1000, 2100, 1600, 1)
+	if len(pts) != 1000 {
+		t.Fatal("count")
+	}
+	var cx, cy float64
+	for _, p := range pts {
+		if p.X < 0 || p.X > 2100 || p.Y < 0 || p.Y > 1600 {
+			t.Fatalf("point out of area: %+v", p)
+		}
+		cx += p.X
+		cy += p.Y
+	}
+	cx /= 1000
+	cy /= 1000
+	if math.Abs(cx-1050) > 120 || math.Abs(cy-800) > 100 {
+		t.Errorf("centroid = (%.0f, %.0f), want ≈ (1050, 800)", cx, cy)
+	}
+	// Deterministic.
+	again := JitterPositions(1000, 2100, 1600, 1)
+	if again[500] != pts[500] {
+		t.Error("positions must be deterministic per seed")
+	}
+	other := JitterPositions(1000, 2100, 1600, 2)
+	if other[500] == pts[500] {
+		t.Error("different seeds must shift positions")
+	}
+}

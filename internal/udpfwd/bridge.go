@@ -1,0 +1,304 @@
+package udpfwd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Uplink is one received PUSH_DATA delivered by the bridge.
+type Uplink struct {
+	EUI  EUI
+	RXPK RXPK
+}
+
+// Bridge is the network-server side of the packet-forwarder protocol: it
+// listens on UDP, acknowledges PUSH_DATA/PULL_DATA, tracks each gateway's
+// downlink address, and delivers uplinks on a channel.
+type Bridge struct {
+	conn *net.UDPConn
+
+	mu sync.Mutex
+	// pullAddr maps a gateway EUI to the source address of its most
+	// recent PULL_DATA (where PULL_RESP downlinks must be sent).
+	pullAddr map[EUI]*net.UDPAddr
+	stats    map[EUI]*Stat
+
+	uplinks chan Uplink
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// NewBridge listens on the UDP address (":1700" for the standard port,
+// "127.0.0.1:0" for tests).
+func NewBridge(addr string) (*Bridge, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udpfwd: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("udpfwd: %w", err)
+	}
+	b := &Bridge{
+		conn:     conn,
+		pullAddr: make(map[EUI]*net.UDPAddr),
+		stats:    make(map[EUI]*Stat),
+		uplinks:  make(chan Uplink, 1024),
+		closed:   make(chan struct{}),
+	}
+	go b.readLoop()
+	return b, nil
+}
+
+// Addr returns the bridge's bound UDP address.
+func (b *Bridge) Addr() *net.UDPAddr { return b.conn.LocalAddr().(*net.UDPAddr) }
+
+// Uplinks returns the channel of received uplinks. The channel closes when
+// the bridge shuts down.
+func (b *Bridge) Uplinks() <-chan Uplink { return b.uplinks }
+
+// Close shuts the bridge down.
+func (b *Bridge) Close() error {
+	b.once.Do(func() { close(b.closed) })
+	return b.conn.Close()
+}
+
+func (b *Bridge) readLoop() {
+	defer close(b.uplinks)
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := b.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-b.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue // transient error: keep serving
+		}
+		p, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // malformed datagram from an unknown peer
+		}
+		switch p.Type {
+		case PushData:
+			ack := Packet{Type: PushAck, Token: p.Token}
+			b.send(&ack, from)
+			if p.Status != nil {
+				b.mu.Lock()
+				st := *p.Status
+				b.stats[p.EUI] = &st
+				b.mu.Unlock()
+			}
+			for _, rx := range p.RXPKs {
+				select {
+				case b.uplinks <- Uplink{EUI: p.EUI, RXPK: rx}:
+				case <-b.closed:
+					return
+				}
+			}
+		case PullData:
+			b.mu.Lock()
+			b.pullAddr[p.EUI] = from
+			b.mu.Unlock()
+			ack := Packet{Type: PullAck, Token: p.Token}
+			b.send(&ack, from)
+		}
+	}
+}
+
+func (b *Bridge) send(p *Packet, to *net.UDPAddr) {
+	raw, err := p.Marshal()
+	if err != nil {
+		return
+	}
+	b.conn.WriteToUDP(raw, to)
+}
+
+// SendDownlink issues a PULL_RESP to the gateway, using the address from
+// its latest PULL_DATA. It fails if the gateway has not opened the
+// downlink path yet.
+func (b *Bridge) SendDownlink(eui EUI, tx TXPK) error {
+	b.mu.Lock()
+	addr := b.pullAddr[eui]
+	b.mu.Unlock()
+	if addr == nil {
+		return fmt.Errorf("udpfwd: gateway %v has no downlink path (no PULL_DATA seen)", eui)
+	}
+	p := Packet{Type: PullResp, Token: 0, TX: &tx}
+	raw, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = b.conn.WriteToUDP(raw, addr)
+	return err
+}
+
+// GatewayStat returns the latest status report from a gateway.
+func (b *Bridge) GatewayStat(eui EUI) (Stat, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s := b.stats[eui]; s != nil {
+		return *s, true
+	}
+	return Stat{}, false
+}
+
+// Forwarder is the gateway side: it pushes uplinks to the server with
+// acknowledged retransmission and keeps the downlink path open with
+// PULL_DATA keepalives.
+type Forwarder struct {
+	EUI  EUI
+	conn *net.UDPConn
+
+	mu        sync.Mutex
+	token     uint16
+	ackWait   map[uint16]chan struct{}
+	downlinks chan TXPK
+	closed    chan struct{}
+	once      sync.Once
+
+	// RetryInterval and MaxRetries govern PUSH_DATA retransmission.
+	RetryInterval time.Duration
+	MaxRetries    int
+}
+
+// NewForwarder dials the server address and starts the receive loop plus a
+// keepalive ticker.
+func NewForwarder(eui EUI, serverAddr string, keepalive time.Duration) (*Forwarder, error) {
+	ua, err := net.ResolveUDPAddr("udp", serverAddr)
+	if err != nil {
+		return nil, fmt.Errorf("udpfwd: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, fmt.Errorf("udpfwd: %w", err)
+	}
+	f := &Forwarder{
+		EUI: eui, conn: conn,
+		ackWait:       make(map[uint16]chan struct{}),
+		downlinks:     make(chan TXPK, 64),
+		closed:        make(chan struct{}),
+		RetryInterval: 100 * time.Millisecond,
+		MaxRetries:    3,
+	}
+	go f.readLoop()
+	go f.keepaliveLoop(keepalive)
+	return f, nil
+}
+
+// Downlinks returns the channel of PULL_RESP downlinks from the server.
+func (f *Forwarder) Downlinks() <-chan TXPK { return f.downlinks }
+
+// Close shuts the forwarder down.
+func (f *Forwarder) Close() error {
+	f.once.Do(func() { close(f.closed) })
+	return f.conn.Close()
+}
+
+func (f *Forwarder) nextToken() uint16 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.token++
+	return f.token
+}
+
+func (f *Forwarder) readLoop() {
+	defer close(f.downlinks)
+	buf := make([]byte, 65536)
+	for {
+		n, err := f.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		p, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		switch p.Type {
+		case PushAck, PullAck:
+			f.mu.Lock()
+			if ch, ok := f.ackWait[p.Token]; ok {
+				close(ch)
+				delete(f.ackWait, p.Token)
+			}
+			f.mu.Unlock()
+		case PullResp:
+			if p.TX != nil {
+				select {
+				case f.downlinks <- *p.TX:
+				case <-f.closed:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (f *Forwarder) keepaliveLoop(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	// Open the downlink path immediately, then on every tick.
+	f.sendPullData()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			f.sendPullData()
+		case <-f.closed:
+			return
+		}
+	}
+}
+
+func (f *Forwarder) sendPullData() {
+	p := Packet{Type: PullData, Token: f.nextToken(), EUI: f.EUI}
+	raw, err := p.Marshal()
+	if err != nil {
+		return
+	}
+	f.conn.Write(raw)
+}
+
+// Push sends a PUSH_DATA with the given rxpks and waits for the PUSH_ACK,
+// retransmitting up to MaxRetries times. It returns an error if the server
+// never acknowledges.
+func (f *Forwarder) Push(rxpks []RXPK, stat *Stat) error {
+	token := f.nextToken()
+	p := Packet{Type: PushData, Token: token, EUI: f.EUI, RXPKs: rxpks, Status: stat}
+	raw, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	ack := make(chan struct{})
+	f.mu.Lock()
+	f.ackWait[token] = ack
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		delete(f.ackWait, token)
+		f.mu.Unlock()
+	}()
+
+	for attempt := 0; attempt <= f.MaxRetries; attempt++ {
+		if _, err := f.conn.Write(raw); err != nil {
+			return err
+		}
+		select {
+		case <-ack:
+			return nil
+		case <-time.After(f.RetryInterval):
+		case <-f.closed:
+			return fmt.Errorf("udpfwd: forwarder closed")
+		}
+	}
+	return fmt.Errorf("udpfwd: no PUSH_ACK after %d attempts", f.MaxRetries+1)
+}
