@@ -1,0 +1,135 @@
+// Command alphawan-bench times every registered experiment and writes a
+// machine-readable BENCH_<n>.json (ns/op per experiment id) next to the
+// working directory, picking the first unused n. Successive runs — e.g.
+// before and after a change, or serial vs -parallel — therefore leave a
+// comparable series of snapshots.
+//
+// Usage:
+//
+//	alphawan-bench [-seed 1] [-runs 1] [-parallel 8] [-only fig13,fig21] [-dir .]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/alphawan/alphawan/internal/experiments"
+	"github.com/alphawan/alphawan/internal/runner"
+)
+
+// benchResult is one experiment's timing.
+type benchResult struct {
+	ID      string `json:"id"`
+	Runs    int    `json:"runs"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// benchFile is the BENCH_<n>.json schema.
+type benchFile struct {
+	Timestamp  string        `json:"timestamp"`
+	GoOS       string        `json:"goos"`
+	GoArch     string        `json:"goarch"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"` // 0 = GOMAXPROCS default
+	Seed       int64         `json:"seed"`
+	Results    []benchResult `json:"results"`
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	runs := flag.Int("runs", 1, "timed runs per experiment (ns/op averages over them)")
+	parallel := flag.Int("parallel", 0,
+		"worker cap for experiment cells: 0 = GOMAXPROCS (default), 1 = serial")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	dir := flag.String("dir", ".", "directory to write BENCH_<n>.json into")
+	flag.Parse()
+
+	if *runs < 1 {
+		*runs = 1
+	}
+	if *parallel > 0 {
+		runner.SetMaxWorkers(*parallel)
+	}
+
+	sel := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			sel[id] = true
+		}
+	}
+	var todo []experiments.Experiment
+	for _, e := range experiments.All() {
+		if len(sel) == 0 || sel[e.ID] {
+			todo = append(todo, e)
+			delete(sel, e.ID)
+		}
+	}
+	if len(sel) > 0 {
+		ids := make([]string, 0, len(sel))
+		for id := range sel {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(os.Stderr, "unknown experiment ids: %s; try alphawan-sim -list\n",
+			strings.Join(ids, ", "))
+		os.Exit(1)
+	}
+
+	out := benchFile{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    *parallel,
+		Seed:       *seed,
+	}
+	for _, e := range todo {
+		var total time.Duration
+		for r := 0; r < *runs; r++ {
+			t0 := time.Now()
+			e.Run(*seed)
+			total += time.Since(t0)
+		}
+		ns := total.Nanoseconds() / int64(*runs)
+		out.Results = append(out.Results, benchResult{ID: e.ID, Runs: *runs, NsPerOp: ns})
+		fmt.Printf("%-14s %12d ns/op  (%s)\n", e.ID, ns, time.Duration(ns).Round(time.Millisecond))
+	}
+
+	path, err := nextBenchPath(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// nextBenchPath returns dir/BENCH_<n>.json for the smallest n ≥ 1 that
+// does not exist yet.
+func nextBenchPath(dir string) (string, error) {
+	for n := 1; n < 10000; n++ {
+		p := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("no free BENCH_<n>.json slot in %s", dir)
+}

@@ -5,7 +5,7 @@
 //
 //	alphawan-sim -list
 //	alphawan-sim -run fig02a [-seed 1] [-csv]
-//	alphawan-sim -run all
+//	alphawan-sim -run all [-parallel 8]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"github.com/alphawan/alphawan/internal/experiments"
+	"github.com/alphawan/alphawan/internal/runner"
 )
 
 func main() {
@@ -21,7 +22,13 @@ func main() {
 	run := flag.String("run", "", "experiment id to run, or 'all'")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	parallel := flag.Int("parallel", 0,
+		"worker cap for experiment cells: 0 = GOMAXPROCS (default), 1 = serial")
 	flag.Parse()
+
+	if *parallel > 0 {
+		runner.SetMaxWorkers(*parallel)
+	}
 
 	switch {
 	case *list:

@@ -19,12 +19,11 @@ package evolve
 
 import (
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"github.com/alphawan/alphawan/internal/alphawan/cp"
 	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/runner"
 )
 
 // Options tunes the solver.
@@ -266,6 +265,10 @@ func sortPop(pop []indiv) {
 	})
 }
 
+// evalAll scores the population. Evaluate is pure and each individual
+// writes only its own slot, so the parallel path fans across the shared
+// deterministic worker pool while staying bit-for-bit identical to the
+// serial loop.
 func (s *solver) evalAll(pop []indiv) {
 	if !s.opt.Parallel {
 		for i := range pop {
@@ -273,30 +276,9 @@ func (s *solver) evalAll(pop []indiv) {
 		}
 		return
 	}
-	workers := runtime.NumCPU()
-	if workers > len(pop) {
-		workers = len(pop)
-	}
-	var wg sync.WaitGroup
-	chunk := (len(pop) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pop) {
-			hi = len(pop)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				pop[i].cost = s.p.Evaluate(pop[i].a)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	runner.RunCells(len(pop), func(i int) {
+		pop[i].cost = s.p.Evaluate(pop[i].a)
+	})
 }
 
 func (s *solver) tournament(pop []indiv) indiv {

@@ -5,6 +5,7 @@ import (
 
 	"github.com/alphawan/alphawan/internal/alphawan/cp"
 	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/runner"
 )
 
 func gwSpec(n int) []cp.GatewaySpec {
@@ -193,5 +194,67 @@ func TestEarlyStopping(t *testing.T) {
 	res, _ := Solve(p, opt)
 	if res.Generations >= 1000 {
 		t.Errorf("patience must stop early, ran %d generations", res.Generations)
+	}
+}
+
+// TestParallelFitnessMatchesSerial pins the determinism of the parallel
+// fitness loop: with identical seeds, fanning Evaluate across the worker
+// pool must produce the same search trajectory — and therefore the same
+// final assignment and cost — as the serial evaluation.
+func TestParallelFitnessMatchesSerial(t *testing.T) {
+	p := &cp.Problem{
+		Channels: region.AS923.AllChannels(),
+		Gateways: gwSpec(4),
+		Nodes:    fullReach(48, 4),
+	}
+	run := func(parallel bool, workers int) (*Result, error) {
+		prev := runner.SetMaxWorkers(workers)
+		defer runner.SetMaxWorkers(prev)
+		opt := DefaultOptions(11)
+		opt.Generations = 40
+		opt.Patience = 0
+		opt.Parallel = parallel
+		return Solve(p, opt)
+	}
+	serial, err := run(false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := run(true, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Cost.Total() != parallel.Cost.Total() {
+		t.Fatalf("cost diverged: serial %v, parallel %v", serial.Cost, parallel.Cost)
+	}
+	if serial.Generations != parallel.Generations {
+		t.Fatalf("generations diverged: %d vs %d", serial.Generations, parallel.Generations)
+	}
+	for i := range serial.Assignment.NodeChannel {
+		if serial.Assignment.NodeChannel[i] != parallel.Assignment.NodeChannel[i] ||
+			serial.Assignment.NodeRing[i] != parallel.Assignment.NodeRing[i] {
+			t.Fatalf("node %d gene diverged", i)
+		}
+	}
+}
+
+// TestParallelFitnessStress exercises the fitness fan-out with far more
+// individuals than workers — the shape `go test -race` needs to catch
+// cross-slot writes.
+func TestParallelFitnessStress(t *testing.T) {
+	p := &cp.Problem{
+		Channels: region.AS923.AllChannels(),
+		Gateways: gwSpec(3),
+		Nodes:    fullReach(24, 3),
+	}
+	prev := runner.SetMaxWorkers(4)
+	defer runner.SetMaxWorkers(prev)
+	opt := DefaultOptions(5)
+	opt.Population = 128 // 128 cells over 4 workers, every generation
+	opt.Generations = 10
+	opt.Patience = 0
+	opt.Parallel = true
+	if _, err := Solve(p, opt); err != nil {
+		t.Fatal(err)
 	}
 }

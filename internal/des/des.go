@@ -5,7 +5,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -35,46 +34,43 @@ func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsec
 
 func (t Time) String() string { return t.Duration().String() }
 
-// Event is a scheduled callback.
+// event is a scheduled callback, stored by value in the Sim's arena.
+// Slots are recycled through a freelist once the event fires or is
+// cancelled, so steady-state scheduling allocates nothing beyond the
+// callback closure itself.
 type event struct {
-	at   Time
-	seq  uint64 // insertion order, for deterministic tie-breaking
-	fn   func()
-	dead bool
+	at  Time
+	seq uint64 // insertion order, for deterministic tie-breaking
+	fn  func()
+	pos int32 // current index in the heap, -1 while not queued
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// EventID is valid and cancels nothing.
+type EventID struct {
+	slot int32  // arena slot + 1 (0 means "no event")
+	seq  uint64 // guards against cancelling a recycled slot
 }
 
 // Sim is a discrete-event simulation run. It is not safe for concurrent
 // use; a run is a single-threaded deterministic process, and experiments
-// parallelize across independent Sim instances instead.
+// parallelize across independent Sim instances instead (see
+// internal/runner).
+//
+// The queue is an index-based binary min-heap over an event arena: the
+// heap orders int32 arena slots by (time, seq), fired or cancelled slots
+// return to a freelist, and cancellation removes the event from the heap
+// immediately (no dead entries), so Pending is an O(1) count of live
+// events.
 type Sim struct {
-	now   Time
-	queue eventQueue
-	seq   uint64
-	rng   *rand.Rand
-	seed  int64
+	now  Time
+	seq  uint64
+	rng  *rand.Rand
+	seed int64
+
+	events []event // arena of scheduled events
+	free   []int32 // recycled arena slots
+	heap   []int32 // min-heap of arena slots, ordered by (at, seq)
 }
 
 // New creates a simulation with the given seed. Two simulations created
@@ -110,46 +106,63 @@ func (s *Sim) At(t Time, fn func()) EventID {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.events = append(s.events, event{})
+		slot = int32(len(s.events) - 1)
+	}
+	ev := &s.events[slot]
+	ev.at, ev.seq, ev.fn = t, s.seq, fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return EventID{ev}
+	ev.pos = int32(len(s.heap))
+	s.heap = append(s.heap, slot)
+	s.siftUp(len(s.heap) - 1)
+	return EventID{slot: slot + 1, seq: ev.seq}
 }
 
 // After schedules fn after delay d from now.
 func (s *Sim) After(d Time, fn func()) EventID { return s.At(s.now+d, fn) }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel removes a scheduled event from the queue. Cancelling an
+// already-fired or already-cancelled event is a no-op (the slot's seq
+// guard rejects stale ids even after the slot is recycled).
 func (s *Sim) Cancel(id EventID) {
-	if id.ev != nil {
-		id.ev.dead = true
+	if id.slot == 0 {
+		return
 	}
+	slot := id.slot - 1
+	if int(slot) >= len(s.events) {
+		return
+	}
+	ev := &s.events[slot]
+	if ev.fn == nil || ev.seq != id.seq {
+		return
+	}
+	s.removeAt(ev.pos)
+	s.release(slot)
 }
 
 // Pending returns the number of live events still queued.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.dead {
-			n++
-		}
-	}
-	return n
-}
+func (s *Sim) Pending() int { return len(s.heap) }
 
 // Step runs the earliest event. It returns false when the queue is empty.
 func (s *Sim) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		s.now = ev.at
-		ev.fn()
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	slot := s.heap[0]
+	s.removeAt(0)
+	ev := &s.events[slot]
+	s.now = ev.at
+	fn := ev.fn
+	// Recycle before running: fn may schedule new events into this slot,
+	// which is safe now that at/fn are copied out.
+	s.release(slot)
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains.
@@ -161,21 +174,92 @@ func (s *Sim) Run() {
 // RunUntil executes events with time ≤ deadline, leaving later events
 // queued, and advances the clock to the deadline.
 func (s *Sim) RunUntil(deadline Time) {
-	for len(s.queue) > 0 {
-		// Peek.
-		ev := s.queue[0]
-		if ev.dead {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if ev.at > deadline {
+	for len(s.heap) > 0 {
+		slot := s.heap[0]
+		if s.events[slot].at > deadline {
 			break
 		}
-		heap.Pop(&s.queue)
+		s.removeAt(0)
+		ev := &s.events[slot]
 		s.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		s.release(slot)
+		fn()
 	}
 	if s.now < deadline {
 		s.now = deadline
+	}
+}
+
+// release returns an arena slot to the freelist, dropping the callback so
+// the GC can reclaim its closure.
+func (s *Sim) release(slot int32) {
+	ev := &s.events[slot]
+	ev.fn = nil
+	ev.pos = -1
+	s.free = append(s.free, slot)
+}
+
+// less orders two arena slots by (time, insertion seq) — the same total
+// order the original container/heap queue used, so event schedules stay
+// bit-for-bit reproducible per seed.
+func (s *Sim) less(a, b int32) bool {
+	ea, eb := &s.events[a], &s.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (s *Sim) siftUp(i int) {
+	slot := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(slot, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		s.events[s.heap[i]].pos = int32(i)
+		i = parent
+	}
+	s.heap[i] = slot
+	s.events[slot].pos = int32(i)
+}
+
+func (s *Sim) siftDown(i int) {
+	n := len(s.heap)
+	slot := s.heap[i]
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && s.less(s.heap[r], s.heap[kid]) {
+			kid = r
+		}
+		if !s.less(s.heap[kid], slot) {
+			break
+		}
+		s.heap[i] = s.heap[kid]
+		s.events[s.heap[i]].pos = int32(i)
+		i = kid
+	}
+	s.heap[i] = slot
+	s.events[slot].pos = int32(i)
+}
+
+// removeAt deletes the heap entry at position pos, restoring the heap
+// property around the element moved into its place.
+func (s *Sim) removeAt(pos int32) {
+	last := len(s.heap) - 1
+	i := int(pos)
+	if i != last {
+		s.heap[i] = s.heap[last]
+		s.events[s.heap[i]].pos = pos
+	}
+	s.heap = s.heap[:last]
+	if i < last {
+		s.siftDown(i)
+		s.siftUp(i)
 	}
 }

@@ -1,0 +1,55 @@
+package des
+
+import "testing"
+
+// BenchmarkDESQueue measures the scheduler hot path: a self-rescheduling
+// event population of fixed size churning through the queue, the access
+// pattern every traffic generator in the experiments produces.
+func BenchmarkDESQueue(b *testing.B) {
+	for _, nodes := range []int{64, 1024, 8192} {
+		b.Run(benchName(nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			s := New(1)
+			fired := 0
+			stop := b.N
+			for i := 0; i < nodes; i++ {
+				i := i
+				var tick func()
+				tick = func() {
+					fired++
+					if fired < stop {
+						s.After(Time(1+(i*7919)%1000), tick)
+					}
+				}
+				s.At(Time(i), tick)
+			}
+			b.ResetTimer()
+			for s.Step() {
+			}
+		})
+	}
+}
+
+// BenchmarkDESCancel measures schedule+cancel churn — the pattern of
+// timeout guards that almost never fire.
+func BenchmarkDESCancel(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := s.At(Time(i+1), fn)
+		s.Cancel(id)
+	}
+}
+
+func benchName(n int) string {
+	switch n {
+	case 64:
+		return "nodes=64"
+	case 1024:
+		return "nodes=1024"
+	default:
+		return "nodes=8192"
+	}
+}

@@ -206,3 +206,70 @@ func TestStepReturnsFalseWhenEmpty(t *testing.T) {
 		t.Error("Step on empty queue must return false")
 	}
 }
+
+// TestSlotRecyclingGuardsStaleCancel pins the freelist semantics: after a
+// slot is recycled by a new event, a stale EventID for the old occupant
+// must not cancel the newcomer.
+func TestSlotRecyclingGuardsStaleCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	old := s.At(10, func() {})
+	s.Run() // fires and recycles the slot
+	s.At(20, func() { fired = true })
+	s.Cancel(old) // stale id: must be a no-op
+	s.Run()
+	if !fired {
+		t.Error("stale Cancel removed a recycled slot's new event")
+	}
+}
+
+// TestPendingIsExact pins the O(1) live-event counter across scheduling,
+// cancellation, and firing.
+func TestPendingIsExact(t *testing.T) {
+	s := New(1)
+	ids := make([]EventID, 10)
+	for i := range ids {
+		ids[i] = s.At(Time(10+i), func() {})
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", s.Pending())
+	}
+	for i := 0; i < 5; i++ {
+		s.Cancel(ids[i])
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending after cancels = %d, want 5", s.Pending())
+	}
+	s.Step()
+	if s.Pending() != 4 {
+		t.Fatalf("pending after step = %d, want 4", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("pending after drain = %d, want 0", s.Pending())
+	}
+}
+
+// TestCancelMiddleOfHeap removes an interior heap element and checks the
+// remaining order is preserved.
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New(1)
+	var got []Time
+	ids := map[Time]EventID{}
+	for _, at := range []Time{50, 10, 40, 20, 30, 60, 25} {
+		at := at
+		ids[at] = s.At(at, func() { got = append(got, at) })
+	}
+	s.Cancel(ids[40])
+	s.Cancel(ids[20])
+	s.Run()
+	want := []Time{10, 25, 30, 50, 60}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}

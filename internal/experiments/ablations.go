@@ -9,6 +9,7 @@ import (
 	"github.com/alphawan/alphawan/internal/lora"
 	"github.com/alphawan/alphawan/internal/netserver"
 	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/runner"
 	"github.com/alphawan/alphawan/internal/tabulate"
 )
 
@@ -84,19 +85,28 @@ func runAblSeeding(seed int64) *Result {
 		{"short budget (20 gens)", func(o *evolve.Options) { o.Generations = 20; o.Patience = 0 }},
 		{"tiny population (8)", func(o *evolve.Options) { o.Population = 8 }},
 	}
-	for _, v := range variants {
+	// Every (variant, seed) GA run is independent; fan the 15 solves out.
+	const seeds = 5
+	type cellOut struct {
+		cost float64
+		gens int
+	}
+	cells := runner.Map(len(variants)*seeds, func(i int) cellOut {
+		v := variants[i/seeds]
+		opt := evolve.DefaultOptions(seed + int64(i%seeds))
+		v.mangle(&opt)
+		r, err := evolve.Solve(prob, opt)
+		if err != nil {
+			panic(err)
+		}
+		return cellOut{cost: r.Cost.Total(), gens: r.Generations}
+	})
+	for vi, v := range variants {
 		var costSum float64
 		var genSum int
-		const seeds = 5
-		for s := int64(0); s < seeds; s++ {
-			opt := evolve.DefaultOptions(seed + s)
-			v.mangle(&opt)
-			r, err := evolve.Solve(prob, opt)
-			if err != nil {
-				panic(err)
-			}
-			costSum += r.Cost.Total()
-			genSum += r.Generations
+		for s := 0; s < seeds; s++ {
+			costSum += cells[vi*seeds+s].cost
+			genSum += cells[vi*seeds+s].gens
 		}
 		res.Table.AddRow(v.name, costSum/seeds, genSum/seeds)
 	}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/runner"
+)
+
+// withProfile installs the shrunken profile for the duration of a test
+// and restores the registered full-scale shape afterwards.
+func withProfile(t *testing.T, p profileT) {
+	t.Helper()
+	prev := prof
+	prof = p
+	t.Cleanup(func() { prof = prev })
+}
+
+// renderResult flattens a Result to one comparable string: the table in
+// CSV form plus every note, in order.
+func renderResult(r *Result) string {
+	var b strings.Builder
+	b.WriteString(r.Table.CSV())
+	for _, n := range r.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelMatchesSerial is the determinism regression for the cell
+// runner: the registered multi-cell experiments must emit byte-identical
+// tables and notes whether cells run on one worker or many, at the same
+// seed. It covers fig04a (user-scale sweep), fig13 (strategy × scale
+// grid), and fig12c (the city144 contention workload) on the shrunken
+// profile so the whole comparison stays tier-1 fast.
+func TestParallelMatchesSerial(t *testing.T) {
+	withProfile(t, smallProfile())
+	const seed = 7
+	for _, id := range []string{"fig04a", "fig13", "fig12c"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := Get(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			prevW := runner.SetMaxWorkers(1)
+			serial := renderResult(e.Run(seed))
+			runner.SetMaxWorkers(6)
+			parallel := renderResult(e.Run(seed))
+			runner.SetMaxWorkers(prevW)
+			if serial != parallel {
+				t.Errorf("%s: parallel output diverges from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, serial, parallel)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/alphawan/alphawan/internal/metrics"
 	"github.com/alphawan/alphawan/internal/phy"
 	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/runner"
 	"github.com/alphawan/alphawan/internal/sim"
 	"github.com/alphawan/alphawan/internal/tabulate"
 	"github.com/alphawan/alphawan/internal/traffic"
@@ -113,13 +114,18 @@ func runFig04a(seed int64) *Result {
 		"Figure 4a — loss ratio by cause vs user connections",
 		"users", "decoder(intra)", "decoder(inter)", "channel(intra)", "channel(inter)", "others", "total loss",
 	)}
-	crossover := 0
-	for _, users := range []int{500, 1000, 2000, 3000, 4000, 6000, 8000} {
+	// Each user scale is an independent city simulation: fan the sweep
+	// across the worker pool, assemble rows in sweep order.
+	scales := prof.fig04aUsers
+	stats := runner.Map(len(scales), func(i int) metrics.NetworkStats {
 		n := sim.New(seed, cityEnv(seed))
-		op := cityOperator(n, region.AS923, 15, 144, seed)
-		cityLoad(n, []*sim.Operator{op}, users, 0.01, 2*des.Minute)
-		s := n.Col.Network(op.ID)
-		di, dx, ci, cx, ot, tot := lossRow(s)
+		op := cityOperator(n, region.AS923, prof.cityGWs, prof.cityPhys, seed)
+		cityLoad(n, []*sim.Operator{op}, scales[i], 0.01, prof.window)
+		return n.Col.Network(op.ID)
+	})
+	crossover := 0
+	for i, users := range scales {
+		di, dx, ci, cx, ot, tot := lossRow(stats[i])
 		res.Table.AddRow(users, di, dx, ci, cx, ot, tot)
 		if crossover == 0 && di+dx > ci+cx && tot > 0.01 {
 			crossover = users
@@ -138,29 +144,35 @@ func runFig04b(seed int64) *Result {
 		"Figure 4b — loss ratio by cause vs coexisting networks (1k users each)",
 		"networks", "decoder(intra)", "decoder(inter)", "channel(intra)", "channel(inter)", "others", "total loss",
 	)}
-	interDominatesAt := 0
-	for nets := 1; nets <= 6; nets++ {
+	type row struct{ di, dx, ci, cx, ot, tot float64 }
+	rows := runner.Map(6, func(i int) row {
+		nets := i + 1
 		n := sim.New(seed, cityEnv(seed))
 		var ops []*sim.Operator
 		for k := 0; k < nets; k++ {
 			ops = append(ops, cityOperator(n, region.AS923, 3, 48, seed+int64(k)))
 		}
-		cityLoad(n, ops, 1000, 0.01, 2*des.Minute)
+		cityLoad(n, ops, 1000, 0.01, prof.window)
 		// Average the breakdown across networks (they are symmetric).
-		var di, dx, ci, cx, ot, tot float64
+		var r row
 		for _, op := range ops {
 			a, b, c, d, e, f := lossRow(n.Col.Network(op.ID))
-			di += a
-			dx += b
-			ci += c
-			cx += d
-			ot += e
-			tot += f
+			r.di += a
+			r.dx += b
+			r.ci += c
+			r.cx += d
+			r.ot += e
+			r.tot += f
 		}
 		fn := float64(nets)
-		di, dx, ci, cx, ot, tot = di/fn, dx/fn, ci/fn, cx/fn, ot/fn, tot/fn
-		res.Table.AddRow(nets, di, dx, ci, cx, ot, tot)
-		if interDominatesAt == 0 && dx > ci+cx && dx > di {
+		r.di, r.dx, r.ci, r.cx, r.ot, r.tot = r.di/fn, r.dx/fn, r.ci/fn, r.cx/fn, r.ot/fn, r.tot/fn
+		return r
+	})
+	interDominatesAt := 0
+	for i, r := range rows {
+		nets := i + 1
+		res.Table.AddRow(nets, r.di, r.dx, r.ci, r.cx, r.ot, r.tot)
+		if interDominatesAt == 0 && r.dx > r.ci+r.cx && r.dx > r.di {
 			interDominatesAt = nets
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"github.com/alphawan/alphawan/internal/phy"
 	"github.com/alphawan/alphawan/internal/radio"
 	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/runner"
 	"github.com/alphawan/alphawan/internal/sim"
 	"github.com/alphawan/alphawan/internal/tabulate"
 )
@@ -79,22 +80,30 @@ func runFig12a(seed int64) *Result {
 		"Figure 12a — max concurrent users vs gateways",
 		"#gateways", "oracle", "LoRaWAN (standard)", "Random CP", "AlphaWAN (no S1)", "AlphaWAN (full)",
 	)}
+	gws := []int{1, 3, 5, 7, 9, 11, 13, 15}
+	type cellOut struct{ std, rnd, noS1, full int }
+	cells := runner.Map(len(gws), func(i int) cellOut {
+		g := gws[i]
+		return cellOut{
+			std:  standardProbe(seed, g),
+			rnd:  randomCPProbe(seed, g),
+			noS1: planProbe(seed, g, true, 8),
+			full: planProbe(seed, g, true, 0),
+		}
+	})
 	var fullAt9, fullAt15, stdMax int
-	for _, g := range []int{1, 3, 5, 7, 9, 11, 13, 15} {
-		std := standardProbe(seed, g)
-		rnd := randomCPProbe(seed, g)
-		noS1 := planProbe(seed, g, true, 8)
-		full := planProbe(seed, g, true, 0)
-		if std > stdMax {
-			stdMax = std
+	for i, g := range gws {
+		c := cells[i]
+		if c.std > stdMax {
+			stdMax = c.std
 		}
 		if g == 9 {
-			fullAt9 = full
+			fullAt9 = c.full
 		}
 		if g == 15 {
-			fullAt15 = full
+			fullAt15 = c.full
 		}
-		res.Table.AddRow(g, 144, std, rnd, noS1, full)
+		res.Table.AddRow(g, 144, c.std, c.rnd, c.noS1, c.full)
 	}
 	res.Note("standard LoRaWAN caps at %d users regardless of gateways (paper: 48)", stdMax)
 	res.Note("full AlphaWAN reaches %d/144 at 9 gateways and %d/144 at 15 (paper: oracle at 9; our residual gap is imperfect-SF-orthogonality interference)", fullAt9, fullAt15)
@@ -117,12 +126,10 @@ func runFig12b(seed int64) *Result {
 		"Figure 12b — capacity and per-MHz efficiency vs spectrum (15 GWs)",
 		"spectrum (MHz)", "oracle", "LoRaWAN", "Random CP", "AlphaWAN (no S1)", "AlphaWAN (full)", "LoRaWAN /MHz", "AlphaWAN /MHz",
 	)}
-	var firstRatio, lastRatio float64
-	for _, chs := range []int{8, 16, 24, 32} {
-		band := spectrumBand(chs)
-		mhz := float64(chs) * 0.2
-		users := band.TheoreticalCapacity()
-
+	sweep := []int{8, 16, 24, 32}
+	type cellOut struct{ std, rnd, noS1, full int }
+	cells := runner.Map(len(sweep), func(i int) cellOut {
+		band := spectrumBand(sweep[i])
 		probe := func(randomCP, plan bool, fixed int) int {
 			n, op := buildCity(seed, band, 15)
 			if randomCP {
@@ -140,21 +147,27 @@ func runFig12b(seed int64) *Result {
 			got := n.CapacityProbe(n.Sim.Now() + 10*des.Second)
 			return got[op.ID]
 		}
-
-		std := probe(false, false, 0)
-		rnd := probe(true, false, 0)
-		noS1 := probe(false, true, 8)
-		full := probe(false, true, 0)
-
-		stdMHz := float64(std) / mhz
-		fullMHz := float64(full) / mhz
+		return cellOut{
+			std:  probe(false, false, 0),
+			rnd:  probe(true, false, 0),
+			noS1: probe(false, true, 8),
+			full: probe(false, true, 0),
+		}
+	})
+	var firstRatio, lastRatio float64
+	for i, chs := range sweep {
+		c := cells[i]
+		mhz := float64(chs) * 0.2
+		users := spectrumBand(chs).TheoreticalCapacity()
+		stdMHz := float64(c.std) / mhz
+		fullMHz := float64(c.full) / mhz
 		if chs == 8 {
 			firstRatio = fullMHz / stdMHz
 		}
 		if chs == 32 {
 			lastRatio = fullMHz / stdMHz
 		}
-		res.Table.AddRow(mhz, users, std, rnd, noS1, full, stdMHz, fullMHz)
+		res.Table.AddRow(mhz, users, c.std, c.rnd, c.noS1, c.full, stdMHz, fullMHz)
 	}
 	res.Note("full AlphaWAN per-MHz efficiency is %.1fx–%.1fx standard LoRaWAN's (paper: ≈3.9x / +292.2%%)", minf(firstRatio, lastRatio), maxf(firstRatio, lastRatio))
 	return res
@@ -175,15 +188,15 @@ func maxf(a, b float64) float64 {
 }
 
 func runFig12c(seed int64) *Result {
+	band, gws, seeds := prof.fig12cBand, prof.fig12cGWs, prof.fig12cSeeds
 	res := &Result{Table: tabulate.New(
-		"Figure 12c — contention management (144 users, 15 GWs, 10 seeds)",
+		fmt.Sprintf("Figure 12c — contention management (%d users, %d GWs, %d seeds)",
+			band.TheoreticalCapacity(), gws, seeds),
 		"strategy", "mean capacity", "min", "max",
 	)}
 	// The §5.1.1 testbed deployment (distinct, link-feasible settings),
-	// across 10 shadowing seeds.
-	build := func(s int64) (*sim.Network, *sim.Operator) {
-		return buildCity(s, region.Testbed, 15)
-	}
+	// across independent shadowing seeds. Every (variant, seed) pair is
+	// one independent capacity probe — fan them across the pool.
 	variants := []struct {
 		name     string
 		plan     bool
@@ -193,21 +206,25 @@ func runFig12c(seed int64) *Result {
 		{"AlphaWAN (w/o node side)", true, false},
 		{"AlphaWAN (full)", true, true},
 	}
+	caps := runner.Map(len(variants)*seeds, func(i int) int {
+		v := variants[i/seeds]
+		s := seed + int64(i%seeds)
+		n, op := buildCity(s, band, gws)
+		if v.plan {
+			n.LearningSweep(0, des.Second, band.AllChannels(), 3)
+			if _, err := alphaWANPlan(n, op, band.AllChannels(), v.nodeSide, 0, s); err != nil {
+				panic(err)
+			}
+		}
+		got := n.CapacityProbe(n.Sim.Now() + 10*des.Second)
+		return got[op.ID]
+	})
 	var means []float64
-	for _, v := range variants {
+	for vi, v := range variants {
 		var sum, lo, hi int
 		lo = 1 << 30
-		const seeds = 10
-		for s := int64(0); s < seeds; s++ {
-			n, op := build(seed + s)
-			if v.plan {
-				n.LearningSweep(0, des.Second, region.Testbed.AllChannels(), 3)
-				if _, err := alphaWANPlan(n, op, region.Testbed.AllChannels(), v.nodeSide, 0, seed+s); err != nil {
-					panic(err)
-				}
-			}
-			got := n.CapacityProbe(n.Sim.Now() + 10*des.Second)
-			c := got[op.ID]
+		for s := 0; s < seeds; s++ {
+			c := caps[vi*seeds+s]
 			sum += c
 			if c < lo {
 				lo = c
@@ -216,7 +233,7 @@ func runFig12c(seed int64) *Result {
 				hi = c
 			}
 		}
-		mean := float64(sum) / seeds
+		mean := float64(sum) / float64(seeds)
 		means = append(means, mean)
 		res.Table.AddRow(v.name, mean, lo, hi)
 	}
@@ -284,19 +301,23 @@ func runFig12de(seed int64) *Result {
 		"Figure 12d/e — spectrum sharing across coexisting networks (1.6 MHz)",
 		"#networks", "std per-net", "AW20% per-net", "AW40% per-net", "AW60% per-net", "std /MHz", "AW40% /MHz",
 	)}
+	overlaps := []float64{0, 0.2, 0.4, 0.6}
+	mean := func(m map[int]int) float64 {
+		t := 0
+		for _, v := range m {
+			t += v
+		}
+		return float64(t) / float64(len(m))
+	}
+	// One cell per (network count, overlap) pair: 24 independent probes.
+	cells := runner.Map(6*len(overlaps), func(i int) float64 {
+		nets := i/len(overlaps) + 1
+		return mean(coexNetwork(seed, nets, overlaps[i%len(overlaps)]))
+	})
 	var gainAt1, gainAt6 float64
 	for nets := 1; nets <= 6; nets++ {
-		mean := func(m map[int]int) float64 {
-			t := 0
-			for _, v := range m {
-				t += v
-			}
-			return float64(t) / float64(len(m))
-		}
-		std := mean(coexNetwork(seed, nets, 0))
-		aw20 := mean(coexNetwork(seed, nets, 0.2))
-		aw40 := mean(coexNetwork(seed, nets, 0.4))
-		aw60 := mean(coexNetwork(seed, nets, 0.6))
+		row := cells[(nets-1)*len(overlaps) : nets*len(overlaps)]
+		std, aw20, aw40, aw60 := row[0], row[1], row[2], row[3]
 		stdMHz := std * float64(nets) / 1.6
 		awMHz := aw40 * float64(nets) / 1.6
 		if nets == 1 {

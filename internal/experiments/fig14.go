@@ -7,6 +7,7 @@ import (
 	"github.com/alphawan/alphawan/internal/phy"
 	"github.com/alphawan/alphawan/internal/radio"
 	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/runner"
 	"github.com/alphawan/alphawan/internal/sim"
 	"github.com/alphawan/alphawan/internal/tabulate"
 )
@@ -28,14 +29,18 @@ func runFig14(seed int64) *Result {
 		"Figure 14 — per-network capacity vs number of AlphaWAN adopters (4 networks)",
 		"#adopting", "net1", "net2", "net3", "net4", "mean legacy", "mean adopting",
 	)}
-	spec := master.FromBand(region.AS923)
-	var meanNoAdopt, meanFull float64
-	for adopting := 0; adopting <= 4; adopting++ {
+	type cellOut struct {
+		caps                  [4]int
+		meanLegacy, meanAdopt float64
+	}
+	// Each adoption level is an independent 4-network deployment.
+	cells := runner.Map(5, func(adopting int) cellOut {
+		spec := master.FromBand(region.AS923)
 		n := sim.New(seed, testbedEnv(seed))
 		// Adopters register with a Master sized for the adopters; legacy
 		// networks use the standard grid plan (shift 0).
 		reg := master.NewRegistry(spec, maxInt(adopting, 1))
-		caps := make([]int, 4)
+		var out cellOut
 		for k := 0; k < 4; k++ {
 			op := n.AddOperator()
 			adopts := k >= 4-adopting // the last `adopting` networks adopt
@@ -73,29 +78,32 @@ func runFig14(seed int64) *Result {
 		got := n.CapacityProbe(5 * des.Second)
 		var legacySum, legacyN, adoptSum, adoptN float64
 		for k := 0; k < 4; k++ {
-			caps[k] = got[n.Operators[k].ID]
+			out.caps[k] = got[n.Operators[k].ID]
 			if k >= 4-adopting {
-				adoptSum += float64(caps[k])
+				adoptSum += float64(out.caps[k])
 				adoptN++
 			} else {
-				legacySum += float64(caps[k])
+				legacySum += float64(out.caps[k])
 				legacyN++
 			}
 		}
-		meanLegacy, meanAdopt := 0.0, 0.0
 		if legacyN > 0 {
-			meanLegacy = legacySum / legacyN
+			out.meanLegacy = legacySum / legacyN
 		}
 		if adoptN > 0 {
-			meanAdopt = adoptSum / adoptN
+			out.meanAdopt = adoptSum / adoptN
 		}
+		return out
+	})
+	var meanNoAdopt, meanFull float64
+	for adopting, c := range cells {
 		if adopting == 0 {
-			meanNoAdopt = meanLegacy
+			meanNoAdopt = c.meanLegacy
 		}
 		if adopting == 4 {
-			meanFull = meanAdopt
+			meanFull = c.meanAdopt
 		}
-		res.Table.AddRow(adopting, caps[0], caps[1], caps[2], caps[3], meanLegacy, meanAdopt)
+		res.Table.AddRow(adopting, c.caps[0], c.caps[1], c.caps[2], c.caps[3], c.meanLegacy, c.meanAdopt)
 	}
 	res.Note("mean per-network capacity grows from %.1f (no adoption) to %.1f (full adoption) — paper: ≈4 → ≈24 with progressive gains", meanNoAdopt, meanFull)
 	if meanFull <= meanNoAdopt {

@@ -7,6 +7,7 @@ import (
 	"github.com/alphawan/alphawan/internal/alphawan/master"
 	"github.com/alphawan/alphawan/internal/des"
 	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/runner"
 	"github.com/alphawan/alphawan/internal/tabulate"
 )
 
@@ -26,9 +27,12 @@ func runFig17(seed int64) *Result {
 	)}
 
 	// (a) Single network at different scales: CP solve wall-clock is real;
-	// distribution and reboot come from the agent model.
-	var solve4k, solve12k float64
-	for _, sc := range []struct {
+	// distribution and reboot come from the agent model. Each scenario is
+	// an independent deployment, so the three scales fan across the pool
+	// (concurrent cells can stretch the measured solve wall-clock a little,
+	// which is acceptable for a latency figure that is hardware-bound
+	// anyway).
+	scenarios := []struct {
 		name  string
 		gws   int
 		users int
@@ -36,7 +40,10 @@ func runFig17(seed int64) *Result {
 		{"4k users / 4 GWs", 4, 4000},
 		{"8k users / 8 GWs", 8, 8000},
 		{"12k users / 12 GWs", 12, 12000},
-	} {
+	}
+	type aOut struct{ solve, dist, reboot, total float64 }
+	aCells := runner.Map(len(scenarios), func(i int) aOut {
+		sc := scenarios[i]
 		n, op := buildCity(seed, region.Testbed, sc.gws)
 		n.LearningSweep(0, des.Second, region.Testbed.AllChannels(), 3)
 		plan, err := alphaWANPlan(n, op, region.Testbed.AllChannels(), true, 0, seed)
@@ -48,8 +55,8 @@ func runFig17(seed int64) *Result {
 		// users/144 each, so wall-clock is measured on the real instance.
 		solve := plan.Latency.Solve.Seconds()
 		agents := make([]*agent.Agent, len(op.Gateways))
-		for i, gw := range op.Gateways {
-			agents[i] = agent.New(gw)
+		for k, gw := range op.Gateways {
+			agents[k] = agent.New(gw)
 		}
 		upStart := n.Sim.Now()
 		lastUp, err := agent.Fleet(n.Sim, agents, plan.GWConfigs)
@@ -57,21 +64,31 @@ func runFig17(seed int64) *Result {
 			panic(err)
 		}
 		n.Sim.RunUntil(lastUp + des.Second)
-		dist := agent.DefaultDistributionDelay.Duration().Seconds()
-		reboot := (lastUp - upStart - agent.DefaultDistributionDelay).Duration().Seconds()
-		total := solve + (lastUp - upStart).Duration().Seconds()
-		res.Table.AddRow(sc.name, solve, dist, reboot, 0.0, total)
+		return aOut{
+			solve:  solve,
+			dist:   agent.DefaultDistributionDelay.Duration().Seconds(),
+			reboot: (lastUp - upStart - agent.DefaultDistributionDelay).Duration().Seconds(),
+			total:  solve + (lastUp - upStart).Duration().Seconds(),
+		}
+	})
+	var solve4k, solve12k float64
+	for i, sc := range scenarios {
+		c := aCells[i]
+		res.Table.AddRow(sc.name, c.solve, c.dist, c.reboot, 0.0, c.total)
 		if sc.users == 4000 {
-			solve4k = solve
+			solve4k = c.solve
 		}
 		if sc.users == 12000 {
-			solve12k = solve
+			solve12k = c.solve
 		}
 	}
 
 	// (b) Coexisting networks: each solves its CP in parallel; the Master
-	// round-trip is measured over real TCP (loopback).
-	for _, nets := range []int{2, 3, 4} {
+	// round-trip is measured over real TCP (loopback). Each network count
+	// runs against its own server instance, so the cells are independent.
+	type bOut struct{ solve, dist, reboot, comms, total float64 }
+	bCells := runner.Map(3, func(i int) bOut {
+		nets := i + 2
 		srv, err := master.NewServer("127.0.0.1:0", []byte("fig17"), nil)
 		if err != nil {
 			panic(err)
@@ -100,8 +117,11 @@ func runFig17(seed int64) *Result {
 		solve := plan.Latency.Solve.Seconds()
 		reboot := 4.62
 		dist := agent.DefaultDistributionDelay.Duration().Seconds()
-		total := solve + comms + dist + reboot
-		res.Table.AddRow(tabFmtInt("%d coexisting networks", nets), solve, dist, reboot, comms, total)
+		return bOut{solve: solve, dist: dist, reboot: reboot, comms: comms,
+			total: solve + comms + dist + reboot}
+	})
+	for i, c := range bCells {
+		res.Table.AddRow(tabFmtInt("%d coexisting networks", i+2), c.solve, c.dist, c.reboot, c.comms, c.total)
 	}
 
 	res.Note("CP solve grows %.2f s → %.2f s with scale (paper: 0.45 → 1.37 s; our GA budget and hardware differ)", solve4k, solve12k)

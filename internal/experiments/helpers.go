@@ -99,6 +99,7 @@ func alphaWANPlan(n *sim.Network, op *sim.Operator, channels []region.Channel, n
 	in.Solver.Seed = seed
 	in.Solver.Parallel = true
 	in.Solver.Patience = 60
+	applySolverProfile(&in.Solver.Population, &in.Solver.Generations, &in.Solver.Patience)
 	res, err := planner.Plan(in)
 	if err != nil {
 		return nil, err

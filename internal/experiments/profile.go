@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// profileT scales the heavyweight city experiments. The registered
+// figures always run the full-scale profile below; the determinism
+// regression tests shrink the cells (fewer users, shorter windows, a
+// smaller GA budget) so that comparing the serial and parallel runner
+// paths byte-for-byte stays tier-1 fast while exercising exactly the
+// same code.
+type profileT struct {
+	// fig04aUsers is the user-scale sweep of Figure 4a.
+	fig04aUsers []int
+	// cityGWs/cityPhys size the mixed-provisioning city deployment
+	// (gateways, physical nodes emulating the user population) used by
+	// Figures 4 and 13.
+	cityGWs, cityPhys int
+	// window is the measured traffic window of the load experiments.
+	window des.Time
+	// fig13Scales and fig13Strats select Figure 13's sweep cells.
+	fig13Scales []int
+	fig13Strats []fig13Strategy
+	// fig12cBand/fig12cGWs/fig12cSeeds size the city144 contention-
+	// management workload (Figure 12c).
+	fig12cBand  region.Band
+	fig12cGWs   int
+	fig12cSeeds int
+	// solverPop/solverGens/solverPatience override the CP solver budget
+	// when > 0 — only the shrunken test profile sets them.
+	solverPop, solverGens, solverPatience int
+}
+
+func fullProfile() profileT {
+	return profileT{
+		fig04aUsers: []int{500, 1000, 2000, 3000, 4000, 6000, 8000},
+		cityGWs:     15,
+		cityPhys:    144,
+		window:      2 * des.Minute,
+		fig13Scales: []int{2000, 4000, 6000, 8000, 10000, 12000},
+		fig13Strats: []fig13Strategy{stratNoADR, stratADR, stratLMAC, stratCIC, stratRandomCP, stratAlphaWAN},
+		fig12cBand:  region.Testbed,
+		fig12cGWs:   15,
+		fig12cSeeds: 10,
+	}
+}
+
+// smallProfile is the tier-1-fast shape the determinism tests run: the
+// same sweeps and strategies, scaled down an order of magnitude.
+func smallProfile() profileT {
+	return profileT{
+		fig04aUsers:    []int{200, 400},
+		cityGWs:        4,
+		cityPhys:       24,
+		window:         20 * des.Second,
+		fig13Scales:    []int{400, 800},
+		fig13Strats:    []fig13Strategy{stratNoADR, stratCIC, stratAlphaWAN},
+		fig12cBand:     region.Testbed.SubBand(0, 8), // 48-user oracle
+		fig12cGWs:      4,
+		fig12cSeeds:    2,
+		solverPop:      24,
+		solverGens:     30,
+		solverPatience: 10,
+	}
+}
+
+// prof is consulted by the scalable experiments. It is package state so
+// the registered Experiment.Run signatures stay plain (seed int64);
+// only tests replace it, restoring the full profile afterwards.
+var prof = fullProfile()
+
+// applySolverProfile shrinks a solver budget when the test profile asks
+// for it.
+func applySolverProfile(pop, gens, patience *int) {
+	if prof.solverPop > 0 {
+		*pop = prof.solverPop
+	}
+	if prof.solverGens > 0 {
+		*gens = prof.solverGens
+	}
+	if prof.solverPatience > 0 {
+		*patience = prof.solverPatience
+	}
+}

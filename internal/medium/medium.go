@@ -117,6 +117,14 @@ type Medium struct {
 	// back when the radio reports the drop.
 	collisionIntf map[judgeKey]bool
 
+	// gains caches the static dB link budget per (transmitter position,
+	// port): path loss with frozen shadowing plus the port antenna's gain
+	// toward the transmitter. Node and gateway positions never move during
+	// a run, so the cache is write-once per link; it stores gains rather
+	// than RSSIs so TPC power changes remain a constant offset and need no
+	// invalidation. See InvalidateGains for the one rule that does.
+	gains map[gainKey]linkGain
+
 	// OnDelivery fires for every successfully received own-network packet
 	// at every port (a packet heard by three gateways fires three times —
 	// LoRaWAN's gateway redundancy; the network server deduplicates).
@@ -140,6 +148,17 @@ type judgeKey struct {
 	port int
 }
 
+// gainKey identifies one static link: a transmitter position and a port.
+type gainKey struct {
+	x, y float64
+	port int32
+}
+
+// linkGain is the cached dB budget of a link, split so the receive power
+// reconstruction (TXPowerDBm - pl + ant) is bit-for-bit the expression
+// phy.Environment.RXPowerDBm evaluates.
+type linkGain struct{ pl, ant float64 }
+
 // New creates a medium over an environment.
 func New(sim *des.Sim, env phy.Environment) *Medium {
 	return &Medium{
@@ -147,6 +166,7 @@ func New(sim *des.Sim, env phy.Environment) *Medium {
 		byID:          make(map[int64]*Transmission),
 		byBin:         make(map[int64][]*Transmission),
 		collisionIntf: make(map[judgeKey]bool),
+		gains:         make(map[gainKey]linkGain),
 	}
 }
 
@@ -184,10 +204,39 @@ func (m *Medium) Attach(r *radio.Radio, pos phy.Point, ant phy.Antenna) *Port {
 func (m *Medium) Ports() []*Port { return m.ports }
 
 // rxSNR computes the received power and SNR of a transmission at a port.
+// The log10/pow-heavy path-loss and antenna terms are memoized per
+// (transmitter position, port); only the transmit-power offset varies
+// between calls, so TPC never invalidates an entry.
 func (m *Medium) rxSNR(tx *Transmission, p *Port) (rssi, snr float64) {
-	l := phy.Link{TXPowerDBm: tx.PowerDBm, TXPos: tx.Pos, RXPos: p.Pos, RXAntenna: p.Antenna}
-	rssi = m.env.RXPowerDBm(l)
-	return rssi, rssi - lora.NoiseFloorDBm(lora.BW125)
+	k := gainKey{x: tx.Pos.X, y: tx.Pos.Y, port: int32(p.id)}
+	g, ok := m.gains[k]
+	if !ok {
+		g = linkGain{
+			pl:  m.env.PathLoss(tx.Pos, p.Pos),
+			ant: p.Antenna.Gain(p.Pos.Bearing(tx.Pos)),
+		}
+		m.gains[k] = g
+	}
+	rssi = tx.PowerDBm - g.pl + g.ant
+	return rssi, rssi - noiseFloor125
+}
+
+// noiseFloor125 hoists the per-reception noise-floor computation (a log10
+// per call) out of the judgement loops; every reception in these
+// workloads is 125 kHz.
+var noiseFloor125 = lora.NoiseFloorDBm(lora.BW125)
+
+// InvalidateGains drops the cached link budgets involving port p. The
+// cache assumes a port's position and antenna are fixed after Attach —
+// true for every current caller, including gateway reconfiguration, which
+// only touches the radio's channels; call this if a port is ever moved or
+// re-antennaed in place.
+func (m *Medium) InvalidateGains(p *Port) {
+	for k := range m.gains {
+		if k.port == int32(p.id) {
+			delete(m.gains, k)
+		}
+	}
 }
 
 // Transmit schedules a packet transmission starting now. It computes the
@@ -314,7 +363,7 @@ func (m *Medium) buriedBy(t *Transmission, p *Port, rssiV float64) *Transmission
 // judge decides whether a locked-on packet decodes, by examining every
 // transmission that overlapped it in time at this port. It runs at t.End.
 func (m *Medium) judge(t *Transmission, p *Port, rssiV float64) radio.DecodeVerdict {
-	noiseLin := dbmToMw(lora.NoiseFloorDBm(lora.BW125))
+	noiseLin := noiseFloorLin125
 	intfLin := 0.0
 	verdict := radio.VerdictOK
 
@@ -441,7 +490,7 @@ func (m *Medium) emitDrop(d Drop) {
 // delivery callbacks. Call once after creating the port.
 func (m *Medium) WirePort(p *Port) {
 	p.Radio.OnResult = func(res radio.Result) {
-		t := m.findTX(res.Meta.ID)
+		t := m.LookupTX(res.Meta.ID)
 		if t == nil {
 			return
 		}
@@ -470,7 +519,7 @@ func (m *Medium) WirePort(p *Port) {
 // been pruned.
 func (m *Medium) LookupTX(id int64) *Transmission { return m.byID[id] }
 
-func (m *Medium) findTX(id int64) *Transmission { return m.byID[id] }
+var noiseFloorLin125 = dbmToMw(noiseFloor125)
 
 func dbmToMw(dbm float64) float64 { return math.Pow(10, dbm/10) }
 func mwToDBm(mw float64) float64  { return 10 * math.Log10(mw) }

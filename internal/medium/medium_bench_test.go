@@ -1,0 +1,113 @@
+package medium
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// benchEnv keeps shadowing on: the link-gain cache must absorb the full
+// Box-Muller shadowing draw, not a trimmed model.
+func benchEnv() phy.Environment { return phy.Urban(7) }
+
+// BenchmarkMediumJudge measures the medium's full reception pipeline —
+// Transmit fan-out, preamble burial checks, and decode judgement — under
+// a contended city-like load: 64 fixed node positions, 5 ports, Poisson-ish
+// staggered starts on a shared 8-channel plan. This is the hot loop of
+// every city-scale experiment cell.
+func BenchmarkMediumJudge(b *testing.B) {
+	b.ReportAllocs()
+	sim := des.New(1)
+	med := New(sim, benchEnv())
+	chs := make([]region.Channel, 8)
+	for i := range chs {
+		chs[i] = region.AS923.Channel(i)
+	}
+	for p := 0; p < 5; p++ {
+		r, err := radio.New(sim, radio.SX1302, radio.Config{Channels: chs, Sync: lora.SyncPublic})
+		if err != nil {
+			b.Fatal(err)
+		}
+		port := med.Attach(r, phy.Pt(float64(p)*400, float64(p%2)*300), phy.Omni(3))
+		med.WirePort(port)
+	}
+	positions := make([]phy.Point, 64)
+	for i := range positions {
+		positions[i] = phy.Pt(float64(50+i*29%900), float64(40+i*53%700))
+	}
+	med.OnDelivery = func(Delivery) {}
+	med.OnDrop = func(Drop) {}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node := i % len(positions)
+		med.Transmit(Transmission{
+			Node: NodeID(node), Network: 1, Sync: lora.SyncPublic,
+			Channel: chs[i%len(chs)], DR: lora.DR(i % 6),
+			PayloadLen: 23, PowerDBm: 14, Pos: positions[node],
+		})
+		// Advance a few ms so transmissions overlap heavily but the active
+		// set keeps pruning — the steady state of a loaded cell.
+		sim.RunUntil(sim.Now() + 3*des.Millisecond)
+	}
+	sim.Run()
+}
+
+// BenchmarkMediumGainCache isolates the rxSNR memoization win: repeated
+// receptions over a fixed node/gateway geometry.
+func BenchmarkMediumGainCache(b *testing.B) {
+	b.ReportAllocs()
+	sim := des.New(1)
+	med := New(sim, benchEnv())
+	r, err := radio.New(sim, radio.SX1302, radio.Config{
+		Channels: []region.Channel{region.AS923.Channel(0)}, Sync: lora.SyncPublic,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	port := med.Attach(r, phy.Pt(0, 0), phy.Omni(3))
+	tx := &Transmission{PowerDBm: 14, Pos: phy.Pt(321, 123)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		med.rxSNR(tx, port)
+	}
+}
+
+// TestGainCacheMatchesEnvironment pins the cache's bit-exactness: the
+// memoized reconstruction must equal phy.Environment.RXPowerDBm for the
+// same link, including the frozen shadowing term, at any transmit power.
+func TestGainCacheMatchesEnvironment(t *testing.T) {
+	sim := des.New(1)
+	env := benchEnv()
+	med := New(sim, env)
+	r, err := radio.New(sim, radio.SX1302, radio.Config{
+		Channels: []region.Channel{region.AS923.Channel(0)}, Sync: lora.SyncPublic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := med.Attach(r, phy.Pt(37, -12), phy.Omni(3))
+	for _, pw := range []float64{20, 14, 8, 2} {
+		tx := &Transmission{PowerDBm: pw, Pos: phy.Pt(512, 256)}
+		for pass := 0; pass < 2; pass++ { // miss then hit
+			got, _ := med.rxSNR(tx, port)
+			want := env.RXPowerDBm(phy.Link{
+				TXPowerDBm: pw, TXPos: tx.Pos, RXPos: port.Pos, RXAntenna: port.Antenna,
+			})
+			if got != want {
+				t.Fatalf("power %v pass %d: cached rssi %v != direct %v", pw, pass, got, want)
+			}
+		}
+	}
+	if len(med.gains) != 1 {
+		t.Errorf("cache entries = %d, want 1 (TPC must not add entries)", len(med.gains))
+	}
+	med.InvalidateGains(port)
+	if len(med.gains) != 0 {
+		t.Errorf("InvalidateGains left %d entries", len(med.gains))
+	}
+}

@@ -1,0 +1,142 @@
+// Package runner fans independent experiment cells across CPU cores with
+// deterministic result assembly.
+//
+// The multi-cell experiments (Figures 4, 12–15, 17, 21 and the city144
+// workloads) sweep a parameter grid where every cell constructs its own
+// des.Sim and medium — they share no state, so they are embarrassingly
+// parallel. RunCells executes such a grid on a worker pool sized to
+// GOMAXPROCS while keeping the observable result identical to a serial
+// loop: each cell writes only to its own index, so assembly order — and
+// therefore every emitted table row and note — is the submission order
+// regardless of which worker finished first.
+//
+// Determinism contract: fn(i) must derive all randomness from its own
+// inputs (seed, index) and must not touch state shared across indices.
+// Every des.Sim-based cell in this repository satisfies this by
+// construction (a Sim seeds its own rand streams).
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers caps the fan-out; 0 means GOMAXPROCS.
+var maxWorkers atomic.Int32
+
+// SetMaxWorkers caps the worker-pool size of subsequent RunCells calls
+// and returns the previous setting. k = 1 forces serial execution (the
+// baseline the determinism tests compare against), k = 0 restores the
+// default (GOMAXPROCS at call time).
+func SetMaxWorkers(k int) int {
+	if k < 0 {
+		k = 0
+	}
+	return int(maxWorkers.Swap(int32(k)))
+}
+
+// MaxWorkers reports the configured cap (0 = GOMAXPROCS).
+func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+func workersFor(n int) int {
+	w := int(maxWorkers.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// cellPanic carries a recovered cell panic to the submitting goroutine.
+type cellPanic struct {
+	cell  int
+	val   any
+	stack []byte
+}
+
+func (p *cellPanic) String() string {
+	return fmt.Sprintf("runner: cell %d panicked: %v\n%s", p.cell, p.val, p.stack)
+}
+
+// RunCells executes fn(0) … fn(n-1) across the worker pool and returns
+// when all cells have finished. Cells are handed out dynamically (an
+// atomic cursor), so a slow cell never blocks the remaining workers.
+//
+// If one or more cells panic, RunCells waits for the rest to finish and
+// re-panics with the lowest panicking index — deterministic even when
+// several cells fail in racing order.
+func RunCells(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := workersFor(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstPC *cellPanic
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if pc := runCell(i, fn); pc != nil {
+					mu.Lock()
+					if firstPC == nil || pc.cell < firstPC.cell {
+						firstPC = pc
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstPC != nil {
+		panic(firstPC.String())
+	}
+}
+
+func runCell(i int, fn func(int)) (pc *cellPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			pc = &cellPanic{cell: i, val: r, stack: debug.Stack()}
+		}
+	}()
+	fn(i)
+	return nil
+}
+
+// Map runs fn over [0, n) on the worker pool and returns the results in
+// submission order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	RunCells(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Map2 is Map for cells with two results (e.g. a stat plus a latency).
+func Map2[A, B any](n int, fn func(i int) (A, B)) ([]A, []B) {
+	as := make([]A, n)
+	bs := make([]B, n)
+	RunCells(n, func(i int) { as[i], bs[i] = fn(i) })
+	return as, bs
+}

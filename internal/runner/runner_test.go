@@ -1,0 +1,153 @@
+package runner
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+)
+
+func withWorkers(t *testing.T, k int) {
+	t.Helper()
+	prev := SetMaxWorkers(k)
+	t.Cleanup(func() { SetMaxWorkers(prev) })
+}
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	withWorkers(t, 8)
+	got := Map(100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestSerialAndParallelAgree(t *testing.T) {
+	// Each cell runs its own deterministic Sim; the assembled results must
+	// not depend on the worker count.
+	cell := func(i int) int64 {
+		s := des.New(int64(i))
+		var acc int64
+		var tick func()
+		n := 0
+		tick = func() {
+			acc += s.Rand().Int63() % 1000
+			if n++; n < 50 {
+				s.After(des.Time(1+s.Rand().Intn(100)), tick)
+			}
+		}
+		s.At(0, tick)
+		s.Run()
+		return acc
+	}
+	withWorkers(t, 1)
+	serial := Map(32, cell)
+	SetMaxWorkers(7)
+	parallel := Map(32, cell)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("cell %d: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestStressMoreCellsThanWorkers(t *testing.T) {
+	// 4 workers, 500 cells: every cell must run exactly once.
+	withWorkers(t, 4)
+	var ran [500]atomic.Int32
+	var inFlight, peak atomic.Int32
+	RunCells(len(ran), func(i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		ran[i].Add(1)
+		inFlight.Add(-1)
+	})
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("cell %d ran %d times", i, n)
+		}
+	}
+	if peak.Load() > 4 {
+		t.Errorf("peak concurrency %d exceeded the 4-worker cap", peak.Load())
+	}
+}
+
+func TestPanicPropagatesLowestIndex(t *testing.T) {
+	withWorkers(t, 8)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the cell panic to propagate")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "cell 3 panicked: boom 3") {
+			t.Fatalf("panic = %v, want lowest failing cell 3", r)
+		}
+	}()
+	RunCells(64, func(i int) {
+		if i%2 == 1 { // cells 3, 5, 7, … fail; 3 must win deterministically
+			if i >= 3 {
+				panic("boom " + string(rune('0'+i%10)))
+			}
+		}
+	})
+}
+
+func TestSerialPathPanicsDirectly(t *testing.T) {
+	withWorkers(t, 1)
+	defer func() {
+		if r := recover(); r != "direct" {
+			t.Fatalf("serial panic = %v, want %q", r, "direct")
+		}
+	}()
+	RunCells(4, func(i int) {
+		if i == 2 {
+			panic("direct")
+		}
+	})
+}
+
+func TestZeroAndNegativeCells(t *testing.T) {
+	RunCells(0, func(int) { t.Fatal("must not run") })
+	RunCells(-3, func(int) { t.Fatal("must not run") })
+	if got := Map(0, func(int) int { return 1 }); len(got) != 0 {
+		t.Errorf("Map(0) = %v", got)
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	prev := SetMaxWorkers(3)
+	defer SetMaxWorkers(prev)
+	if MaxWorkers() != 3 {
+		t.Errorf("MaxWorkers = %d, want 3", MaxWorkers())
+	}
+	if SetMaxWorkers(-5) != 3 {
+		t.Error("SetMaxWorkers must return the previous cap")
+	}
+	if MaxWorkers() != 0 {
+		t.Error("negative caps must clamp to the GOMAXPROCS default")
+	}
+	if w := workersFor(1000); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS", w)
+	}
+}
+
+func TestMap2(t *testing.T) {
+	withWorkers(t, 5)
+	as, bs := Map2(10, func(i int) (int, string) {
+		return i, strings.Repeat("x", i)
+	})
+	for i := range as {
+		if as[i] != i || len(bs[i]) != i {
+			t.Fatalf("Map2[%d] = (%d, %q)", i, as[i], bs[i])
+		}
+	}
+}
