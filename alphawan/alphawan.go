@@ -38,7 +38,9 @@ import (
 	"github.com/alphawan/alphawan/internal/alphawan/planner"
 	"github.com/alphawan/alphawan/internal/baseline"
 	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/events/sinks"
 	"github.com/alphawan/alphawan/internal/experiments"
+	"github.com/alphawan/alphawan/internal/gateway"
 	"github.com/alphawan/alphawan/internal/lora"
 	"github.com/alphawan/alphawan/internal/medium"
 	"github.com/alphawan/alphawan/internal/metrics"
@@ -261,6 +263,46 @@ var (
 	NewNetServer = netserver.New
 	NewBridge    = udpfwd.NewBridge
 	NewForwarder = udpfwd.NewForwarder
+)
+
+// Observability. Every layer publishes typed packet-lifecycle events on
+// a deterministic in-process bus (subscribers run synchronously in
+// registration order, so observers never perturb a seeded run). The
+// topics live on the composed scenario — e.g. Network.Med.Deliveries,
+// Network.Col.Outcomes — and these are the ready-made consumers.
+type (
+	// Delivery is one successful packet-gateway reception edge.
+	Delivery = medium.Delivery
+	// PacketDrop is one failed packet-gateway edge with its drop reason.
+	PacketDrop = medium.Drop
+	// Outcome is the collector's per-packet verdict: delivered somewhere,
+	// or lost with an attributed cause (the Figure 4/13 classification).
+	Outcome = metrics.Outcome
+	// LossCause classifies why a lost packet died.
+	LossCause = metrics.Cause
+	// GatewayUplink is a decoded own-network frame leaving a gateway for
+	// the backhaul.
+	GatewayUplink = gateway.Uplink
+	// GatewayConfigEvent marks a gateway going offline/online around a
+	// reconfiguration reboot.
+	GatewayConfigEvent = gateway.ConfigEvent
+	// Tracer writes one JSONL record per packet-lifecycle edge.
+	Tracer = sinks.Tracer
+	// Summary prints periodic sent/received/loss-cause progress lines.
+	Summary = sinks.Summary
+)
+
+// Observability sink constructors.
+var (
+	// AttachTracer wires a JSONL lifecycle tracer to every layer of a
+	// composed scenario (attach after composing, before running).
+	AttachTracer = sinks.Attach
+	// AttachSummary subscribes a periodic run-summary printer to a
+	// scenario's collector.
+	AttachSummary = sinks.AttachSummary
+	// NewTracer creates an unattached tracer; wire it to individual
+	// layers with its Observe methods.
+	NewTracer = sinks.NewTracer
 )
 
 // Experiments exposes the paper-reproduction runners (one per table and

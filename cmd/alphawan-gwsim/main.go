@@ -52,7 +52,7 @@ func main() {
 			log.Fatalf("forwarder %d: %v", i, err)
 		}
 		defer fwd.Close()
-		gw.OnUplink = func(u gateway.Uplink) {
+		gw.Uplinks.Subscribe(func(u gateway.Uplink) {
 			rx := udpfwd.RXPK{
 				Tmst: uint32(u.At), Freq: float64(u.TX.Channel.Center) / 1e6,
 				Chan: u.Meta.Chain, Stat: 1, Modu: "LORA",
@@ -63,7 +63,7 @@ func main() {
 			if err := fwd.Push([]udpfwd.RXPK{rx}, nil); err != nil {
 				log.Printf("gateway %d: push failed: %v", u.GW.ID, err)
 			}
-		}
+		})
 	}
 
 	// Devices: node ids start at 1 so the derived DevAddrs and session

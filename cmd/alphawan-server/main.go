@@ -46,10 +46,10 @@ func main() {
 
 	srv := netserver.New()
 	provision(srv, *devices)
-	srv.OnData = func(d netserver.Data) {
+	srv.Served.Subscribe(func(d netserver.Data) {
 		log.Printf("uplink dev=%v fport=%d payload=%q gw=%d snr=%.1f",
 			d.Dev.Addr, d.FPort, d.Payload, d.Meta.Gateway, d.Meta.SNRdB)
-	}
+	})
 
 	bridge, err := udpfwd.NewBridge(*listen)
 	if err != nil {

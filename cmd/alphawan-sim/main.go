@@ -1,19 +1,24 @@
 // Command alphawan-sim runs the paper-reproduction experiments by id and
-// prints their tables.
+// prints their tables, or traces the built-in coexistence scenario's
+// packet lifecycle as JSONL.
 //
 // Usage:
 //
 //	alphawan-sim -list
 //	alphawan-sim -run fig02a [-seed 1] [-csv]
 //	alphawan-sim -run all [-parallel 8]
+//	alphawan-sim -trace out.jsonl [-seed 1] [-progress]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
+	"github.com/alphawan/alphawan/internal/events/sinks"
 	"github.com/alphawan/alphawan/internal/experiments"
+	"github.com/alphawan/alphawan/internal/metrics"
 	"github.com/alphawan/alphawan/internal/runner"
 )
 
@@ -24,6 +29,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	parallel := flag.Int("parallel", 0,
 		"worker cap for experiment cells: 0 = GOMAXPROCS (default), 1 = serial")
+	trace := flag.String("trace", "",
+		"write a packet-lifecycle JSONL trace of the built-in two-operator scenario to this file")
+	progress := flag.Bool("progress", false,
+		"with -trace: print periodic run-summary counters to stderr")
 	flag.Parse()
 
 	if *parallel > 0 {
@@ -31,6 +40,8 @@ func main() {
 	}
 
 	switch {
+	case *trace != "":
+		runTrace(*trace, *seed, *progress)
 	case *list:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s  %s\n", e.ID, e.Title)
@@ -49,6 +60,40 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runTrace runs the built-in two-operator coexistence scenario with the
+// packet-lifecycle tracer attached and prints the final loss breakdown.
+func runTrace(path string, seed int64, progress bool) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alphawan-sim: %v\n", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(f)
+	var prog *os.File
+	if progress {
+		prog = os.Stderr
+	}
+	n, tr := sinks.RunDemo(seed, w, prog)
+	if err := tr.Err(); err == nil {
+		err = w.Flush()
+	} else {
+		w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alphawan-sim: trace write: %v\n", err)
+		os.Exit(1)
+	}
+	tot := n.Col.Total()
+	fmt.Printf("trace: %d records -> %s\n", tr.Records(), path)
+	fmt.Printf("sent=%d received=%d PRR=%.1f%%\n", tot.Sent, tot.Received, 100*tot.PRR())
+	for c := metrics.DecoderContentionIntra; c <= metrics.Others; c++ {
+		fmt.Printf("  lost to %-26s %d\n", c.String()+":", tot.Losses[c])
 	}
 }
 

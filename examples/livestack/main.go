@@ -32,15 +32,15 @@ func main() {
 	srv := alphawan.NewNetServer()
 	srv.ADREnabled = true
 	var delivered int
-	srv.OnData = func(d netserver.Data) {
+	srv.Served.Subscribe(func(d netserver.Data) {
 		delivered++
 		if delivered <= 5 {
 			log.Printf("app data from %v via gw %d (SNR %.1f dB): %q",
 				d.Dev.Addr, d.Meta.Gateway, d.Meta.SNRdB, d.Payload)
 		}
-	}
+	})
 	var adrCmds int
-	srv.OnCommand = func(netserver.Command) { adrCmds++ }
+	srv.Commands.Subscribe(func(netserver.Command) { adrCmds++ })
 
 	bridge, err := alphawan.NewBridge("127.0.0.1:0")
 	if err != nil {
@@ -85,7 +85,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer fwd.Close()
-		gw.OnUplink = func(u gateway.Uplink) {
+		gw.Uplinks.Subscribe(func(u gateway.Uplink) {
 			uplinks++
 			if err := fwd.Push([]udpfwd.RXPK{{
 				Tmst: uint32(u.At), Freq: float64(u.TX.Channel.Center) / 1e6,
@@ -96,7 +96,7 @@ func main() {
 			}}, nil); err != nil {
 				log.Printf("gw %d push: %v", u.GW.ID, err)
 			}
-		}
+		})
 	}
 
 	// 3. Devices: register the sessions server-side, then generate

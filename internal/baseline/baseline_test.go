@@ -112,7 +112,7 @@ func lmacRig(t *testing.T) (*medium.Medium, *LMAC, *radio.Radio) {
 func TestLMACAvoidsCollision(t *testing.T) {
 	med, l, r := lmacRig(t)
 	delivered := 0
-	med.OnDelivery = func(medium.Delivery) { delivered++ }
+	med.Deliveries.Subscribe(func(medium.Delivery) { delivered++ })
 	mk := func(id medium.NodeID) *node.Node {
 		n := node.New(id, 1, lora.SyncPublic, phy.Pt(100, float64(id)))
 		n.Channels = region.AS923.AllChannels()
@@ -139,7 +139,7 @@ func TestLMACAvoidsCollision(t *testing.T) {
 func TestLMACDistinctSettingsConcurrent(t *testing.T) {
 	med, l, _ := lmacRig(t)
 	var starts []des.Time
-	med.OnAirDone = func(tx *medium.Transmission) { starts = append(starts, tx.Start) }
+	med.AirDone.Subscribe(func(tx *medium.Transmission) { starts = append(starts, tx.Start) })
 	mk := func(id medium.NodeID, dr lora.DR) *node.Node {
 		n := node.New(id, 1, lora.SyncPublic, phy.Pt(100, float64(id)))
 		n.Channels = region.AS923.AllChannels()
@@ -176,7 +176,7 @@ func TestCICResolvesCollisions(t *testing.T) {
 	p := med.Attach(r, phy.Pt(0, 0), phy.Omni(3))
 	med.WirePort(p)
 	delivered := 0
-	med.OnDelivery = func(medium.Delivery) { delivered++ }
+	med.Deliveries.Subscribe(func(medium.Delivery) { delivered++ })
 	med.Sim().At(0, func() {
 		for i := 0; i < 2; i++ {
 			med.Transmit(medium.Transmission{
@@ -201,7 +201,7 @@ func TestCICResolvesCollisions(t *testing.T) {
 	p2 := med2.Attach(r2, phy.Pt(0, 0), phy.Omni(3))
 	med2.WirePort(p2)
 	delivered2 := 0
-	med2.OnDelivery = func(medium.Delivery) { delivered2++ }
+	med2.Deliveries.Subscribe(func(medium.Delivery) { delivered2++ })
 	med2.Sim().At(0, func() {
 		for i := 0; i < 20; i++ {
 			pair := i / 2
@@ -226,7 +226,7 @@ func TestCICResolvesCollisions(t *testing.T) {
 	p3 := med3.Attach(r3, phy.Pt(0, 0), phy.Omni(3))
 	med3.WirePort(p3)
 	delivered3 := 0
-	med3.OnDelivery = func(medium.Delivery) { delivered3++ }
+	med3.Deliveries.Subscribe(func(medium.Delivery) { delivered3++ })
 	med3.Sim().At(0, func() {
 		for i := 0; i < 3; i++ {
 			med3.Transmit(medium.Transmission{

@@ -1,0 +1,79 @@
+// Package events provides the deterministic multi-subscriber event bus
+// underlying the simulator's observability layer. Every layer of the
+// stack — the wireless medium, gateway radios, gateways, network servers,
+// and the metrics collector — exposes its lifecycle as typed Topics that
+// any number of consumers subscribe to, replacing the old single-slot
+// callbacks that each consumer had to hand-chain (and that experiments
+// used to overwrite, silently detaching earlier collectors).
+//
+// Dispatch semantics, which the simulator's determinism rests on:
+//
+//   - Synchronous: Publish calls every subscriber inline, in the
+//     publisher's goroutine, before returning. Events published from
+//     inside a DES callback are therefore fully processed at that exact
+//     simulation instant; the bus never schedules events of its own and
+//     never perturbs the DES queue.
+//   - Ordered: subscribers run in registration order, every time. Two
+//     runs with the same seed and the same subscription sequence execute
+//     bit-for-bit identical callback schedules.
+//   - Single-threaded: like the des.Sim it instruments, a Topic is not
+//     safe for concurrent use. Parallel experiments run independent
+//     simulations, each with its own topics (see internal/runner).
+package events
+
+// Topic is an ordered set of subscribers to one event type. The zero
+// value is ready to use, so publishers embed Topics directly in their
+// structs.
+type Topic[T any] struct {
+	subs   []subscriber[T]
+	nextID int
+}
+
+type subscriber[T any] struct {
+	id int
+	fn func(T)
+}
+
+// Subscription identifies one subscriber on one Topic for Unsubscribe.
+// The zero Subscription is valid and unsubscribes nothing.
+type Subscription struct{ id int }
+
+// Subscribe appends fn to the dispatch list and returns a handle that
+// cancels it. Subscribers registered first are always dispatched first.
+// Subscribing from inside a dispatch is allowed; the new subscriber
+// starts receiving from the next Publish.
+func (t *Topic[T]) Subscribe(fn func(T)) Subscription {
+	t.nextID++
+	t.subs = append(t.subs, subscriber[T]{id: t.nextID, fn: fn})
+	return Subscription{id: t.nextID}
+}
+
+// Unsubscribe removes a subscriber, preserving the registration order of
+// the rest. Unsubscribing twice, or with the zero Subscription, is a
+// no-op.
+func (t *Topic[T]) Unsubscribe(s Subscription) {
+	if s.id == 0 {
+		return
+	}
+	for i := range t.subs {
+		if t.subs[i].id == s.id {
+			t.subs = append(t.subs[:i], t.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Publish dispatches ev to every subscriber in registration order. With
+// no subscribers it is a cheap no-op, so publishers need no nil guards.
+func (t *Topic[T]) Publish(ev T) {
+	// Index-based iteration so a subscriber added during dispatch (len
+	// grows) is deferred to the next Publish via the bound captured here,
+	// while an unsubscribe during dispatch shrinks the bound safely.
+	n := len(t.subs)
+	for i := 0; i < n && i < len(t.subs); i++ {
+		t.subs[i].fn(ev)
+	}
+}
+
+// Len returns the number of subscribers.
+func (t *Topic[T]) Len() int { return len(t.subs) }

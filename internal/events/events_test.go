@@ -1,0 +1,95 @@
+package events
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDispatchInRegistrationOrder(t *testing.T) {
+	var tp Topic[int]
+	var order []string
+	tp.Subscribe(func(v int) { order = append(order, "a") })
+	tp.Subscribe(func(v int) { order = append(order, "b") })
+	tp.Subscribe(func(v int) { order = append(order, "c") })
+	tp.Publish(1)
+	tp.Publish(2)
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("dispatch order = %v, want %v", order, want)
+	}
+}
+
+func TestPublishNoSubscribers(t *testing.T) {
+	var tp Topic[string]
+	tp.Publish("nobody home") // must not panic
+	if tp.Len() != 0 {
+		t.Errorf("Len = %d", tp.Len())
+	}
+}
+
+func TestEverySubscriberSeesEveryEvent(t *testing.T) {
+	var tp Topic[int]
+	sum1, sum2 := 0, 0
+	tp.Subscribe(func(v int) { sum1 += v })
+	tp.Subscribe(func(v int) { sum2 += v })
+	for v := 1; v <= 4; v++ {
+		tp.Publish(v)
+	}
+	if sum1 != 10 || sum2 != 10 {
+		t.Errorf("sums = %d/%d, want 10/10 — a subscriber missed events", sum1, sum2)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	var tp Topic[int]
+	var got []string
+	sa := tp.Subscribe(func(int) { got = append(got, "a") })
+	tp.Subscribe(func(int) { got = append(got, "b") })
+	tp.Publish(0)
+	tp.Unsubscribe(sa)
+	tp.Publish(0)
+	tp.Unsubscribe(sa)             // double unsubscribe: no-op
+	tp.Unsubscribe(Subscription{}) // zero handle: no-op
+	tp.Publish(0)
+	want := []string{"a", "b", "b", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if tp.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tp.Len())
+	}
+}
+
+func TestSubscribeDuringDispatch(t *testing.T) {
+	var tp Topic[int]
+	calls := 0
+	tp.Subscribe(func(int) {
+		if calls == 0 {
+			// Late subscriber must only see publishes after this one.
+			tp.Subscribe(func(int) { calls += 100 })
+		}
+		calls++
+	})
+	tp.Publish(0)
+	if calls != 1 {
+		t.Fatalf("late subscriber ran on the event that registered it (calls=%d)", calls)
+	}
+	tp.Publish(0)
+	if calls != 102 {
+		t.Errorf("calls = %d, want 102", calls)
+	}
+}
+
+func TestUnsubscribeDuringDispatch(t *testing.T) {
+	var tp Topic[int]
+	var got []string
+	var sb Subscription
+	tp.Subscribe(func(int) { got = append(got, "a"); tp.Unsubscribe(sb) })
+	sb = tp.Subscribe(func(int) { got = append(got, "b") })
+	tp.Publish(0)
+	tp.Publish(0)
+	want := []string{"a", "a"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,250 @@
+// Package sinks provides ready-made consumers for the simulator's event
+// bus: a packet-lifecycle JSONL tracer and a live run-summary printer.
+//
+// Both are ordinary subscribers on the topics the medium, metrics,
+// gateway, and netserver layers publish (see internal/events): attaching
+// them never perturbs the discrete-event schedule of subscribers that
+// were already present, and any number of sinks can observe one run.
+package sinks
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/gateway"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/metrics"
+	"github.com/alphawan/alphawan/internal/netserver"
+	"github.com/alphawan/alphawan/internal/sim"
+)
+
+// Tracer writes one JSON record per packet-lifecycle edge: tx_start,
+// lock_on, delivery, drop (with the per-edge drop reason), air_done, the
+// network-wide outcome, plus gateway uplink/config and network-server
+// served records. Records are emitted synchronously inside the DES, so a
+// trace is totally ordered by simulation time and, at equal times, by
+// event execution order — byte-identical across runs at the same seed.
+type Tracer struct {
+	w   io.Writer
+	sim *des.Sim
+	err error
+	n   int
+}
+
+// NewTracer creates a tracer writing JSONL to w, timestamping records
+// with s's clock. Wire it to the layers of interest with the Observe
+// methods, or to a whole scenario with Attach.
+func NewTracer(w io.Writer, s *des.Sim) *Tracer {
+	return &Tracer{w: w, sim: s}
+}
+
+// Err returns the first write or encoding error, if any. Emission stops
+// after the first error.
+func (t *Tracer) Err() error { return t.err }
+
+// Records returns how many records were written.
+func (t *Tracer) Records() int { return t.n }
+
+// emit marshals one record. encoding/json sorts map keys, so the field
+// order (and with it the trace bytes) is deterministic.
+func (t *Tracer) emit(rec map[string]any) {
+	if t.err != nil {
+		return
+	}
+	rec["t_us"] = int64(t.sim.Now())
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+func txFields(tx *medium.Transmission) map[string]any {
+	return map[string]any{
+		"tx":   tx.ID,
+		"node": int(tx.Node),
+		"net":  int(tx.Network),
+	}
+}
+
+// ObserveMedium subscribes the tracer to the medium's lifecycle topics.
+// Call before the first transmission so air_done records cover every
+// packet (the medium only schedules finalization for transmissions that
+// start while its AirDone topic has subscribers).
+func (t *Tracer) ObserveMedium(med *medium.Medium) *Tracer {
+	med.TXStarts.Subscribe(func(tx *medium.Transmission) {
+		r := txFields(tx)
+		r["event"] = "tx_start"
+		r["freq_hz"] = int64(tx.Channel.Center)
+		r["sf"] = int(tx.DR.SF())
+		r["dr"] = int(tx.DR)
+		r["payload"] = tx.PayloadLen
+		t.emit(r)
+	})
+	med.LockOns.Subscribe(func(ev medium.LockOnEvent) {
+		r := txFields(ev.TX)
+		r["event"] = "lock_on"
+		r["gw"] = ev.Port.Index()
+		r["chain"] = ev.Meta.Chain
+		r["freq_hz"] = int64(ev.TX.Channel.Center)
+		r["sf"] = int(ev.Meta.SF)
+		r["rssi"] = ev.Meta.RSSIdBm
+		r["snr"] = ev.Meta.SNRdB
+		t.emit(r)
+	})
+	med.Deliveries.Subscribe(func(d medium.Delivery) {
+		r := txFields(d.TX)
+		r["event"] = "delivery"
+		r["gw"] = d.Port.Index()
+		r["chain"] = d.Meta.Chain
+		r["rssi"] = d.Meta.RSSIdBm
+		r["snr"] = d.Meta.SNRdB
+		t.emit(r)
+	})
+	med.Drops.Subscribe(func(d medium.Drop) {
+		r := txFields(d.TX)
+		r["event"] = "drop"
+		r["gw"] = d.Port.Index()
+		r["reason"] = d.Reason.String()
+		r["inter"] = d.InterNetwork
+		t.emit(r)
+	})
+	med.AirDone.Subscribe(func(tx *medium.Transmission) {
+		r := txFields(tx)
+		r["event"] = "air_done"
+		t.emit(r)
+	})
+	return t
+}
+
+// ObserveCollector subscribes the tracer to a collector's per-packet
+// outcomes: one record per transmission with cause "delivered" or the
+// attributed loss cause — the authoritative totals behind Figure 4.
+func (t *Tracer) ObserveCollector(col *metrics.Collector) *Tracer {
+	col.Outcomes.Subscribe(func(o metrics.Outcome) {
+		r := txFields(o.TX)
+		r["event"] = "outcome"
+		if o.Received {
+			r["cause"] = "delivered"
+		} else {
+			r["cause"] = o.Cause.String()
+		}
+		t.emit(r)
+	})
+	return t
+}
+
+// ObserveGateway subscribes the tracer to a gateway's backhaul uplinks
+// and configuration lifecycle.
+func (t *Tracer) ObserveGateway(gw *gateway.Gateway) *Tracer {
+	gw.Uplinks.Subscribe(func(u gateway.Uplink) {
+		r := txFields(u.TX)
+		r["event"] = "gw_uplink"
+		r["gw"] = u.GW.ID
+		r["snr"] = u.Meta.SNRdB
+		t.emit(r)
+	})
+	gw.ConfigEvents.Subscribe(func(ev gateway.ConfigEvent) {
+		t.emit(map[string]any{
+			"event":    "gw_config",
+			"gw":       ev.GW.ID,
+			"online":   ev.Online,
+			"up_at_us": int64(ev.UpAt),
+			"channels": len(ev.Config.Channels),
+		})
+	})
+	return t
+}
+
+// ObserveServer subscribes the tracer to a network server's deduplicated
+// application deliveries, labelled with the operator's network id.
+func (t *Tracer) ObserveServer(sv *netserver.Server, network medium.NetworkID) *Tracer {
+	sv.Served.Subscribe(func(d netserver.Data) {
+		t.emit(map[string]any{
+			"event": "served",
+			"net":   int(network),
+			"dev":   uint32(d.Dev.Addr),
+			"fport": int(d.FPort),
+			"gw":    d.Meta.Gateway,
+			"snr":   d.Meta.SNRdB,
+		})
+	})
+	return t
+}
+
+// Attach wires a tracer to every layer of a composed scenario: the
+// medium's lifecycle topics, the collector's outcomes, and each
+// operator's gateways and network server. Gateways or operators added
+// after Attach are not observed — attach last, before running.
+func Attach(w io.Writer, n *sim.Network) *Tracer {
+	t := NewTracer(w, n.Sim)
+	t.ObserveMedium(n.Med)
+	t.ObserveCollector(n.Col)
+	for _, op := range n.Operators {
+		for _, gw := range op.Gateways {
+			t.ObserveGateway(gw)
+		}
+		t.ObserveServer(op.Server, op.ID)
+	}
+	return t
+}
+
+// Summary prints periodic run-progress lines (sent/received and the
+// loss-cause counters) driven by collector outcomes. It never schedules
+// DES events of its own: a line is emitted when the first outcome at or
+// past an interval boundary arrives, so attaching it cannot change the
+// event schedule.
+type Summary struct {
+	w        io.Writer
+	sim      *des.Sim
+	col      *metrics.Collector
+	interval des.Time
+	next     des.Time
+}
+
+// AttachSummary subscribes a summary printer to the collector with the
+// given reporting interval.
+func AttachSummary(w io.Writer, s *des.Sim, col *metrics.Collector, interval des.Time) *Summary {
+	if interval <= 0 {
+		interval = 10 * des.Second
+	}
+	sm := &Summary{w: w, sim: s, col: col, interval: interval, next: interval}
+	col.Outcomes.Subscribe(func(metrics.Outcome) {
+		if s.Now() < sm.next {
+			return
+		}
+		sm.line()
+		for sm.next <= s.Now() {
+			sm.next += sm.interval
+		}
+	})
+	return sm
+}
+
+// Flush prints a final summary line for the end of the run.
+func (sm *Summary) Flush() { sm.line() }
+
+func (sm *Summary) line() {
+	tot := sm.col.Total()
+	prr := 0.0
+	if tot.Sent > 0 {
+		prr = 100 * float64(tot.Received) / float64(tot.Sent)
+	}
+	fmt.Fprintf(sm.w,
+		"[t=%7.1fs] sent=%d received=%d (%.1f%%) lost: decoder(intra)=%d decoder(inter)=%d channel(intra)=%d channel(inter)=%d others=%d\n",
+		float64(sm.sim.Now())/1e6, tot.Sent, tot.Received, prr,
+		tot.Losses[metrics.DecoderContentionIntra],
+		tot.Losses[metrics.DecoderContentionInter],
+		tot.Losses[metrics.ChannelContentionIntra],
+		tot.Losses[metrics.ChannelContentionInter],
+		tot.Losses[metrics.Others],
+	)
+}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
+	"github.com/alphawan/alphawan/internal/events/sinks"
 	"github.com/alphawan/alphawan/internal/runner"
 )
 
@@ -34,6 +36,36 @@ func renderResult(r *Result) string {
 // seed. It covers fig04a (user-scale sweep), fig13 (strategy × scale
 // grid), and fig12c (the city144 contention workload) on the shrunken
 // profile so the whole comparison stays tier-1 fast.
+// TestTraceDeterminism is the event-order regression for the bus: with
+// the same seed and the same subscriber set (the full sink stack on the
+// built-in trace scenario), two runs must produce byte-identical JSONL
+// traces and byte-identical summary output. Any nondeterminism in topic
+// dispatch order — or any subscriber perturbing the DES schedule — shows
+// up here as a byte diff. The scenario is the tracer's own shrunken
+// two-operator profile, so the double run stays tier-1 fast.
+func TestTraceDeterminism(t *testing.T) {
+	const seed = 7
+	run := func() (string, string) {
+		var trace, prog bytes.Buffer
+		_, tr := sinks.RunDemo(seed, &trace, &prog)
+		if err := tr.Err(); err != nil {
+			t.Fatalf("tracer error: %v", err)
+		}
+		if tr.Records() == 0 {
+			t.Fatal("empty trace")
+		}
+		return trace.String(), prog.String()
+	}
+	t1, p1 := run()
+	t2, p2 := run()
+	if t1 != t2 {
+		t.Error("trace output diverges between identically-seeded runs")
+	}
+	if p1 != p2 {
+		t.Errorf("summary output diverges between identically-seeded runs:\n--- first ---\n%s\n--- second ---\n%s", p1, p2)
+	}
+}
+
 func TestParallelMatchesSerial(t *testing.T) {
 	withProfile(t, smallProfile())
 	const seed = 7

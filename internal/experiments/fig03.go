@@ -58,15 +58,11 @@ func twentyNodes(seed int64) (*sim.Network, *sim.Operator) {
 // prrByNode runs one burst and returns each node's reception (0 or 1).
 func prrByNode(n *sim.Network, op *sim.Operator, align traffic.BurstAlign) []int {
 	received := make([]int, len(op.Nodes))
-	prev := n.Med.OnDelivery
-	n.Med.OnDelivery = func(d medium.Delivery) {
-		if prev != nil {
-			prev(d)
-		}
+	n.Med.Deliveries.Subscribe(func(d medium.Delivery) {
 		if d.TX.Network == op.ID {
 			received[int(d.TX.Node)] = 1
 		}
-	}
+	})
 	traffic.ScheduleBurst(n.Med, op.Nodes, n.Sim.Now()+5*des.Second,
 		align, des.Millisecond)
 	n.Sim.Run()
@@ -210,9 +206,9 @@ func runFig03ef(seed int64) *Result {
 		slots = append(slots, slot{op, len(op.Nodes) - 1})
 	}
 	received := map[medium.NetworkID]map[medium.NodeID]bool{1: {}, 2: {}}
-	n.Med.OnDelivery = func(d medium.Delivery) {
+	n.Med.Deliveries.Subscribe(func(d medium.Delivery) {
 		received[d.TX.Network][d.TX.Node] = true
-	}
+	})
 	// One combined burst in slot order (final-preamble order, Scheme b).
 	var all []*nodeRef
 	for _, s := range slots {

@@ -39,7 +39,7 @@ func runFig07(seed int64) *Result {
 	port := med.Attach(r, phy.Pt(0, 0), ant)
 	med.WirePort(port)
 	received := map[medium.NodeID]bool{}
-	med.OnDelivery = func(d medium.Delivery) { received[d.TX.Node] = true }
+	med.Deliveries.Subscribe(func(d medium.Delivery) { received[d.TX.Node] = true })
 
 	bearings := []float64{0, 30, 60, 90, 120, 150, 180}
 	for i, deg := range bearings {

@@ -38,11 +38,11 @@ func fig08Trial(seed int64, trial int, overlap float64, orth bool, strongIntf bo
 	port := med.Attach(r, phy.Pt(0, 0), phy.Omni(3))
 	med.WirePort(port)
 	ok := false
-	med.OnDelivery = func(d medium.Delivery) {
+	med.Deliveries.Subscribe(func(d medium.Delivery) {
 		if d.TX.Node == 1 {
 			ok = true
 		}
-	}
+	})
 
 	// Interferer channel shifted for the target overlap ratio.
 	shift := region.Hz((1 - overlap) * float64(lora.BW125))

@@ -40,11 +40,11 @@ func fig16Threshold(seed int64, coexist bool, orth bool, intfPowerDBm float64) f
 		port := med.Attach(r, phy.Pt(0, 0), phy.Omni(3))
 		med.WirePort(port)
 		ok := false
-		med.OnDelivery = func(dv medium.Delivery) {
+		med.Deliveries.Subscribe(func(dv medium.Delivery) {
 			if dv.TX.Node == 1 {
 				ok = true
 			}
-		}
+		})
 		snr := env.SNRdB(phy.Link{TXPowerDBm: 14, TXPos: phy.Pt(d, 0), RXPos: phy.Pt(0, 0), RXAntenna: phy.Omni(3)})
 		sim.At(0, func() {
 			med.Transmit(medium.Transmission{

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/events"
 	"github.com/alphawan/alphawan/internal/medium"
 	"github.com/alphawan/alphawan/internal/phy"
 	"github.com/alphawan/alphawan/internal/radio"
@@ -27,6 +28,20 @@ type Uplink struct {
 	At   des.Time
 }
 
+// ConfigEvent reports a gateway configuration change: one event when the
+// new channel plan is applied (Online=false while the gateway reboots)
+// and one when the gateway is receiving again (Online=true). Instant
+// applies publish a single Online event.
+type ConfigEvent struct {
+	GW     *Gateway
+	Config radio.Config
+	At     des.Time
+	// UpAt is when the gateway finishes rebooting (equal to At for
+	// instant applies).
+	UpAt   des.Time
+	Online bool
+}
+
 // Gateway is one gateway in a network.
 type Gateway struct {
 	ID    int
@@ -40,9 +55,13 @@ type Gateway struct {
 	// RebootTime is how long a reconfiguration keeps the gateway offline.
 	RebootTime des.Time
 
-	// OnUplink receives every successfully decoded own-network packet
-	// (the backhaul toward the network server).
-	OnUplink func(Uplink)
+	// Uplinks publishes every successfully decoded own-network packet
+	// (the backhaul toward the network server). Subscribers registered
+	// before a packet's decode completes observe it.
+	Uplinks events.Topic[Uplink]
+	// ConfigEvents publishes reconfiguration lifecycle events (reboot
+	// start, back online).
+	ConfigEvents events.Topic[ConfigEvent]
 
 	reboots int
 }
@@ -64,15 +83,17 @@ func New(sim *des.Sim, med *medium.Medium, id int, model radio.GatewayModel, pos
 	}
 	g.port = med.Attach(r, pos, ant)
 	med.WirePort(g.port)
-	prev := g.port.Radio.OnResult
-	g.port.Radio.OnResult = func(res radio.Result) {
-		prev(res)
-		if res.Reason == radio.DropNone && g.OnUplink != nil {
-			if tx := med.LookupTX(res.Meta.ID); tx != nil {
-				g.OnUplink(Uplink{GW: g, TX: tx, Meta: res.Meta, At: sim.Now()})
-			}
+	// Subscribed after WirePort, so the medium's delivery/drop topics
+	// (and with them the metrics collector) run before the uplink is
+	// forwarded toward the network server.
+	g.port.Radio.Results.Subscribe(func(res radio.Result) {
+		if res.Reason != radio.DropNone || g.Uplinks.Len() == 0 {
+			return
 		}
-	}
+		if tx := med.LookupTX(res.Meta.ID); tx != nil {
+			g.Uplinks.Publish(Uplink{GW: g, TX: tx, Meta: res.Meta, At: sim.Now()})
+		}
+	})
 	return g, nil
 }
 
@@ -102,12 +123,21 @@ func (g *Gateway) ApplyConfig(cfg radio.Config) (upAt des.Time, err error) {
 	g.reboots++
 	g.port.Down = true
 	upAt = g.sim.Now() + g.RebootTime
-	g.sim.At(upAt, func() { g.port.Down = false })
+	g.ConfigEvents.Publish(ConfigEvent{GW: g, Config: cfg, At: g.sim.Now(), UpAt: upAt})
+	g.sim.At(upAt, func() {
+		g.port.Down = false
+		g.ConfigEvents.Publish(ConfigEvent{GW: g, Config: cfg, At: upAt, UpAt: upAt, Online: true})
+	})
 	return upAt, nil
 }
 
 // ApplyConfigInstant installs a configuration with no downtime — used to
 // set up initial deployments before a run starts.
 func (g *Gateway) ApplyConfigInstant(cfg radio.Config) error {
-	return g.port.Radio.Reconfigure(cfg)
+	if err := g.port.Radio.Reconfigure(cfg); err != nil {
+		return err
+	}
+	now := g.sim.Now()
+	g.ConfigEvents.Publish(ConfigEvent{GW: g, Config: cfg, At: now, UpAt: now, Online: true})
+	return nil
 }

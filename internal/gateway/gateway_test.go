@@ -43,7 +43,7 @@ func TestUplinkForwarding(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ups []Uplink
-	gw.OnUplink = func(u Uplink) { ups = append(ups, u) }
+	gw.Uplinks.Subscribe(func(u Uplink) { ups = append(ups, u) })
 	sim.At(0, func() { send(med, 0) })
 	sim.Run()
 	if len(ups) != 1 {
@@ -63,7 +63,7 @@ func TestApplyConfigReboot(t *testing.T) {
 	med := medium.New(sim, env())
 	gw, _ := New(sim, med, 1, model(), phy.Pt(0, 0), phy.Antenna{}, cfg(8))
 	var ups int
-	gw.OnUplink = func(Uplink) { ups++ }
+	gw.Uplinks.Subscribe(func(Uplink) { ups++ })
 
 	sim.At(des.Second, func() {
 		upAt, err := gw.ApplyConfig(cfg(2))
@@ -151,7 +151,7 @@ func TestMultipleGatewaysHomogeneousSeeSamePackets(t *testing.T) {
 		}
 		i := i
 		received[i] = map[int64]bool{}
-		gw.OnUplink = func(u Uplink) { received[i][u.TX.ID] = true }
+		gw.Uplinks.Subscribe(func(u Uplink) { received[i][u.TX.ID] = true })
 		gws = append(gws, gw)
 	}
 	// 24 concurrent DR5 packets across 8 channels (3 per channel would

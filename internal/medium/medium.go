@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/events"
 	"github.com/alphawan/alphawan/internal/lora"
 	"github.com/alphawan/alphawan/internal/phy"
 	"github.com/alphawan/alphawan/internal/radio"
@@ -96,6 +97,15 @@ type Drop struct {
 	InterNetwork bool
 }
 
+// LockOnEvent reports a packet entering a port's reception pipeline at
+// preamble end (dispatcher entry). Every locked-on packet later yields
+// exactly one Delivery or Drop at that port.
+type LockOnEvent struct {
+	Port *Port
+	TX   *Transmission
+	Meta radio.Meta
+}
+
 // Medium is the shared wireless channel of one simulation.
 type Medium struct {
 	sim *des.Sim
@@ -125,15 +135,27 @@ type Medium struct {
 	// invalidation. See InvalidateGains for the one rule that does.
 	gains map[gainKey]linkGain
 
-	// OnDelivery fires for every successfully received own-network packet
+	// The packet-lifecycle topics. Dispatch is synchronous and in
+	// registration order (see internal/events), so any number of
+	// consumers — the metrics collector, experiment probes, trace and
+	// summary sinks — observe the same events without interfering.
+	//
+	// TXStarts fires once per transmission the instant it enters the air.
+	TXStarts events.Topic[*Transmission]
+	// LockOns fires when a packet's preamble completes at a port that
+	// detected it (dispatcher entry).
+	LockOns events.Topic[LockOnEvent]
+	// Deliveries fires for every successfully received own-network packet
 	// at every port (a packet heard by three gateways fires three times —
 	// LoRaWAN's gateway redundancy; the network server deduplicates).
-	OnDelivery func(Delivery)
-	// OnDrop fires for every lost or filtered packet copy at a port.
-	OnDrop func(Drop)
-	// OnAirDone fires once per transmission when it leaves the air,
-	// regardless of reception results.
-	OnAirDone func(*Transmission)
+	Deliveries events.Topic[Delivery]
+	// Drops fires for every lost or filtered packet copy at a port.
+	Drops events.Topic[Drop]
+	// AirDone fires once per transmission when it leaves the air,
+	// regardless of reception results. Subscribe before transmitting:
+	// the finalize event is only scheduled for transmissions that start
+	// while the topic has subscribers.
+	AirDone events.Topic[*Transmission]
 
 	// ResolveCollisions models a CIC-class gateway (Shahid et al.,
 	// SIGCOMM'21): same-channel same-SF collisions are recovered by
@@ -203,6 +225,11 @@ func (m *Medium) Attach(r *radio.Radio, pos phy.Point, ant phy.Antenna) *Port {
 // Ports returns the registered ports.
 func (m *Medium) Ports() []*Port { return m.ports }
 
+// Index returns the port's registration index on its medium — the stable
+// identifier lifecycle events carry for "which gateway". For gateways
+// composed through the sim package it equals the gateway ID.
+func (p *Port) Index() int { return p.id }
+
 // rxSNR computes the received power and SNR of a transmission at a port.
 // The log10/pow-heavy path-loss and antenna terms are memoized per
 // (transmitter position, port); only the transmit-power offset varies
@@ -257,6 +284,8 @@ func (m *Medium) Transmit(tx Transmission) *Transmission {
 	b := bin(t.Channel.Center)
 	m.byBin[b] = append(m.byBin[b], t)
 
+	m.TXStarts.Publish(t)
+
 	for _, p := range m.ports {
 		p := p
 		if p.Down {
@@ -283,6 +312,7 @@ func (m *Medium) Transmit(tx Transmission) *Transmission {
 			LockOn: t.LockOn, End: t.End,
 		}
 		m.sim.At(t.LockOn, func() {
+			m.LockOns.Publish(LockOnEvent{Port: p, TX: t, Meta: meta})
 			// Preamble suppression: a same-settings packet buried under a
 			// ≥6 dB stronger one never yields a separate detection — the
 			// per-channel detector sees a single preamble and locks onto
@@ -306,10 +336,10 @@ func (m *Medium) Transmit(tx Transmission) *Transmission {
 		})
 	}
 
-	if m.OnAirDone != nil {
+	if m.AirDone.Len() > 0 {
 		// One microsecond after End so that every port's decode verdict
 		// (scheduled at exactly End) has fired before finalization.
-		m.sim.At(t.End+1, func() { m.OnAirDone(t) })
+		m.sim.At(t.End+1, func() { m.AirDone.Publish(t) })
 	}
 	return t
 }
@@ -480,24 +510,21 @@ func (m *Medium) prune() {
 	}
 }
 
-func (m *Medium) emitDrop(d Drop) {
-	if m.OnDrop != nil {
-		m.OnDrop(d)
-	}
-}
+func (m *Medium) emitDrop(d Drop) { m.Drops.Publish(d) }
 
-// WirePort connects a port's radio results back to the medium-level
-// delivery callbacks. Call once after creating the port.
+// WirePort routes a port's radio results onto the medium's delivery and
+// drop topics. Call once after creating the port, before any other
+// subscriber on the radio's Results topic, so medium-level consumers
+// observe a packet's fate before port-level ones (the order the gateway
+// layer relies on).
 func (m *Medium) WirePort(p *Port) {
-	p.Radio.OnResult = func(res radio.Result) {
+	p.Radio.Results.Subscribe(func(res radio.Result) {
 		t := m.LookupTX(res.Meta.ID)
 		if t == nil {
 			return
 		}
 		if res.Reason == radio.DropNone {
-			if m.OnDelivery != nil {
-				m.OnDelivery(Delivery{Port: p, TX: t, Meta: res.Meta})
-			}
+			m.Deliveries.Publish(Delivery{Port: p, TX: t, Meta: res.Meta})
 			return
 		}
 		d := Drop{Port: p, TX: t, Reason: res.Reason}
@@ -512,7 +539,7 @@ func (m *Medium) WirePort(p *Port) {
 			delete(m.collisionIntf, k)
 		}
 		m.emitDrop(d)
-	}
+	})
 }
 
 // LookupTX resolves a recently active transmission by id, or nil if it has

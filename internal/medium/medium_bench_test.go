@@ -39,8 +39,8 @@ func BenchmarkMediumJudge(b *testing.B) {
 	for i := range positions {
 		positions[i] = phy.Pt(float64(50+i*29%900), float64(40+i*53%700))
 	}
-	med.OnDelivery = func(Delivery) {}
-	med.OnDrop = func(Drop) {}
+	med.Deliveries.Subscribe(func(Delivery) {})
+	med.Drops.Subscribe(func(Drop) {})
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

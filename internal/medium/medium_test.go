@@ -40,8 +40,8 @@ func newRig(t *testing.T, channels int) *rig {
 	port := med.Attach(r, phy.Pt(0, 0), phy.Omni(3))
 	med.WirePort(port)
 	rg := &rig{sim: sim, med: med, port: port}
-	med.OnDelivery = func(d Delivery) { rg.deliveries = append(rg.deliveries, d) }
-	med.OnDrop = func(d Drop) { rg.drops = append(rg.drops, d) }
+	med.Deliveries.Subscribe(func(d Delivery) { rg.deliveries = append(rg.deliveries, d) })
+	med.Drops.Subscribe(func(d Drop) { rg.drops = append(rg.drops, d) })
 	return rg
 }
 
@@ -277,11 +277,11 @@ func TestOverlapInterferenceShiftsThreshold(t *testing.T) {
 		port := med.Attach(r, phy.Pt(0, 0), phy.Omni(3))
 		med.WirePort(port)
 		ok := false
-		med.OnDelivery = func(d Delivery) {
+		med.Deliveries.Subscribe(func(d Delivery) {
 			if d.TX.Node == 1 {
 				ok = true
 			}
-		}
+		})
 		sim.At(0, func() {
 			// Victim at DR4 right at its demodulation floor: 1265 m with
 			// 14 dBm in this environment gives SNR ≈ -9.5 dB, half a dB

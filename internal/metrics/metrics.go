@@ -14,8 +14,10 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/events"
 	"github.com/alphawan/alphawan/internal/lora"
 	"github.com/alphawan/alphawan/internal/medium"
 	"github.com/alphawan/alphawan/internal/radio"
@@ -108,44 +110,39 @@ type txRecord struct {
 	cause    Cause
 }
 
+// Outcome is the network-wide final fate of one transmission: received by
+// at least one own-network gateway, or lost to exactly one Cause.
+type Outcome struct {
+	TX       *medium.Transmission
+	Received bool
+	// Cause is the attributed loss cause; meaningful only when !Received.
+	Cause Cause
+}
+
 // Collector subscribes to a medium and aggregates per-network statistics.
+// It is an ordinary event-bus subscriber: constructing it does not claim
+// any exclusive hook, and any number of other subscribers can observe the
+// same medium.
 type Collector struct {
 	perNet  map[medium.NetworkID]*NetworkStats
 	pending map[int64]*txRecord
 
-	// ConcurrencyProbe, when set, is called with the number of distinct
-	// own-network deliveries for capacity counting.
-	onFinal func(medium.NetworkID, bool)
+	// Outcomes publishes each transmission's network-wide final outcome
+	// once it leaves the air. Experiments use it for live capacity probes;
+	// the trace sink uses it for authoritative loss-cause records.
+	Outcomes events.Topic[Outcome]
 }
 
-// NewCollector attaches a collector to the medium. It chains any existing
-// medium callbacks.
+// NewCollector creates a collector and subscribes it to the medium's
+// delivery, drop, and air-done topics.
 func NewCollector(med *medium.Medium) *Collector {
 	c := &Collector{
 		perNet:  make(map[medium.NetworkID]*NetworkStats),
 		pending: make(map[int64]*txRecord),
 	}
-	prevDeliver := med.OnDelivery
-	med.OnDelivery = func(d medium.Delivery) {
-		if prevDeliver != nil {
-			prevDeliver(d)
-		}
-		c.delivery(d)
-	}
-	prevDrop := med.OnDrop
-	med.OnDrop = func(d medium.Drop) {
-		if prevDrop != nil {
-			prevDrop(d)
-		}
-		c.drop(d)
-	}
-	prevDone := med.OnAirDone
-	med.OnAirDone = func(t *medium.Transmission) {
-		if prevDone != nil {
-			prevDone(t)
-		}
-		c.airDone(t)
-	}
+	med.Deliveries.Subscribe(c.delivery)
+	med.Drops.Subscribe(c.drop)
+	med.AirDone.Subscribe(c.airDone)
 	return c
 }
 
@@ -234,24 +231,15 @@ func (c *Collector) airDone(t *medium.Transmission) {
 		s.GatewayCopies += r.delivered
 		s.PayloadBytes += r.payload
 		s.ByDR[r.dr]++
-		if c.onFinal != nil {
-			c.onFinal(r.network, true)
-		}
+		c.Outcomes.Publish(Outcome{TX: t, Received: true})
 		return
 	}
 	if !r.dropSeen {
 		r.cause = Others
 	}
 	s.Losses[r.cause]++
-	if c.onFinal != nil {
-		c.onFinal(r.network, false)
-	}
+	c.Outcomes.Publish(Outcome{TX: t, Cause: r.cause})
 }
-
-// SetOnFinal registers a callback fired once per transmission when its
-// network-wide outcome is final (received or not). Experiments use it for
-// live capacity probes.
-func (c *Collector) SetOnFinal(fn func(medium.NetworkID, bool)) { c.onFinal = fn }
 
 // Network returns the statistics for one network (zero value if unseen).
 func (c *Collector) Network(id medium.NetworkID) NetworkStats {
@@ -268,11 +256,7 @@ func (c *Collector) Networks() []medium.NetworkID {
 		ids = append(ids, id)
 	}
 	// Deterministic order.
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

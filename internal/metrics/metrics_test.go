@@ -63,6 +63,30 @@ func TestReceivedOnceDespiteMultipleGateways(t *testing.T) {
 	}
 }
 
+func TestCollectorCoexistsWithSecondSubscriber(t *testing.T) {
+	// Regression for the single-slot callback era, when experiment hooks
+	// like fig07's `med.OnDelivery = ...` silently unhooked the collector:
+	// a collector plus an independent subscriber must both observe every
+	// delivery, regardless of subscription order.
+	w := newWorld(t, []lora.SyncWord{lora.SyncPublic, lora.SyncPublic})
+	var probe []medium.Delivery
+	w.med.Deliveries.Subscribe(func(d medium.Delivery) { probe = append(probe, d) })
+	w.sim.At(0, func() { w.tx(1, 1, lora.SyncPublic, 0, lora.DR5, phy.Pt(100, 0)) })
+	w.sim.At(des.Second, func() { w.tx(2, 1, lora.SyncPublic, 1, lora.DR4, phy.Pt(120, 0)) })
+	w.sim.Run()
+	s := w.col.Network(1)
+	if s.Sent != 2 || s.Received != 2 {
+		t.Errorf("collector sent/received = %d/%d, want 2/2", s.Sent, s.Received)
+	}
+	if len(probe) != s.GatewayCopies {
+		t.Errorf("second subscriber saw %d deliveries, collector counted %d copies",
+			len(probe), s.GatewayCopies)
+	}
+	if len(probe) != 4 {
+		t.Errorf("deliveries at second subscriber = %d, want 4 (2 tx × 2 gateways)", len(probe))
+	}
+}
+
 func TestUnheardPacketIsOthers(t *testing.T) {
 	w := newWorld(t, []lora.SyncWord{lora.SyncPublic})
 	// Way out of range: no gateway even detects the preamble... the medium
@@ -266,8 +290,8 @@ func TestThroughput(t *testing.T) {
 func TestOnFinalProbe(t *testing.T) {
 	w := newWorld(t, []lora.SyncWord{lora.SyncPublic})
 	var oks, fails int
-	w.col.SetOnFinal(func(_ medium.NetworkID, ok bool) {
-		if ok {
+	w.col.Outcomes.Subscribe(func(o Outcome) {
+		if o.Received {
 			oks++
 		} else {
 			fails++

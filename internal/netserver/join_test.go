@@ -60,7 +60,7 @@ func TestOTAAJoinEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []byte
-	s.OnData = func(d Data) { got = d.Payload }
+	s.Served.Subscribe(func(d Data) { got = d.Payload })
 	if err := s.HandleUplink(raw, UplinkMeta{Gateway: 0, SNRdB: 5}); err != nil {
 		t.Fatal(err)
 	}

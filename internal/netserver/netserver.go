@@ -16,6 +16,7 @@ import (
 
 	"github.com/alphawan/alphawan/internal/adr"
 	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/events"
 	"github.com/alphawan/alphawan/internal/frame"
 	"github.com/alphawan/alphawan/internal/lora"
 	"github.com/alphawan/alphawan/internal/region"
@@ -92,12 +93,13 @@ type Server struct {
 	// InstallationMargin feeds the ADR computation.
 	InstallationMargin float64
 
-	// OnData receives each deduplicated application payload.
-	OnData func(Data)
-	// OnCommand receives MAC commands the server wants transmitted to a
+	// Served publishes each deduplicated application payload (the "served"
+	// end of the packet lifecycle).
+	Served events.Topic[Data]
+	// Commands publishes MAC commands the server wants transmitted to a
 	// device (the control plane delivers them through the gateway's
 	// downlink path or, in simulation, directly).
-	OnCommand func(Command)
+	Commands events.Topic[Command]
 
 	log []LogEntry
 	// dedup tracks the last delivery per (device, fcnt).
@@ -233,8 +235,8 @@ func (s *Server) HandleUplink(raw []byte, meta UplinkMeta) error {
 	s.gcDedup(meta.At)
 
 	s.stats.Delivered++
-	if s.OnData != nil && f.FPort != nil && *f.FPort > 0 {
-		s.OnData(Data{Dev: dev, FPort: *f.FPort, Payload: f.Payload, Meta: meta, Copies: 1})
+	if f.FPort != nil && *f.FPort > 0 {
+		s.Served.Publish(Data{Dev: dev, FPort: *f.FPort, Payload: f.Payload, Meta: meta, Copies: 1})
 	}
 
 	if s.ADREnabled && f.ADR {
@@ -253,17 +255,15 @@ func (s *Server) runADR(dev *Device) {
 	dev.DR = d.DR
 	dev.TXPower = d.TXPower
 	s.stats.ADRCommands++
-	if s.OnCommand != nil {
-		s.OnCommand(Command{Dev: dev, Cmds: []frame.MACCommand{{
-			CID: frame.CIDLinkADR,
-			LinkADR: &frame.LinkADRReq{
-				DataRate: uint8(d.DR), TXPower: d.TXPower,
-				// ChMaskCntl 6: keep all defined channels enabled — this
-				// request only retargets DR and power.
-				ChMask: 0xFFFF, ChMaskCntl: 6, NbTrans: 1,
-			},
-		}}})
-	}
+	s.Commands.Publish(Command{Dev: dev, Cmds: []frame.MACCommand{{
+		CID: frame.CIDLinkADR,
+		LinkADR: &frame.LinkADRReq{
+			DataRate: uint8(d.DR), TXPower: d.TXPower,
+			// ChMaskCntl 6: keep all defined channels enabled — this
+			// request only retargets DR and power.
+			ChMask: 0xFFFF, ChMaskCntl: 6, NbTrans: 1,
+		},
+	}}})
 }
 
 // SendChannelPlan issues NewChannelReq commands reconfiguring a device's
@@ -286,9 +286,7 @@ func (s *Server) SendChannelPlan(dev *Device, channels []region.Channel) error {
 			},
 		})
 	}
-	if s.OnCommand != nil {
-		s.OnCommand(Command{Dev: dev, Cmds: cmds})
-	}
+	s.Commands.Publish(Command{Dev: dev, Cmds: cmds})
 	return nil
 }
 

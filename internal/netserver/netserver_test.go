@@ -39,7 +39,7 @@ func TestUplinkDelivery(t *testing.T) {
 	s := New()
 	s.Register(0x100, nwk, app, lora.DR0, 0)
 	var got []Data
-	s.OnData = func(d Data) { got = append(got, d) }
+	s.Served.Subscribe(func(d Data) { got = append(got, d) })
 
 	if err := s.HandleUplink(uplink(t, 0x100, 0, []byte("m1")), meta(1, 5, 0)); err != nil {
 		t.Fatal(err)
@@ -57,7 +57,7 @@ func TestDeduplication(t *testing.T) {
 	s := New()
 	s.Register(0x100, nwk, app, lora.DR0, 0)
 	var deliveries int
-	s.OnData = func(Data) { deliveries++ }
+	s.Served.Subscribe(func(Data) { deliveries++ })
 	raw := uplink(t, 0x100, 7, []byte("x"))
 	for gw := 0; gw < 3; gw++ {
 		if err := s.HandleUplink(raw, meta(gw, float64(gw), des.Time(gw)*des.Millisecond)); err != nil {
@@ -126,7 +126,7 @@ func TestADRIssuesLinkADR(t *testing.T) {
 	s.ADREnabled = true
 	dev := s.Register(0x100, nwk, app, lora.DR0, 0)
 	var cmds []Command
-	s.OnCommand = func(c Command) { cmds = append(cmds, c) }
+	s.Commands.Subscribe(func(c Command) { cmds = append(cmds, c) })
 	// A strong uplink (+10 dB): margin 10-(-20)-10 = 20 dB → DR5 + power
 	// steps.
 	if err := s.HandleUplink(uplink(t, 0x100, 0, []byte("x")), meta(0, 10, 0)); err != nil {
@@ -167,7 +167,7 @@ func TestADRDisabledIssuesNothing(t *testing.T) {
 	s := New()
 	s.Register(0x100, nwk, app, lora.DR0, 0)
 	var cmds int
-	s.OnCommand = func(Command) { cmds++ }
+	s.Commands.Subscribe(func(Command) { cmds++ })
 	s.HandleUplink(uplink(t, 0x100, 0, []byte("x")), meta(0, 10, 0))
 	if cmds != 0 {
 		t.Error("ADR disabled must not send commands")
@@ -178,7 +178,7 @@ func TestSendChannelPlan(t *testing.T) {
 	s := New()
 	dev := s.Register(0x100, nwk, app, lora.DR0, 0)
 	var got []frame.MACCommand
-	s.OnCommand = func(c Command) { got = c.Cmds }
+	s.Commands.Subscribe(func(c Command) { got = c.Cmds })
 	chans := []region.Channel{region.AS923.Channel(2), region.AS923.Channel(5)}
 	if err := s.SendChannelPlan(dev, chans); err != nil {
 		t.Fatal(err)

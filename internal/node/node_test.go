@@ -212,7 +212,7 @@ func TestSendOnUsesGivenChannel(t *testing.T) {
 	med := newMedium()
 	n := newNode(1)
 	var got region.Channel
-	med.OnAirDone = func(tx *medium.Transmission) { got = tx.Channel }
+	med.AirDone.Subscribe(func(tx *medium.Transmission) { got = tx.Channel })
 	target := region.AS923.Channel(5)
 	med.Sim().At(0, func() {
 		if _, err := n.SendOn(med, target); err != nil {

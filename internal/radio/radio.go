@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/events"
 	"github.com/alphawan/alphawan/internal/lora"
 	"github.com/alphawan/alphawan/internal/region"
 )
@@ -202,9 +203,11 @@ type Radio struct {
 	busy        int // decoders in use
 	busyForeign int // decoders held by foreign-network packets
 
-	// OnResult receives the fate of every packet that reached the
-	// dispatcher (delivered or dropped, including foreign packets).
-	OnResult func(Result)
+	// Results publishes the fate of every packet that reached the
+	// dispatcher (delivered or dropped, including foreign packets). The
+	// medium's port router subscribes first (WirePort), then any number
+	// of additional observers.
+	Results events.Topic[Result]
 
 	stats Stats
 }
@@ -312,11 +315,7 @@ func (r *Radio) LockOn(m Meta, judge Judge) {
 	})
 }
 
-func (r *Radio) emit(res Result) {
-	if r.OnResult != nil {
-		r.OnResult(res)
-	}
-}
+func (r *Radio) emit(res Result) { r.Results.Publish(res) }
 
 // DetectOverlapThreshold is the minimum spectral overlap between a packet
 // and an Rx chain's channel for the packet detector to lock on at all.

@@ -35,14 +35,14 @@ func TestDecoderPoolLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	var delivered, dropped []int64
-	r.OnResult = func(res Result) {
+	r.Results.Subscribe(func(res Result) {
 		switch res.Reason {
 		case DropNone:
 			delivered = append(delivered, res.Meta.ID)
 		case DropNoDecoder:
 			dropped = append(dropped, res.Meta.ID)
 		}
-	}
+	})
 	for i := 0; i < 20; i++ {
 		m := meta(int64(i), des.Time(1000+i), des.Time(100_000))
 		sim.At(m.LockOn, func() { r.LockOn(m, okJudge) })
@@ -67,7 +67,7 @@ func TestDecoderReleaseAllowsLaterPackets(t *testing.T) {
 	sim := des.New(1)
 	r, _ := New(sim, SX1308, testConfig(8)) // 8 decoders
 	got := map[int64]DropReason{}
-	r.OnResult = func(res Result) { got[res.Meta.ID] = res.Reason }
+	r.Results.Subscribe(func(res Result) { got[res.Meta.ID] = res.Reason })
 	// 8 packets occupy all decoders until t=50ms.
 	for i := 0; i < 8; i++ {
 		m := meta(int64(i), 1000, 50_000)
@@ -96,11 +96,11 @@ func TestFCFSIgnoresSNR(t *testing.T) {
 	sim := des.New(1)
 	r, _ := New(sim, SX1302, testConfig(8))
 	var dropped []int64
-	r.OnResult = func(res Result) {
+	r.Results.Subscribe(func(res Result) {
 		if res.Reason == DropNoDecoder {
 			dropped = append(dropped, res.Meta.ID)
 		}
-	}
+	})
 	for i := 0; i < 20; i++ {
 		m := meta(int64(i), des.Time(1000+i), des.Time(100_000))
 		if i >= 16 {
@@ -128,7 +128,7 @@ func TestForeignPacketsConsumeDecoders(t *testing.T) {
 	sim := des.New(1)
 	r, _ := New(sim, SX1302, testConfig(8))
 	var ownDelivered, ownDropped, foreign int
-	r.OnResult = func(res Result) {
+	r.Results.Subscribe(func(res Result) {
 		switch res.Reason {
 		case DropNone:
 			ownDelivered++
@@ -139,7 +139,7 @@ func TestForeignPacketsConsumeDecoders(t *testing.T) {
 		case DropForeignNetwork:
 			foreign++
 		}
-	}
+	})
 	// 10 foreign packets lock on first, then 10 own packets.
 	for i := 0; i < 20; i++ {
 		m := meta(int64(i), des.Time(1000+i), des.Time(100_000))
@@ -162,7 +162,7 @@ func TestJudgeVerdictsMapToReasons(t *testing.T) {
 	sim := des.New(1)
 	r, _ := New(sim, SX1302, testConfig(8))
 	got := map[int64]DropReason{}
-	r.OnResult = func(res Result) { got[res.Meta.ID] = res.Reason }
+	r.Results.Subscribe(func(res Result) { got[res.Meta.ID] = res.Reason })
 	verdicts := map[int64]DecodeVerdict{1: VerdictOK, 2: VerdictChannelCollision, 3: VerdictWeakSignal}
 	for id, v := range verdicts {
 		id, v := id, v

@@ -77,7 +77,7 @@ func (n *Network) AddOperator() *Operator {
 		byAddr: make(map[frame.DevAddr]*node.Node),
 		net:    n,
 	}
-	op.Server.OnCommand = func(c netserver.Command) {
+	op.Server.Commands.Subscribe(func(c netserver.Command) {
 		nd, ok := op.byAddr[c.Dev.Addr]
 		if !ok {
 			return
@@ -90,7 +90,7 @@ func (n *Network) AddOperator() *Operator {
 				nd.HandleNewChannel(*cmd.NewChannel)
 			}
 		}
-	}
+	})
 	n.Operators = append(n.Operators, op)
 	return op
 }
@@ -104,7 +104,7 @@ func (op *Operator) AddGateway(model radio.GatewayModel, pos phy.Point, cfg radi
 		return nil, err
 	}
 	op.net.nextGW++
-	gw.OnUplink = func(u gateway.Uplink) {
+	gw.Uplinks.Subscribe(func(u gateway.Uplink) {
 		if u.TX.Raw == nil {
 			return
 		}
@@ -112,7 +112,7 @@ func (op *Operator) AddGateway(model radio.GatewayModel, pos phy.Point, cfg radi
 			Gateway: u.GW.ID, Freq: u.TX.Channel.Center, DR: u.TX.DR,
 			RSSIdBm: u.Meta.RSSIdBm, SNRdB: u.Meta.SNRdB, At: u.At,
 		})
-	}
+	})
 	op.Gateways = append(op.Gateways, gw)
 	return gw, nil
 }

@@ -32,7 +32,7 @@ func mkNodes(n int, dr lora.DR) []*node.Node {
 func TestBurstAlignEnds(t *testing.T) {
 	med := newMedium(1)
 	var ends []des.Time
-	med.OnAirDone = func(tx *medium.Transmission) { ends = append(ends, tx.End) }
+	med.AirDone.Subscribe(func(tx *medium.Transmission) { ends = append(ends, tx.End) })
 	nodes := mkNodes(6, lora.DR0)
 	// Mix data rates so airtimes differ.
 	for i, n := range nodes {
@@ -54,7 +54,7 @@ func TestBurstAlignEnds(t *testing.T) {
 func TestBurstAlignStarts(t *testing.T) {
 	med := newMedium(1)
 	var starts []des.Time
-	med.OnAirDone = func(tx *medium.Transmission) { starts = append(starts, tx.Start) }
+	med.AirDone.Subscribe(func(tx *medium.Transmission) { starts = append(starts, tx.Start) })
 	nodes := mkNodes(4, lora.DR5)
 	ScheduleBurst(med, nodes, des.Second, AlignStarts, 0)
 	med.Sim().Run()
@@ -70,7 +70,7 @@ func TestBurstAlignLockOnsWithSlots(t *testing.T) {
 	// one per micro slot.
 	med := newMedium(1)
 	lockons := map[medium.NodeID]des.Time{}
-	med.OnAirDone = func(tx *medium.Transmission) { lockons[tx.Node] = tx.LockOn }
+	med.AirDone.Subscribe(func(tx *medium.Transmission) { lockons[tx.Node] = tx.LockOn })
 	nodes := mkNodes(5, lora.DR5)
 	for i, n := range nodes {
 		n.DR = lora.DR(i % 6) // heterogeneous preamble lengths
@@ -102,7 +102,7 @@ func TestPoissonUserRate(t *testing.T) {
 	n := mkNodes(1, lora.DR5)[0]
 	n.DutyCycle = 0 // let the Poisson clock set the rate
 	var count int
-	med.OnAirDone = func(*medium.Transmission) { count++ }
+	med.AirDone.Subscribe(func(*medium.Transmission) { count++ })
 	mean := des.Time(10 * des.Second)
 	horizon := des.Time(1000 * des.Second)
 	StartPoisson(med, n, 0, horizon, mean)
@@ -117,7 +117,7 @@ func TestPoissonUserStops(t *testing.T) {
 	med := newMedium(3)
 	n := mkNodes(1, lora.DR5)[0]
 	var count int
-	med.OnAirDone = func(*medium.Transmission) { count++ }
+	med.AirDone.Subscribe(func(*medium.Transmission) { count++ })
 	StartPoisson(med, n, 0, 10*des.Second, des.Second)
 	med.Sim().RunUntil(100 * des.Second)
 	after := count
@@ -136,7 +136,7 @@ func TestPoissonRespectsdutyCycle(t *testing.T) {
 	med := newMedium(4)
 	n := mkNodes(1, lora.DR0)[0] // DR0: ~1.4 s airtime, 1% duty → ~140 s gap
 	var count int
-	med.OnAirDone = func(*medium.Transmission) { count++ }
+	med.AirDone.Subscribe(func(*medium.Transmission) { count++ })
 	StartPoisson(med, n, 0, 1000*des.Second, des.Second)
 	med.Sim().RunUntil(1100 * des.Second)
 	if count > 10 {
@@ -148,7 +148,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	run := func() int {
 		med := newMedium(7)
 		var count int
-		med.OnAirDone = func(*medium.Transmission) { count++ }
+		med.AirDone.Subscribe(func(*medium.Transmission) { count++ })
 		for _, n := range mkNodes(10, lora.DR5) {
 			n.DutyCycle = 0
 			StartPoisson(med, n, 0, 100*des.Second, 5*des.Second)
