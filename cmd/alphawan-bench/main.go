@@ -1,12 +1,13 @@
 // Command alphawan-bench times every registered experiment and writes a
-// machine-readable BENCH_<n>.json (ns/op per experiment id) next to the
-// working directory, picking the first unused n. Successive runs — e.g.
-// before and after a change, or serial vs -parallel — therefore leave a
-// comparable series of snapshots.
+// machine-readable BENCH_<n>.json (ns/op, allocs/op, bytes/op per
+// experiment id) next to the working directory, picking the first unused
+// n. Successive runs — e.g. before and after a change, or serial vs
+// -parallel — therefore leave a comparable series of snapshots.
 //
 // Usage:
 //
 //	alphawan-bench [-seed 1] [-runs 1] [-parallel 8] [-only fig13,fig21] [-dir .]
+//	alphawan-bench -only fig13 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -24,11 +26,17 @@ import (
 	"github.com/alphawan/alphawan/internal/runner"
 )
 
-// benchResult is one experiment's timing.
+// benchResult is one experiment's cost: wall-clock and heap churn, both
+// averaged over the timed runs.
 type benchResult struct {
 	ID      string `json:"id"`
 	Runs    int    `json:"runs"`
 	NsPerOp int64  `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp count heap allocations (mallocs) and
+	// allocated bytes per run, measured from runtime.MemStats deltas —
+	// the same quantities `go test -benchmem` reports.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
 }
 
 // benchFile is the BENCH_<n>.json schema.
@@ -42,13 +50,39 @@ type benchFile struct {
 	Results    []benchResult `json:"results"`
 }
 
+// selectExperiments filters all down to the requested comma-separated ids
+// (empty selects everything), preserving registration order. Ids not
+// matching any experiment come back in unknown, sorted.
+func selectExperiments(all []experiments.Experiment, only string) (todo []experiments.Experiment, unknown []string) {
+	sel := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			sel[id] = true
+		}
+	}
+	pick := len(sel) == 0
+	for _, e := range all {
+		if pick || sel[e.ID] {
+			todo = append(todo, e)
+			delete(sel, e.ID)
+		}
+	}
+	for id := range sel {
+		unknown = append(unknown, id)
+	}
+	sort.Strings(unknown)
+	return todo, unknown
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	runs := flag.Int("runs", 1, "timed runs per experiment (ns/op averages over them)")
+	runs := flag.Int("runs", 1, "timed runs per experiment (per-op columns average over them)")
 	parallel := flag.Int("parallel", 0,
 		"worker cap for experiment cells: 0 = GOMAXPROCS (default), 1 = serial")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	dir := flag.String("dir", ".", "directory to write BENCH_<n>.json into")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the timed runs to this file")
 	flag.Parse()
 
 	if *runs < 1 {
@@ -58,28 +92,25 @@ func main() {
 		runner.SetMaxWorkers(*parallel)
 	}
 
-	sel := map[string]bool{}
-	for _, id := range strings.Split(*only, ",") {
-		if id = strings.TrimSpace(id); id != "" {
-			sel[id] = true
-		}
-	}
-	var todo []experiments.Experiment
-	for _, e := range experiments.All() {
-		if len(sel) == 0 || sel[e.ID] {
-			todo = append(todo, e)
-			delete(sel, e.ID)
-		}
-	}
-	if len(sel) > 0 {
-		ids := make([]string, 0, len(sel))
-		for id := range sel {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
+	todo, unknown := selectExperiments(experiments.All(), *only)
+	if len(unknown) > 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment ids: %s; try alphawan-sim -list\n",
-			strings.Join(ids, ", "))
+			strings.Join(unknown, ", "))
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
 	}
 
 	out := benchFile{
@@ -90,16 +121,41 @@ func main() {
 		Workers:    *parallel,
 		Seed:       *seed,
 	}
+	var ms0, ms1 runtime.MemStats
 	for _, e := range todo {
 		var total time.Duration
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
 		for r := 0; r < *runs; r++ {
-			t0 := time.Now()
 			e.Run(*seed)
-			total += time.Since(t0)
 		}
-		ns := total.Nanoseconds() / int64(*runs)
-		out.Results = append(out.Results, benchResult{ID: e.ID, Runs: *runs, NsPerOp: ns})
-		fmt.Printf("%-14s %12d ns/op  (%s)\n", e.ID, ns, time.Duration(ns).Round(time.Millisecond))
+		total = time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		n := int64(*runs)
+		res := benchResult{
+			ID: e.ID, Runs: *runs,
+			NsPerOp:     total.Nanoseconds() / n,
+			AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / n,
+			BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / n,
+		}
+		out.Results = append(out.Results, res)
+		fmt.Printf("%-14s %12d ns/op %14d B/op %12d allocs/op  (%s)\n",
+			res.ID, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp,
+			time.Duration(res.NsPerOp).Round(time.Millisecond))
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	path, err := nextBenchPath(*dir)

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/experiments"
+)
+
+func ids(es []experiments.Experiment) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.ID
+	}
+	return out
+}
+
+func TestSelectExperiments(t *testing.T) {
+	all := []experiments.Experiment{{ID: "fig02a"}, {ID: "fig13"}, {ID: "fig21"}}
+
+	todo, unknown := selectExperiments(all, "")
+	if len(unknown) != 0 || !reflect.DeepEqual(ids(todo), []string{"fig02a", "fig13", "fig21"}) {
+		t.Fatalf("empty -only must select all in order: %v / %v", ids(todo), unknown)
+	}
+
+	todo, unknown = selectExperiments(all, " fig21 ,fig02a")
+	if len(unknown) != 0 || !reflect.DeepEqual(ids(todo), []string{"fig02a", "fig21"}) {
+		t.Fatalf("selection must trim spaces and keep registration order: %v / %v", ids(todo), unknown)
+	}
+
+	_, unknown = selectExperiments(all, "fig13,figZZ,figAA")
+	if !reflect.DeepEqual(unknown, []string{"figAA", "figZZ"}) {
+		t.Fatalf("typo ids must be reported sorted (so the run exits non-zero): %v", unknown)
+	}
+}
+
+// TestAllRegisteredIDsSelectable guards the bench CLI against drift from
+// the experiment registry: every registered id must round-trip through
+// -only with nothing reported unknown.
+func TestAllRegisteredIDsSelectable(t *testing.T) {
+	all := experiments.All()
+	for _, e := range all {
+		if _, unknown := selectExperiments(all, e.ID); len(unknown) != 0 {
+			t.Errorf("id %q reported unknown: %v", e.ID, unknown)
+		}
+	}
+}

@@ -149,6 +149,14 @@ func (c Cost) Total() float64 {
 func (c Cost) Feasible() bool { return c.Unconnected == 0 && c.SpanViolations == 0 }
 
 // Evaluate computes the cost of an assignment.
+//
+// It sits on the GA's innermost loop (one call per candidate per
+// generation, across the parallel fitness workers), so it makes exactly
+// two short-lived allocations and no map operations: the float scratch —
+// gateway loads, gateway risks, and the dense (channel, DR) traffic
+// grid — comes from a single make, sized by the ≤64-channel bound the
+// bitmask representation already imposes. It remains safe to call
+// concurrently on one Problem.
 func (p *Problem) Evaluate(a *Assignment) Cost {
 	var cost Cost
 	nGW := len(p.Gateways)
@@ -159,6 +167,8 @@ func (p *Problem) Evaluate(a *Assignment) Cost {
 	if len(p.Channels) > 64 {
 		panic("cp: more than 64 channels not supported")
 	}
+	nPair := len(p.Channels) * lora.NumDRs
+	scratch := make([]float64, 2*nGW+nPair)
 	for j, chs := range p.Gateways {
 		set := a.GWChannels[j]
 		if len(set) == 0 || len(set) > chs.MaxChannels ||
@@ -188,7 +198,7 @@ func (p *Problem) Evaluate(a *Assignment) Cost {
 	}
 
 	// Gateway loads k_j.
-	loads := make([]float64, nGW)
+	loads := scratch[:nGW]
 	for i := range p.Nodes {
 		n := &p.Nodes[i]
 		ch, ring := a.NodeChannel[i], a.NodeRing[i]
@@ -200,7 +210,7 @@ func (p *Problem) Evaluate(a *Assignment) Cost {
 	}
 
 	// Risks φ_j and node risks Φ_i.
-	risks := make([]float64, nGW)
+	risks := scratch[nGW : 2*nGW]
 	for j, k := range loads {
 		if over := k - float64(p.Gateways[j].Decoders); over > 0 {
 			risks[j] = over
@@ -223,13 +233,28 @@ func (p *Problem) Evaluate(a *Assignment) Cost {
 	}
 
 	// Channel contention: traffic beyond one concurrent packet per
-	// (channel, DR) pair.
-	pair := make(map[int]float64)
+	// (channel, DR) pair, accumulated on the dense grid. Assignments with
+	// settings outside the grid (un-repaired mutants) spill to a lazily
+	// allocated map so their overload still counts.
+	pair := scratch[2*nGW:]
+	var spill map[int]float64
 	for i := range p.Nodes {
 		key := a.NodeChannel[i]*lora.NumDRs + a.NodeRing[i]
-		pair[key] += p.Nodes[i].Traffic
+		if uint(key) < uint(len(pair)) {
+			pair[key] += p.Nodes[i].Traffic
+		} else {
+			if spill == nil {
+				spill = make(map[int]float64)
+			}
+			spill[key] += p.Nodes[i].Traffic
+		}
 	}
 	for _, m := range pair {
+		if m > 1 {
+			cost.ChannelOverload += m - 1
+		}
+	}
+	for _, m := range spill {
 		if m > 1 {
 			cost.ChannelOverload += m - 1
 		}

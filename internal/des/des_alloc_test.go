@@ -1,0 +1,45 @@
+package des
+
+import "testing"
+
+// TestQueueSteadyStateZeroAllocs is the allocation-regression guard for
+// the scheduler: once the slot arena has warmed up to the event
+// population, schedule/fire churn must not allocate at all. Every
+// simulation's inner loop sits on this path, so even one alloc per event
+// shows up as GC pressure in the city-scale figures (CI runs this).
+func TestQueueSteadyStateZeroAllocs(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	// Warm the arena past the working-set size.
+	for i := 1; i <= 256; i++ {
+		s.At(Time(i), fn)
+	}
+	for s.Step() {
+	}
+	next := s.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		next++
+		s.At(next, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule+fire allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestCancelSteadyStateZeroAllocs guards the schedule+cancel pattern
+// (timeout guards that almost never fire) the same way.
+func TestCancelSteadyStateZeroAllocs(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	id := s.At(1, fn)
+	s.Cancel(id)
+	next := Time(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		next++
+		s.Cancel(s.At(next, fn))
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule+cancel allocates %.1f/op, want 0", allocs)
+	}
+}

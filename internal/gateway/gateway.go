@@ -83,6 +83,13 @@ func New(sim *des.Sim, med *medium.Medium, id int, model radio.GatewayModel, pos
 	}
 	g.port = med.Attach(r, pos, ant)
 	med.WirePort(g.port)
+	// Every reconfiguration changes which channels the port's radio
+	// monitors, so the medium's interest index must be rebuilt before the
+	// next transmission. Registered at construction so it runs before any
+	// external ConfigEvents subscriber.
+	g.ConfigEvents.Subscribe(func(ConfigEvent) {
+		med.ReindexPort(g.port)
+	})
 	// Subscribed after WirePort, so the medium's delivery/drop topics
 	// (and with them the metrics collector) run before the uplink is
 	// forwarded toward the network server.
@@ -107,7 +114,7 @@ func (g *Gateway) Radio() *radio.Radio { return g.port.Radio }
 func (g *Gateway) Config() radio.Config { return g.port.Radio.Config() }
 
 // Online reports whether the gateway is currently receiving.
-func (g *Gateway) Online() bool { return !g.port.Down }
+func (g *Gateway) Online() bool { return !g.port.Down() }
 
 // Reboots returns how many reconfiguration reboots the gateway performed.
 func (g *Gateway) Reboots() int { return g.reboots }
@@ -121,11 +128,11 @@ func (g *Gateway) ApplyConfig(cfg radio.Config) (upAt des.Time, err error) {
 		return 0, fmt.Errorf("gateway %d: %w", g.ID, err)
 	}
 	g.reboots++
-	g.port.Down = true
+	g.port.SetDown(true)
 	upAt = g.sim.Now() + g.RebootTime
 	g.ConfigEvents.Publish(ConfigEvent{GW: g, Config: cfg, At: g.sim.Now(), UpAt: upAt})
 	g.sim.At(upAt, func() {
-		g.port.Down = false
+		g.port.SetDown(false)
 		g.ConfigEvents.Publish(ConfigEvent{GW: g, Config: cfg, At: upAt, UpAt: upAt, Online: true})
 	})
 	return upAt, nil

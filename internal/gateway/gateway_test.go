@@ -95,6 +95,42 @@ func TestApplyConfigReboot(t *testing.T) {
 	}
 }
 
+// TestReplanToDisjointChannelsUpdatesMediumIndex verifies the
+// ConfigEvents → Medium.ReindexPort wiring: a mid-run replan onto
+// spectrum no port monitored at setup must make the gateway reachable
+// there (the medium's interest index is rebuilt from the gateway's own
+// config event), and the abandoned channels must go silent.
+func TestReplanToDisjointChannelsUpdatesMediumIndex(t *testing.T) {
+	sim := des.New(1)
+	med := medium.New(sim, env())
+	gw, _ := New(sim, med, 1, model(), phy.Pt(0, 0), phy.Antenna{}, cfg(8))
+	var ups []Uplink
+	gw.Uplinks.Subscribe(func(u Uplink) { ups = append(ups, u) })
+	moved := region.Channel{Center: region.MHz(925.0), Bandwidth: lora.BW125}
+
+	sim.At(des.Second, func() {
+		cfg := radio.Config{Channels: []region.Channel{moved}, Sync: lora.SyncPublic}
+		if _, err := gw.ApplyConfig(cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	// After the reboot: a packet on the moved channel must be received —
+	// possible only if the interest index picked up the new plan.
+	sim.At(8*des.Second, func() {
+		med.Transmit(medium.Transmission{
+			Node: 2, Network: 1, Sync: lora.SyncPublic,
+			Channel: moved, DR: lora.DR5,
+			PayloadLen: 13, PowerDBm: 14, Pos: phy.Pt(100, 0),
+		})
+	})
+	// The abandoned CH0 must go silent.
+	sim.At(9*des.Second, func() { send(med, 0) })
+	sim.Run()
+	if len(ups) != 1 || ups[0].TX.Node != 2 {
+		t.Fatalf("uplinks = %+v, want exactly the moved-channel packet from node 2", ups)
+	}
+}
+
 func TestApplyConfigValidates(t *testing.T) {
 	sim := des.New(1)
 	med := medium.New(sim, env())

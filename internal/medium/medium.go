@@ -60,6 +60,12 @@ type Transmission struct {
 	Start  des.Time
 	LockOn des.Time // preamble end: dispatcher entry time
 	End    des.Time // payload end: decoder release time
+
+	// posSlot is the interned index of Pos in the medium's position table
+	// (1-based; 0 means "not interned": rxSNR falls back to the keyed gain
+	// map). Transmit assigns it, so every on-air packet hits the dense
+	// per-port gain cache.
+	posSlot int32
 }
 
 // Params returns the LoRa parameter set of the transmission.
@@ -70,10 +76,40 @@ type Port struct {
 	Radio   *radio.Radio
 	Pos     phy.Point
 	Antenna phy.Antenna
-	// Down is set while the gateway reboots; a down port hears nothing.
-	Down bool
+
+	// down is set while the gateway reboots; a down port hears nothing.
+	down bool
 	// id is the port's registration index.
-	id int
+	id  int
+	med *Medium
+
+	// gains/gainOK are the dense link-budget cache for interned
+	// transmitter positions: gains[slot-1] holds the static dB budget of
+	// the (position, this port) link once gainOK[slot-1] is set. Indexed
+	// by Transmission.posSlot, so the judgement loops never hash a
+	// position key.
+	gains  []linkGain
+	gainOK []bool
+}
+
+// Down reports whether the port is currently offline (gateway rebooting).
+func (p *Port) Down() bool { return p.down }
+
+// SetDown marks the port offline or back online. While down, the port
+// hears nothing; every transmission is reported as a DropGatewayDown at
+// this port (the gateway-reboot loss of Figure 17's downtime term).
+func (p *Port) SetDown(down bool) {
+	if p.down == down {
+		return
+	}
+	p.down = down
+	if p.med != nil {
+		if down {
+			p.med.downPorts++
+		} else {
+			p.med.downPorts--
+		}
+	}
 }
 
 // Delivery reports a successful own-network packet reception at a port,
@@ -122,18 +158,57 @@ type Medium struct {
 	byID   map[int64]*Transmission
 	byBin  map[int64][]*Transmission
 
+	// portsByBin is the interest index: frequency bin → the ports whose
+	// radios monitor a channel near that bin, in port-id order. Transmit
+	// fans out only to the ports listed under the packet's bin instead of
+	// asking every radio whether it detects the channel; Radio.Detects
+	// remains the authority on the candidates, so the index only needs to
+	// never miss a detecting port (see rebuildIndex). It is rebuilt
+	// lazily whenever a port is attached or reindexed — gateways publish
+	// ConfigEvents on every replan, and the gateway layer routes those to
+	// ReindexPort.
+	portsByBin map[int64][]*Port
+	indexDirty bool
+	// downPorts counts ports currently offline, so Transmit only walks
+	// the port list for reboot drops when a reboot is actually in
+	// progress.
+	downPorts int
+
 	// collisionIntf remembers, per (transmission, port), whether the
 	// interferer that killed a decode belonged to another network; read
 	// back when the radio reports the drop.
 	collisionIntf map[judgeKey]bool
 
-	// gains caches the static dB link budget per (transmitter position,
-	// port): path loss with frozen shadowing plus the port antenna's gain
-	// toward the transmitter. Node and gateway positions never move during
-	// a run, so the cache is write-once per link; it stores gains rather
-	// than RSSIs so TPC power changes remain a constant offset and need no
-	// invalidation. See InvalidateGains for the one rule that does.
+	// maxAir is the longest airtime of any transmission so far — the
+	// bound neighbors uses to skip provably-ended history in its
+	// start-sorted bin lists.
+	maxAir des.Time
+	// lastPrune is when the last full prune pass ran (see pruneInterval).
+	lastPrune des.Time
+
+	// posSlots interns transmitter positions: every distinct position is
+	// assigned a dense 1-based slot carried on *Transmission, indexing
+	// the per-port gains slices. Node positions never move during a run,
+	// so the table only grows.
+	posSlots map[phy.Point]int32
+
+	// gains is the fallback link-budget cache for rxSNR calls on
+	// transmissions that never went through Transmit (no interned slot):
+	// path loss with frozen shadowing plus the port antenna's gain toward
+	// the transmitter. It stores gains rather than RSSIs so TPC power
+	// changes remain a constant offset and need no invalidation. See
+	// InvalidateGains for the one rule that does.
 	gains map[gainKey]linkGain
+
+	// taskFree is the freelist of pooled lock-on tasks (see lockOnTask):
+	// steady-state Transmit fan-out allocates neither closures nor Meta
+	// copies per detecting port.
+	taskFree *lockOnTask
+
+	// judgeScratch is the reusable per-judgement neighbor buffer of the
+	// CIC path, so the collider census and the interference evaluation
+	// share one neighbor scan.
+	judgeScratch []neighborRef
 
 	// The packet-lifecycle topics. Dispatch is synchronous and in
 	// registration order (see internal/events), so any number of
@@ -181,13 +256,22 @@ type gainKey struct {
 // phy.Environment.RXPowerDBm evaluates.
 type linkGain struct{ pl, ant float64 }
 
+// neighborRef is one time-overlapping interferer with its precomputed
+// spectral overlap.
+type neighborRef struct {
+	u  *Transmission
+	ov float64
+}
+
 // New creates a medium over an environment.
 func New(sim *des.Sim, env phy.Environment) *Medium {
 	return &Medium{
 		sim: sim, env: env,
 		byID:          make(map[int64]*Transmission),
 		byBin:         make(map[int64][]*Transmission),
+		portsByBin:    make(map[int64][]*Port),
 		collisionIntf: make(map[judgeKey]bool),
+		posSlots:      make(map[phy.Point]int32),
 		gains:         make(map[gainKey]linkGain),
 	}
 }
@@ -199,11 +283,29 @@ const binWidth = 200_000
 func bin(f region.Hz) int64 { return int64(f) / binWidth }
 
 // neighbors calls fn for every active transmission whose channel could
-// spectrally overlap ch (same or adjacent frequency bin).
-func (m *Medium) neighbors(ch region.Channel, fn func(*Transmission)) {
+// spectrally overlap ch (same or adjacent frequency bin) and whose
+// airtime could overlap a window starting at winStart. Each bin list is
+// sorted by Start (Transmit appends in simulation order), so entries old
+// enough that even the longest frame seen so far (maxAir) would have
+// ended before winStart are skipped with a binary search instead of a
+// scan — under retention-length history and short frames that is most of
+// the list. Callers still apply their exact time-overlap predicate; the
+// skip only removes transmissions that provably fail it.
+func (m *Medium) neighbors(ch region.Channel, winStart des.Time, fn func(*Transmission)) {
+	cutoff := winStart - m.maxAir
 	b := bin(ch.Center)
 	for d := int64(-1); d <= 1; d++ {
-		for _, u := range m.byBin[b+d] {
+		list := m.byBin[b+d]
+		lo, hi := 0, len(list)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if list[mid].Start < cutoff {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		for _, u := range list[lo:] {
 			fn(u)
 		}
 	}
@@ -217,8 +319,9 @@ func (m *Medium) Environment() phy.Environment { return m.env }
 
 // Attach registers a gateway radio at a position and returns its port.
 func (m *Medium) Attach(r *radio.Radio, pos phy.Point, ant phy.Antenna) *Port {
-	p := &Port{Radio: r, Pos: pos, Antenna: ant, id: len(m.ports)}
+	p := &Port{Radio: r, Pos: pos, Antenna: ant, id: len(m.ports), med: m}
 	m.ports = append(m.ports, p)
+	m.indexDirty = true
 	return p
 }
 
@@ -230,22 +333,105 @@ func (m *Medium) Ports() []*Port { return m.ports }
 // composed through the sim package it equals the gateway ID.
 func (p *Port) Index() int { return p.id }
 
+// ReindexPort tells the medium that the port's radio was reconfigured
+// (its monitored channels changed), scheduling an interest-index rebuild
+// before the next transmission. Gateways call this automatically on every
+// ConfigEvent (S1/S2/S8 replans reconfigure radios mid-run); call it
+// yourself after mutating a port's radio configuration directly with
+// Radio.Reconfigure.
+func (m *Medium) ReindexPort(*Port) { m.indexDirty = true }
+
+// rebuildIndex recomputes portsByBin from every port's current radio
+// configuration. Each configured channel registers its port under the
+// bins spanning the channel plus two guard bins per side: a transmission
+// can only be detected (overlap ≥ radio.DetectOverlapThreshold > 0) if
+// its center lies within half its own bandwidth of the channel's edges,
+// and half a bandwidth is at most 250 kHz (BW500) < 2·binWidth. Extra
+// bins only cost false candidates, which Detects filters; a detecting
+// port can never be missing from its packet's bin.
+func (m *Medium) rebuildIndex() {
+	m.indexDirty = false
+	for b := range m.portsByBin {
+		delete(m.portsByBin, b)
+	}
+	for _, p := range m.ports {
+		for _, c := range p.Radio.Config().Channels {
+			lo, hi := bin(c.Low())-2, bin(c.High())+2
+			for b := lo; b <= hi; b++ {
+				s := m.portsByBin[b]
+				// The outer loop runs in port-id order, so each bin's
+				// list stays id-sorted and duplicates from a port's own
+				// adjacent channels are always at the tail.
+				if n := len(s); n > 0 && s[n-1] == p {
+					continue
+				}
+				m.portsByBin[b] = append(s, p)
+			}
+		}
+	}
+}
+
+// interested returns the ports whose radios could detect a packet on ch,
+// in port-id order (the lock-on scheduling order determinism relies on).
+func (m *Medium) interested(ch region.Channel) []*Port {
+	if m.indexDirty {
+		m.rebuildIndex()
+	}
+	return m.portsByBin[bin(ch.Center)]
+}
+
 // rxSNR computes the received power and SNR of a transmission at a port.
 // The log10/pow-heavy path-loss and antenna terms are memoized per
-// (transmitter position, port); only the transmit-power offset varies
-// between calls, so TPC never invalidates an entry.
+// (transmitter position, port) — dense per-port slices indexed by the
+// transmission's interned position slot, with a keyed map fallback for
+// ad-hoc transmissions that never entered the air. Only the
+// transmit-power offset varies between calls, so TPC never invalidates
+// an entry.
 func (m *Medium) rxSNR(tx *Transmission, p *Port) (rssi, snr float64) {
-	k := gainKey{x: tx.Pos.X, y: tx.Pos.Y, port: int32(p.id)}
-	g, ok := m.gains[k]
-	if !ok {
-		g = linkGain{
-			pl:  m.env.PathLoss(tx.Pos, p.Pos),
-			ant: p.Antenna.Gain(p.Pos.Bearing(tx.Pos)),
+	var g linkGain
+	if s := tx.posSlot; s > 0 {
+		i := int(s) - 1
+		if i < len(p.gainOK) && p.gainOK[i] {
+			g = p.gains[i]
+		} else {
+			g = m.computeGain(tx.Pos, p)
+			for len(p.gains) <= i {
+				p.gains = append(p.gains, linkGain{})
+				p.gainOK = append(p.gainOK, false)
+			}
+			p.gains[i], p.gainOK[i] = g, true
 		}
-		m.gains[k] = g
+	} else {
+		k := gainKey{x: tx.Pos.X, y: tx.Pos.Y, port: int32(p.id)}
+		var ok bool
+		if g, ok = m.gains[k]; !ok {
+			g = m.computeGain(tx.Pos, p)
+			m.gains[k] = g
+		}
 	}
 	rssi = tx.PowerDBm - g.pl + g.ant
 	return rssi, rssi - noiseFloor125
+}
+
+// computeGain evaluates the static dB budget of one (position, port)
+// link — the expensive pure-physics terms both caches memoize.
+func (m *Medium) computeGain(pos phy.Point, p *Port) linkGain {
+	return linkGain{
+		pl:  m.env.PathLoss(pos, p.Pos),
+		ant: p.Antenna.Gain(p.Pos.Bearing(pos)),
+	}
+}
+
+// internPos returns the dense slot of a transmitter position, assigning
+// the next one on first sight. Duplicate positions share a slot, exactly
+// as they shared a key in the map cache.
+func (m *Medium) internPos(pos phy.Point) int32 {
+	if s, ok := m.posSlots[pos]; ok {
+		return s
+	}
+	s := int32(len(m.posSlots) + 1)
+	m.posSlots[pos] = s
+	return s
 }
 
 // noiseFloor125 hoists the per-reception noise-floor computation (a log10
@@ -253,12 +439,16 @@ func (m *Medium) rxSNR(tx *Transmission, p *Port) (rssi, snr float64) {
 // workloads is 125 kHz.
 var noiseFloor125 = lora.NoiseFloorDBm(lora.BW125)
 
-// InvalidateGains drops the cached link budgets involving port p. The
-// cache assumes a port's position and antenna are fixed after Attach —
-// true for every current caller, including gateway reconfiguration, which
-// only touches the radio's channels; call this if a port is ever moved or
-// re-antennaed in place.
+// InvalidateGains drops the cached link budgets involving port p — the
+// dense per-slot slices and any keyed fallback entries. The cache assumes
+// a port's position and antenna are fixed after Attach — true for every
+// current caller, including gateway reconfiguration, which only touches
+// the radio's channels; call this if a port is ever moved or re-antennaed
+// in place.
 func (m *Medium) InvalidateGains(p *Port) {
+	for i := range p.gainOK {
+		p.gainOK[i] = false
+	}
 	for k := range m.gains {
 		if k.port == int32(p.id) {
 			delete(m.gains, k)
@@ -266,9 +456,88 @@ func (m *Medium) InvalidateGains(p *Port) {
 	}
 }
 
+// lockOnTask carries one (transmission, port) reception attempt from
+// Transmit to the dispatcher entry at preamble end, and on into the
+// decode judgement. Tasks are pooled on the medium's freelist: the run
+// and judge closures are created once per task and survive recycling
+// (they capture only the task pointer), so the steady-state lock-on path
+// performs no per-packet-per-port heap allocation — previously two
+// closures plus a Meta escape per detecting port.
+type lockOnTask struct {
+	m    *Medium
+	p    *Port
+	t    *Transmission
+	meta radio.Meta
+	rssi float64
+
+	next    *lockOnTask
+	runFn   func()
+	judgeFn radio.Judge
+}
+
+func (m *Medium) newTask() *lockOnTask {
+	k := m.taskFree
+	if k == nil {
+		k = &lockOnTask{m: m}
+		k.runFn = k.run
+		k.judgeFn = k.judge
+		return k
+	}
+	m.taskFree = k.next
+	k.next = nil
+	return k
+}
+
+// releaseTask recycles a task once its reception attempt cannot be
+// referenced again: after a pre-dispatch drop, a decoder-exhausted
+// rejection, or the decode judgement (which the radio calls exactly once
+// per accepted lock-on).
+func (m *Medium) releaseTask(k *lockOnTask) {
+	k.p, k.t = nil, nil
+	k.meta = radio.Meta{}
+	k.next = m.taskFree
+	m.taskFree = k
+}
+
+// run is the dispatcher-entry event at t.LockOn.
+func (k *lockOnTask) run() {
+	m, p, t := k.m, k.p, k.t
+	m.LockOns.Publish(LockOnEvent{Port: p, TX: t, Meta: k.meta})
+	// Preamble suppression: a same-settings packet buried under a
+	// ≥6 dB stronger one never yields a separate detection — the
+	// per-channel detector sees a single preamble and locks onto
+	// the dominant packet. Without this, collided losers would
+	// burn decoders that real SX130x detectors never allocate.
+	// An exhausted pool takes precedence: with no decoder to
+	// dispatch, the drop is decoder contention no matter what the
+	// preamble looked like.
+	if p.Radio.FreeDecoders() > 0 {
+		if u := m.buriedBy(t, p, k.rssi); u != nil {
+			m.emitDrop(Drop{
+				Port: p, TX: t, Reason: radio.DropChannelContention,
+				InterNetwork: u.Network != t.Network,
+			})
+			m.releaseTask(k)
+			return
+		}
+	}
+	if !p.Radio.LockOn(k.meta, k.judgeFn) {
+		m.releaseTask(k)
+	}
+}
+
+// judge is the task's decode verdict callback; it recycles the task once
+// the verdict is computed.
+func (k *lockOnTask) judge() radio.DecodeVerdict {
+	v := k.m.judge(k.t, k.p, k.rssi)
+	k.m.releaseTask(k)
+	return v
+}
+
 // Transmit schedules a packet transmission starting now. It computes the
 // airtime, fans lock-on events out to every port whose radio detects the
-// packet, and arranges the decode judgement at packet end.
+// packet (consulting the interest index so only spectrally-nearby ports
+// are asked), and arranges the decode judgement at packet end.
 func (m *Medium) Transmit(tx Transmission) *Transmission {
 	t := &tx
 	t.ID = m.nextID
@@ -277,6 +546,10 @@ func (m *Medium) Transmit(tx Transmission) *Transmission {
 	t.Start = m.sim.Now()
 	t.LockOn = t.Start + des.FromDuration(params.PreambleDuration())
 	t.End = t.Start + des.FromDuration(params.Airtime(t.PayloadLen))
+	t.posSlot = m.internPos(t.Pos)
+	if air := t.End - t.Start; air > m.maxAir {
+		m.maxAir = air
+	}
 
 	m.prune()
 	m.active = append(m.active, t)
@@ -286,10 +559,18 @@ func (m *Medium) Transmit(tx Transmission) *Transmission {
 
 	m.TXStarts.Publish(t)
 
-	for _, p := range m.ports {
-		p := p
-		if p.Down {
-			m.emitDrop(Drop{Port: p, TX: t, Reason: radio.DropWeakSignal})
+	if m.downPorts > 0 {
+		// Rebooting gateways hear nothing, wherever the packet is in the
+		// spectrum; report the loss as gateway downtime at every down
+		// port, as the full port scan used to.
+		for _, p := range m.ports {
+			if p.down {
+				m.emitDrop(Drop{Port: p, TX: t, Reason: radio.DropGatewayDown})
+			}
+		}
+	}
+	for _, p := range m.interested(t.Channel) {
+		if p.down {
 			continue
 		}
 		chain, ok := p.Radio.Detects(t.Channel)
@@ -306,34 +587,14 @@ func (m *Medium) Transmit(tx Transmission) *Transmission {
 			m.emitDrop(Drop{Port: p, TX: t, Reason: radio.DropWeakSignal})
 			continue
 		}
-		meta := radio.Meta{
+		k := m.newTask()
+		k.p, k.t, k.rssi = p, t, rssi
+		k.meta = radio.Meta{
 			ID: t.ID, Network: t.Sync, SF: t.DR.SF(), Channel: t.Channel,
 			Chain: chain, RSSIdBm: rssi, SNRdB: snr,
 			LockOn: t.LockOn, End: t.End,
 		}
-		m.sim.At(t.LockOn, func() {
-			m.LockOns.Publish(LockOnEvent{Port: p, TX: t, Meta: meta})
-			// Preamble suppression: a same-settings packet buried under a
-			// ≥6 dB stronger one never yields a separate detection — the
-			// per-channel detector sees a single preamble and locks onto
-			// the dominant packet. Without this, collided losers would
-			// burn decoders that real SX130x detectors never allocate.
-			// An exhausted pool takes precedence: with no decoder to
-			// dispatch, the drop is decoder contention no matter what the
-			// preamble looked like.
-			if p.Radio.FreeDecoders() > 0 {
-				if u := m.buriedBy(t, p, rssi); u != nil {
-					m.emitDrop(Drop{
-						Port: p, TX: t, Reason: radio.DropChannelContention,
-						InterNetwork: u.Network != t.Network,
-					})
-					return
-				}
-			}
-			p.Radio.LockOn(meta, func() radio.DecodeVerdict {
-				return m.judge(t, p, rssi)
-			})
-		})
+		m.sim.At(t.LockOn, k.runFn)
 	}
 
 	if m.AirDone.Len() > 0 {
@@ -372,7 +633,7 @@ func (m *Medium) buriedBy(t *Transmission, p *Port, rssiV float64) *Transmission
 		return nil
 	}
 	var hit *Transmission
-	m.neighbors(t.Channel, func(u *Transmission) {
+	m.neighbors(t.Channel, t.Start, func(u *Transmission) {
 		if hit != nil || u.ID == t.ID || u.DR.SF() != t.DR.SF() {
 			return
 		}
@@ -390,77 +651,113 @@ func (m *Medium) buriedBy(t *Transmission, p *Port, rssiV float64) *Transmission
 	return hit
 }
 
+// judgement accumulates one packet's interference budget while its
+// time-overlapping neighbors are folded in.
+type judgement struct {
+	t            *Transmission
+	p            *Port
+	rssiV        float64
+	sicColliders int
+	intfLin      float64
+}
+
+// evalInterferer folds one time-overlapping interferer with spectral
+// overlap ov into the judgement. It reports false when the interferer
+// fatally collides the packet (identical settings, capture lost).
+func (m *Medium) evalInterferer(j *judgement, u *Transmission, ov float64) bool {
+	rssiU, _ := m.rxSNR(u, j.p)
+	// Spectral truncation keeps only the overlapping slice of the
+	// interferer's energy (≈ overlap² in power), and the frequency
+	// offset decorrelates the chirps — LoRa's adjacent-channel
+	// rejection grows roughly linearly with misalignment, reaching
+	// tens of dB for mostly-disjoint channels.
+	eff := rssiU + 20*math.Log10(ov) - OffsetRejectionDB*(1-ov)
+
+	if u.DR.SF() == j.t.DR.SF() {
+		if ov >= sameSettingsOverlap {
+			if m.ResolveCollisions && j.sicColliders <= 1 {
+				// CIC cancels a fully-aligned same-SF collider: it
+				// neither kills the packet nor raises the noise
+				// floor.
+				return true
+			}
+			// Identical settings: the capture rule decides.
+			if j.rssiV-eff < CaptureThresholdDB {
+				m.collisionIntf[judgeKey{j.t.ID, j.p.id}] = u.Network != j.t.Network
+				return false
+			}
+		}
+		// A misaligned same-SF interferer cannot steal the
+		// demodulator lock; its truncated, decorrelated residue only
+		// raises the noise floor.
+		j.intfLin += dbmToMw(eff)
+	} else {
+		// Quasi-orthogonal SFs: interferer suppressed by the
+		// rejection isolation before entering the noise budget.
+		rej := lora.CoChannelRejection(j.t.DR.SF(), u.DR.SF()) // negative
+		j.intfLin += dbmToMw(eff + rej)
+	}
+	return true
+}
+
 // judge decides whether a locked-on packet decodes, by examining every
 // transmission that overlapped it in time at this port. It runs at t.End.
 func (m *Medium) judge(t *Transmission, p *Port, rssiV float64) radio.DecodeVerdict {
-	noiseLin := noiseFloorLin125
-	intfLin := 0.0
-	verdict := radio.VerdictOK
+	j := judgement{t: t, p: p, rssiV: rssiV}
+	collided := false
 
-	// CIC's successive interference cancellation recovers a two-packet
-	// collision; pile-ups of three or more same-settings packets exceed
-	// what the COTS-constrained baseline can peel apart (§5.2.1).
-	sicColliders := 0
 	if m.ResolveCollisions {
-		m.neighbors(t.Channel, func(u *Transmission) {
-			if u.ID != t.ID && u.DR.SF() == t.DR.SF() &&
-				u.End > t.Start && u.Start < t.End &&
-				t.Channel.Overlap(u.Channel) >= sameSettingsOverlap {
-				sicColliders++
+		// CIC's successive interference cancellation recovers a two-packet
+		// collision; pile-ups of three or more same-settings packets exceed
+		// what the COTS-constrained baseline can peel apart (§5.2.1). One
+		// neighbor scan both takes the collider census and gathers the
+		// interferers (with their overlaps) for evaluation.
+		nbs := m.judgeScratch[:0]
+		m.neighbors(t.Channel, t.Start, func(u *Transmission) {
+			if u.ID == t.ID || u.End <= t.Start || u.Start >= t.End {
+				return
+			}
+			ov := t.Channel.Overlap(u.Channel)
+			if u.DR.SF() == t.DR.SF() && ov >= sameSettingsOverlap {
+				j.sicColliders++
+			}
+			if ov <= 0 {
+				return
+			}
+			nbs = append(nbs, neighborRef{u: u, ov: ov})
+		})
+		for i := range nbs {
+			if !m.evalInterferer(&j, nbs[i].u, nbs[i].ov) {
+				collided = true
+				break
+			}
+		}
+		for i := range nbs {
+			nbs[i].u = nil
+		}
+		m.judgeScratch = nbs[:0]
+	} else {
+		m.neighbors(t.Channel, t.Start, func(u *Transmission) {
+			if collided || u.ID == t.ID {
+				return
+			}
+			if u.End <= t.Start || u.Start >= t.End {
+				return // no time overlap
+			}
+			ov := t.Channel.Overlap(u.Channel)
+			if ov <= 0 {
+				return // no spectral overlap
+			}
+			if !m.evalInterferer(&j, u, ov) {
+				collided = true
 			}
 		})
 	}
 
-	m.neighbors(t.Channel, func(u *Transmission) {
-		if verdict == radio.VerdictChannelCollision || u.ID == t.ID {
-			return
-		}
-		if u.End <= t.Start || u.Start >= t.End {
-			return // no time overlap
-		}
-		ov := t.Channel.Overlap(u.Channel)
-		if ov <= 0 {
-			return // no spectral overlap
-		}
-		rssiU, _ := m.rxSNR(u, p)
-		// Spectral truncation keeps only the overlapping slice of the
-		// interferer's energy (≈ overlap² in power), and the frequency
-		// offset decorrelates the chirps — LoRa's adjacent-channel
-		// rejection grows roughly linearly with misalignment, reaching
-		// tens of dB for mostly-disjoint channels.
-		eff := rssiU + 20*math.Log10(ov) - OffsetRejectionDB*(1-ov)
-
-		if u.DR.SF() == t.DR.SF() {
-			if ov >= sameSettingsOverlap {
-				if m.ResolveCollisions && sicColliders <= 1 {
-					// CIC cancels a fully-aligned same-SF collider: it
-					// neither kills the packet nor raises the noise
-					// floor.
-					return
-				}
-				// Identical settings: the capture rule decides.
-				if rssiV-eff < CaptureThresholdDB {
-					m.collisionIntf[judgeKey{t.ID, p.id}] = u.Network != t.Network
-					verdict = radio.VerdictChannelCollision
-					return
-				}
-			}
-			// A misaligned same-SF interferer cannot steal the
-			// demodulator lock; its truncated, decorrelated residue only
-			// raises the noise floor.
-			intfLin += dbmToMw(eff)
-		} else {
-			// Quasi-orthogonal SFs: interferer suppressed by the
-			// rejection isolation before entering the noise budget.
-			rej := lora.CoChannelRejection(t.DR.SF(), u.DR.SF()) // negative
-			intfLin += dbmToMw(eff + rej)
-		}
-	})
-
-	if verdict != radio.VerdictOK {
-		return verdict
+	if collided {
+		return radio.VerdictChannelCollision
 	}
-	sinr := rssiV - mwToDBm(noiseLin+intfLin)
+	sinr := rssiV - mwToDBm(noiseFloorLin125+j.intfLin)
 	if sinr < lora.DemodFloorSNR(t.DR.SF()) {
 		return radio.VerdictWeakSignal
 	}
@@ -472,13 +769,27 @@ func (m *Medium) judge(t *Transmission, p *Port, rssiV float64) radio.DecodeVerd
 // longest frame in these workloads is ≈2.3 s (SF12), so 3 s is safe.
 const retention = 3 * des.Second
 
+// pruneInterval throttles full prune passes. Under load, some entry of
+// the active set expires between almost every pair of transmissions, so
+// pruning on every expiry would rebuild the indexes per packet —
+// O(active) each time, the dominant cost of the densest figures. Expired
+// entries that linger until the next pass are invisible to judgement
+// (they fail every time-overlap predicate, and the neighbors binary
+// search skips them wholesale), so the interval only bounds memory, not
+// behavior: the active set holds at most retention+pruneInterval of
+// history.
+const pruneInterval = retention / 4
+
 // prune drops transmissions that can no longer affect any reception and
 // rebuilds the lookup indexes.
 func (m *Medium) prune() {
-	cutoff := m.sim.Now() - retention
-	if cutoff <= 0 || len(m.active) == 0 || m.active[0].End >= cutoff {
+	now := m.sim.Now()
+	cutoff := now - retention
+	if cutoff <= 0 || len(m.active) == 0 || m.active[0].End >= cutoff ||
+		now < m.lastPrune+pruneInterval {
 		return
 	}
+	m.lastPrune = now
 	kept := m.active[:0]
 	for _, t := range m.active {
 		if t.End >= cutoff {

@@ -1,0 +1,55 @@
+package medium
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// TestLockOnPathAllocBudget is the allocation-regression guard for the
+// reception hot path. Once the task pools, gain caches, and index slices
+// have warmed up, one full packet lifecycle — Transmit, dispatcher entry,
+// decode judgement, result routing — must allocate only the *Transmission
+// itself (it outlives Transmit by design: it is the identity every
+// lifecycle event carries). The lock-on fan-out used to add two closures
+// plus a Meta escape per detecting port, and the radio another closure
+// per accepted packet; the pooled tasks hold all of those at zero (CI
+// runs this).
+func TestLockOnPathAllocBudget(t *testing.T) {
+	const budget = 1 // the heap-escaping *Transmission
+
+	sim := des.New(1)
+	med := New(sim, phy.Urban(7))
+	r, err := radio.New(sim, radio.SX1302, radio.Config{
+		Channels: []region.Channel{region.AS923.Channel(0)}, Sync: lora.SyncPublic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := med.Attach(r, phy.Pt(0, 0), phy.Omni(3))
+	med.WirePort(port)
+	med.Deliveries.Subscribe(func(Delivery) {})
+	med.Drops.Subscribe(func(Drop) {})
+
+	tx := Transmission{
+		Node: 1, Network: 1, Sync: lora.SyncPublic,
+		Channel: region.AS923.Channel(0), DR: lora.DR5,
+		PayloadLen: 23, PowerDBm: 14, Pos: phy.Pt(150, 80),
+	}
+	// Warm the pools, caches, and index.
+	for i := 0; i < 32; i++ {
+		med.Transmit(tx)
+		sim.Run()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		med.Transmit(tx)
+		sim.Run()
+	})
+	if allocs > budget {
+		t.Errorf("warm lock-on path allocates %.1f/op, budget %d", allocs, budget)
+	}
+}

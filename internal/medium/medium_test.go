@@ -255,11 +255,14 @@ func TestWeakSignalDropped(t *testing.T) {
 
 func TestDownPortHearsNothing(t *testing.T) {
 	rg := newRig(t, 8)
-	rg.port.Down = true
+	rg.port.SetDown(true)
 	rg.sim.At(0, func() { rg.tx(1, 0, lora.DR5, phy.Pt(100, 0), 14) })
 	rg.sim.Run()
 	if len(rg.deliveries) != 0 {
 		t.Error("a rebooting gateway must not receive")
+	}
+	if len(rg.drops) != 1 || rg.drops[0].Reason != radio.DropGatewayDown {
+		t.Errorf("down-port loss must be DropGatewayDown, got %+v", rg.drops)
 	}
 }
 

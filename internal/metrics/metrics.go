@@ -181,6 +181,11 @@ func causeOf(d medium.Drop) Cause {
 			return ChannelContentionInter
 		}
 		return ChannelContentionIntra
+	case radio.DropGatewayDown:
+		// Reboot downtime is neither contention class; it lands in Others
+		// alongside link-budget losses, matching the paper's loss
+		// taxonomy (Figure 4 groups everything non-contention).
+		return Others
 	default:
 		return Others
 	}

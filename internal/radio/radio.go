@@ -99,6 +99,11 @@ const (
 	// network's sync word; it is discarded after having consumed a
 	// decoder (decode-then-filter).
 	DropForeignNetwork
+	// DropGatewayDown: the receiving gateway was offline (rebooting to
+	// apply a new configuration) for the packet's whole airtime. Kept
+	// distinct from DropWeakSignal so loss-cause breakdowns never conflate
+	// reboot downtime (Figure 17's availability term) with link budget.
+	DropGatewayDown
 )
 
 func (r DropReason) String() string {
@@ -113,6 +118,8 @@ func (r DropReason) String() string {
 		return "weak-signal"
 	case DropForeignNetwork:
 		return "foreign-network"
+	case DropGatewayDown:
+		return "gateway-down"
 	}
 	return fmt.Sprintf("DropReason(%d)", int(r))
 }
@@ -209,6 +216,10 @@ type Radio struct {
 	// of additional observers.
 	Results events.Topic[Result]
 
+	// taskFree recycles decode tasks (see decodeTask) so an accepted
+	// lock-on allocates nothing in steady state.
+	taskFree *decodeTask
+
 	stats Stats
 }
 
@@ -267,18 +278,83 @@ func (r *Radio) FreeDecoders() int { return r.chipset.Decoders - r.busy }
 // intra-network causes (Figure 4).
 func (r *Radio) ForeignInUse() int { return r.busyForeign }
 
+// decodeTask is one occupied decoder: the packet's metadata and judge,
+// held from lock-on to the decode-completion event at Meta.End. Tasks are
+// pooled per radio — the completion closure is created once per task and
+// captures only the task pointer, so the dispatcher's accept path stops
+// allocating once the pool has warmed up to the radio's peak occupancy.
+type decodeTask struct {
+	r       *Radio
+	meta    Meta
+	judge   Judge
+	foreign bool
+
+	next *decodeTask
+	fn   func()
+}
+
+func (r *Radio) newTask() *decodeTask {
+	k := r.taskFree
+	if k == nil {
+		k = &decodeTask{r: r}
+		k.fn = k.finish
+		return k
+	}
+	r.taskFree = k.next
+	k.next = nil
+	return k
+}
+
+// finish is the decode-completion event at meta.End: release the decoder,
+// ask the judge for the physical-layer verdict, filter by sync word, and
+// publish the result.
+func (k *decodeTask) finish() {
+	r := k.r
+	r.busy--
+	if k.foreign {
+		r.busyForeign--
+	}
+	res := Result{Meta: k.meta}
+	switch k.judge() {
+	case VerdictChannelCollision:
+		r.stats.Collision++
+		res.Reason = DropChannelContention
+	case VerdictWeakSignal:
+		r.stats.Weak++
+		res.Reason = DropWeakSignal
+	default:
+		// Decoded successfully — only now can the sync word be read.
+		// Re-read the current config: a reconfiguration while the packet
+		// was decoding changes which sync word the gateway filters on.
+		if k.meta.Network != r.cfg.Sync {
+			r.stats.Foreign++
+			res.Reason = DropForeignNetwork
+		} else {
+			r.stats.Delivered++
+			res.Reason = DropNone
+		}
+	}
+	r.emit(res)
+	k.judge = nil
+	k.meta = Meta{}
+	k.next = r.taskFree
+	r.taskFree = k
+}
+
 // LockOn is called by the medium when a packet's preamble completes on a
 // chain of this radio. It implements the FCFS dispatcher: if a decoder is
 // free it is held until m.End and the judge decides the decode outcome;
 // otherwise the packet is dropped immediately as decoder contention.
+// It reports whether a decoder was allocated — when false, the judge will
+// never be called and the caller may reclaim anything it captured.
 //
 // LockOn must be called at simulation time m.LockOn.
-func (r *Radio) LockOn(m Meta, judge Judge) {
+func (r *Radio) LockOn(m Meta, judge Judge) bool {
 	r.stats.TotalSeen++
 	if r.busy >= r.chipset.Decoders {
 		r.stats.NoDecoder++
 		r.emit(Result{Meta: m, Reason: DropNoDecoder})
-		return
+		return false
 	}
 	r.busy++
 	foreign := m.Network != r.cfg.Sync
@@ -288,31 +364,10 @@ func (r *Radio) LockOn(m Meta, judge Judge) {
 	if r.busy > r.stats.PeakInUse {
 		r.stats.PeakInUse = r.busy
 	}
-	r.sim.At(m.End, func() {
-		r.busy--
-		if foreign {
-			r.busyForeign--
-		}
-		res := Result{Meta: m}
-		switch judge() {
-		case VerdictChannelCollision:
-			r.stats.Collision++
-			res.Reason = DropChannelContention
-		case VerdictWeakSignal:
-			r.stats.Weak++
-			res.Reason = DropWeakSignal
-		default:
-			// Decoded successfully — only now can the sync word be read.
-			if m.Network != r.cfg.Sync {
-				r.stats.Foreign++
-				res.Reason = DropForeignNetwork
-			} else {
-				r.stats.Delivered++
-				res.Reason = DropNone
-			}
-		}
-		r.emit(res)
-	})
+	k := r.newTask()
+	k.meta, k.judge, k.foreign = m, judge, foreign
+	r.sim.At(m.End, k.fn)
+	return true
 }
 
 func (r *Radio) emit(res Result) { r.Results.Publish(res) }
