@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Snapshot comparison: `alphawan-bench -compare OLD.json NEW.json` prints
+// per-experiment ns/op and allocs/op deltas between two BENCH_<n>.json
+// files and exits non-zero when any experiment's ns/op regressed past the
+// -regress threshold — the check CI and the "Profiling a run" workflow
+// use to keep the suite from drifting slower unnoticed.
+
+// compareRow is one experiment's delta between two snapshots.
+type compareRow struct {
+	ID          string
+	OldNs       int64
+	NewNs       int64
+	NsDelta     float64 // percent; negative = faster
+	OldAllocs   int64
+	NewAllocs   int64
+	AllocsDelta float64 // percent; negative = fewer
+}
+
+// deltaPct returns the relative change new-vs-old in percent. A zero old
+// value yields 0 when new is also zero, else +100 (treat appearing cost as
+// a full regression rather than dividing by zero).
+func deltaPct(old, new int64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 100
+	}
+	return 100 * (float64(new) - float64(old)) / float64(old)
+}
+
+// compareBench matches the two snapshots' results by experiment id (in the
+// old file's order) and flags every row whose ns/op grew by more than
+// regressPct. Ids present in only one snapshot are returned separately and
+// never flagged.
+func compareBench(old, new benchFile, regressPct float64) (rows []compareRow, regressions, unmatched []string) {
+	newByID := make(map[string]benchResult, len(new.Results))
+	for _, r := range new.Results {
+		newByID[r.ID] = r
+	}
+	seen := make(map[string]bool, len(old.Results))
+	for _, o := range old.Results {
+		seen[o.ID] = true
+		n, ok := newByID[o.ID]
+		if !ok {
+			unmatched = append(unmatched, o.ID+" (old only)")
+			continue
+		}
+		row := compareRow{
+			ID:          o.ID,
+			OldNs:       o.NsPerOp,
+			NewNs:       n.NsPerOp,
+			NsDelta:     deltaPct(o.NsPerOp, n.NsPerOp),
+			OldAllocs:   o.AllocsPerOp,
+			NewAllocs:   n.AllocsPerOp,
+			AllocsDelta: deltaPct(o.AllocsPerOp, n.AllocsPerOp),
+		}
+		rows = append(rows, row)
+		if row.NsDelta > regressPct {
+			regressions = append(regressions, fmt.Sprintf("%s: ns/op +%.1f%%", o.ID, row.NsDelta))
+		}
+	}
+	for _, n := range new.Results {
+		if !seen[n.ID] {
+			unmatched = append(unmatched, n.ID+" (new only)")
+		}
+	}
+	sort.Strings(unmatched)
+	return rows, regressions, unmatched
+}
+
+// printCompare renders the comparison table plus totals and any
+// unmatched-id notes.
+func printCompare(w io.Writer, rows []compareRow, unmatched []string) {
+	fmt.Fprintf(w, "%-14s %14s %14s %8s %14s %14s %8s\n",
+		"experiment", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
+	var oldNs, newNs, oldAl, newAl int64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %14d %14d %7.1f%% %14d %14d %7.1f%%\n",
+			r.ID, r.OldNs, r.NewNs, r.NsDelta, r.OldAllocs, r.NewAllocs, r.AllocsDelta)
+		oldNs += r.OldNs
+		newNs += r.NewNs
+		oldAl += r.OldAllocs
+		newAl += r.NewAllocs
+	}
+	if len(rows) > 1 {
+		fmt.Fprintf(w, "%-14s %14d %14d %7.1f%% %14d %14d %7.1f%%\n",
+			"TOTAL", oldNs, newNs, deltaPct(oldNs, newNs), oldAl, newAl, deltaPct(oldAl, newAl))
+	}
+	for _, u := range unmatched {
+		fmt.Fprintf(w, "# unmatched: %s\n", u)
+	}
+}
+
+// readBenchFile loads one BENCH_<n>.json snapshot.
+func readBenchFile(path string) (benchFile, error) {
+	var bf benchFile
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(buf, &bf); err != nil {
+		return bf, fmt.Errorf("%s: %w", path, err)
+	}
+	return bf, nil
+}
+
+// runCompare implements the -compare mode; it returns the process exit
+// code (1 = regression past threshold or unreadable input).
+func runCompare(oldPath, newPath string, regressPct float64) int {
+	old, err := readBenchFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	new, err := readBenchFile(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rows, regressions, unmatched := compareBench(old, new, regressPct)
+	printCompare(os.Stdout, rows, unmatched)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "regression threshold %.1f%% exceeded:\n", regressPct)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	return 0
+}

@@ -8,6 +8,11 @@
 //
 //	alphawan-bench [-seed 1] [-runs 1] [-parallel 8] [-only fig13,fig21] [-dir .]
 //	alphawan-bench -only fig13 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	alphawan-bench -compare BENCH_2.json BENCH_3.json [-regress 5]
+//
+// The -compare form runs no experiments: it diffs two existing snapshots
+// per experiment id and exits 1 if any ns/op regressed more than -regress
+// percent.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -76,14 +82,33 @@ func selectExperiments(all []experiments.Experiment, only string) (todo []experi
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	runs := flag.Int("runs", 1, "timed runs per experiment (per-op columns average over them)")
+	runs := flag.Int("runs", 1, "minimum timed runs per experiment (per-op columns average over them)")
+	mintime := flag.Duration("mintime", 200*time.Millisecond,
+		"keep re-running an experiment until its timed window reaches this long "+
+			"(like go test -benchtime); the microsecond-scale experiments are "+
+			"unmeasurable from a single run")
 	parallel := flag.Int("parallel", 0,
 		"worker cap for experiment cells: 0 = GOMAXPROCS (default), 1 = serial")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	dir := flag.String("dir", ".", "directory to write BENCH_<n>.json into")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the timed runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the timed runs to this file")
+	compare := flag.String("compare", "",
+		"old BENCH_<n>.json to diff against; the new snapshot is the positional argument")
+	regress := flag.Float64("regress", 5,
+		"with -compare: exit non-zero if any experiment's ns/op regressed by more than this percent")
+	isolate := flag.Bool("isolate", true,
+		"measure each experiment in its own child process so one experiment's "+
+			"heap cannot skew another's timing (off when profiling)")
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: alphawan-bench -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(*compare, flag.Arg(0), *regress))
+	}
 
 	if *runs < 1 {
 		*runs = 1
@@ -121,22 +146,31 @@ func main() {
 		Workers:    *parallel,
 		Seed:       *seed,
 	}
-	var ms0, ms1 runtime.MemStats
-	for _, e := range todo {
-		var total time.Duration
-		runtime.ReadMemStats(&ms0)
-		t0 := time.Now()
-		for r := 0; r < *runs; r++ {
-			e.Run(*seed)
+	// Each experiment is measured in a child process unless we are that
+	// child (or profiling, which needs one process for the whole profile):
+	// a multi-gigabyte experiment leaves heap state — GC pacing, sweep
+	// debt, fragmentation, scavenged pages — that measurably skews the
+	// millisecond-scale experiments that follow it in the same process.
+	inProcess := !*isolate || *cpuprofile != "" || *memprofile != "" || len(todo) == 1
+	var exe string
+	if !inProcess {
+		var err error
+		if exe, err = os.Executable(); err != nil {
+			fmt.Fprintf(os.Stderr, "cannot isolate (%v); measuring in-process\n", err)
+			inProcess = true
 		}
-		total = time.Since(t0)
-		runtime.ReadMemStats(&ms1)
-		n := int64(*runs)
-		res := benchResult{
-			ID: e.ID, Runs: *runs,
-			NsPerOp:     total.Nanoseconds() / n,
-			AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / n,
-			BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / n,
+	}
+	for _, e := range todo {
+		var res benchResult
+		if inProcess {
+			res = measure(e, *seed, *runs, *mintime)
+		} else {
+			r, err := measureIsolated(exe, e.ID, *seed, *runs, *mintime, *parallel)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			res = r
 		}
 		out.Results = append(out.Results, res)
 		fmt.Printf("%-14s %12d ns/op %14d B/op %12d allocs/op  (%s)\n",
@@ -174,6 +208,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", path)
+}
+
+// measure times one experiment in this process: at least runs runs and at
+// least mintime of timed window, doubling the batch while short, so a
+// 10 µs experiment averages over thousands of runs and a 10 s one is
+// timed once.
+func measure(e experiments.Experiment, seed int64, runs int, mintime time.Duration) benchResult {
+	// Collect before the timed window so startup garbage cannot charge its
+	// GC cost to the experiment. The second call matters: sweeping is lazy
+	// and billed to subsequent allocations, so a single GC would leave its
+	// sweep debt inside the timed window; starting another cycle forces
+	// that sweep to finish first.
+	runtime.GC()
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	done, batch := 0, runs
+	var total time.Duration
+	t0 := time.Now()
+	for {
+		for r := 0; r < batch; r++ {
+			e.Run(seed)
+		}
+		done += batch
+		total = time.Since(t0)
+		if total >= mintime {
+			break
+		}
+		batch = done
+	}
+	runtime.ReadMemStats(&ms1)
+	n := int64(done)
+	return benchResult{
+		ID: e.ID, Runs: done,
+		NsPerOp:     total.Nanoseconds() / n,
+		AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / n,
+		BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / n,
+	}
+}
+
+// measureIsolated re-execs this binary for a single experiment id and
+// reads the child's snapshot back. The child takes the in-process path
+// (len(todo) == 1) and starts from a pristine heap.
+func measureIsolated(exe, id string, seed int64, runs int, mintime time.Duration, parallel int) (benchResult, error) {
+	tmp, err := os.MkdirTemp("", "alphawan-bench-")
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer os.RemoveAll(tmp)
+	cmd := exec.Command(exe,
+		"-only", id,
+		fmt.Sprintf("-seed=%d", seed),
+		fmt.Sprintf("-runs=%d", runs),
+		fmt.Sprintf("-mintime=%s", mintime),
+		fmt.Sprintf("-parallel=%d", parallel),
+		"-dir", tmp)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return benchResult{}, err
+	}
+	bf, err := readBenchFile(filepath.Join(tmp, "BENCH_1.json"))
+	if err != nil {
+		return benchResult{}, err
+	}
+	if len(bf.Results) != 1 || bf.Results[0].ID != id {
+		return benchResult{}, fmt.Errorf("child snapshot does not hold exactly %s", id)
+	}
+	return bf.Results[0], nil
 }
 
 // nextBenchPath returns dir/BENCH_<n>.json for the smallest n ≥ 1 that

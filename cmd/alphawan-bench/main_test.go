@@ -45,3 +45,62 @@ func TestAllRegisteredIDsSelectable(t *testing.T) {
 		}
 	}
 }
+
+func TestDeltaPct(t *testing.T) {
+	cases := []struct {
+		old, new int64
+		want     float64
+	}{
+		{100, 150, 50},
+		{200, 100, -50},
+		{100, 100, 0},
+		{0, 0, 0},
+		{0, 7, 100},
+	}
+	for _, c := range cases {
+		if got := deltaPct(c.old, c.new); got != c.want {
+			t.Errorf("deltaPct(%d, %d) = %v, want %v", c.old, c.new, got, c.want)
+		}
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	old := benchFile{Results: []benchResult{
+		{ID: "fig13", NsPerOp: 1000, AllocsPerOp: 500},
+		{ID: "fig21", NsPerOp: 2000, AllocsPerOp: 800},
+		{ID: "fig22", NsPerOp: 300, AllocsPerOp: 10},
+	}}
+	new := benchFile{Results: []benchResult{
+		{ID: "fig13", NsPerOp: 900, AllocsPerOp: 200},  // faster, fewer allocs
+		{ID: "fig21", NsPerOp: 2200, AllocsPerOp: 800}, // +10% ns regression
+		{ID: "fig23", NsPerOp: 50, AllocsPerOp: 1},     // new-only id
+	}}
+
+	rows, regressions, unmatched := compareBench(old, new, 5)
+	if !reflect.DeepEqual(ids2(rows), []string{"fig13", "fig21"}) {
+		t.Fatalf("rows must match by id in old order: %v", ids2(rows))
+	}
+	if rows[0].NsDelta != -10 || rows[0].AllocsDelta != -60 {
+		t.Errorf("fig13 deltas = %v%% ns, %v%% allocs; want -10, -60",
+			rows[0].NsDelta, rows[0].AllocsDelta)
+	}
+	if len(regressions) != 1 || regressions[0] != "fig21: ns/op +10.0%" {
+		t.Errorf("regressions = %v, want exactly fig21 at +10%%", regressions)
+	}
+	if !reflect.DeepEqual(unmatched, []string{"fig22 (old only)", "fig23 (new only)"}) {
+		t.Errorf("unmatched = %v", unmatched)
+	}
+
+	// A looser threshold lets the same 10% regression pass.
+	if _, regressions, _ := compareBench(old, new, 15); len(regressions) != 0 {
+		t.Errorf("threshold 15%% must accept a 10%% regression, got %v", regressions)
+	}
+}
+
+func ids2(rows []compareRow) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.ID
+	}
+	return out
+}

@@ -3,6 +3,12 @@
 // Message Integrity Code (MIC) on every frame and to derive session keys
 // during join; the Go standard library does not ship CMAC, so this package
 // provides it.
+//
+// Two APIs are exposed: the one-shot helpers (New/Sum/Verify) and the
+// reusable CMAC type for hot paths. A CMAC caches the expanded AES key
+// schedule and the derived subkeys, so a session that authenticates many
+// messages under one key pays the key expansion once and can compute tags
+// with zero heap allocations via Reset/Write/SumInto.
 package cmac
 
 import (
@@ -19,19 +25,32 @@ const Size = aes.BlockSize
 // New returns a hash.Hash computing AES-CMAC with the given key. The key
 // must be 16, 24, or 32 bytes (AES-128/192/256); LoRaWAN uses AES-128.
 func New(key []byte) (hash.Hash, error) {
+	return NewCMAC(key)
+}
+
+// NewCMAC returns a reusable CMAC instance for the given key. The key must
+// be 16, 24, or 32 bytes (AES-128/192/256).
+func NewCMAC(key []byte) (*CMAC, error) {
 	block, err := aes.NewCipher(key)
 	if err != nil {
 		return nil, fmt.Errorf("cmac: %w", err)
 	}
-	m := &mac{block: block}
-	m.deriveSubkeys()
-	m.Reset()
-	return m, nil
+	return FromCipher(block), nil
+}
+
+// FromCipher builds a CMAC over an already-expanded block cipher, sharing
+// the key schedule with the caller (e.g. a session that also runs AES-CTR
+// style payload encryption under the same key).
+func FromCipher(block cipher.Block) *CMAC {
+	c := &CMAC{block: block}
+	c.deriveSubkeys()
+	c.Reset()
+	return c
 }
 
 // Sum computes the AES-CMAC of msg under key in one call.
 func Sum(key, msg []byte) ([]byte, error) {
-	h, err := New(key)
+	h, err := NewCMAC(key)
 	if err != nil {
 		return nil, err
 	}
@@ -40,19 +59,21 @@ func Sum(key, msg []byte) ([]byte, error) {
 }
 
 // Verify reports whether tag is a valid (possibly truncated) AES-CMAC of
-// msg under key. Comparison is constant-time.
+// msg under key. Comparison is constant-time; the expected tag lives in a
+// stack buffer, so Verify does not allocate beyond the key schedule.
 func Verify(key, msg, tag []byte) bool {
-	if len(tag) == 0 || len(tag) > Size {
-		return false
-	}
-	full, err := Sum(key, msg)
+	c, err := NewCMAC(key)
 	if err != nil {
 		return false
 	}
-	return subtle.ConstantTimeCompare(full[:len(tag)], tag) == 1
+	c.Write(msg)
+	return c.VerifyTag(tag)
 }
 
-type mac struct {
+// CMAC is a reusable AES-CMAC computation: the expanded AES key schedule
+// and the RFC 4493 subkeys are derived once, and Reset/Write/SumInto runs
+// allocation-free. It implements hash.Hash. Not safe for concurrent use.
+type CMAC struct {
 	block cipher.Block
 	k1    [Size]byte
 	k2    [Size]byte
@@ -60,10 +81,17 @@ type mac struct {
 	x    [Size]byte
 	buf  [Size]byte
 	used int
+	// tag is finalization scratch. Arguments of cipher.Block interface
+	// calls escape, so finalizing through this (already heap-resident)
+	// field instead of a caller stack buffer keeps SumInto allocation-free.
+	tag [Size]byte
 }
 
+// mac is the historical unexported name of the reusable instance.
+type mac = CMAC
+
 // deriveSubkeys computes K1 and K2 per RFC 4493 §2.3.
-func (m *mac) deriveSubkeys() {
+func (m *CMAC) deriveSubkeys() {
 	var l [Size]byte
 	m.block.Encrypt(l[:], l[:])
 	dbl(&m.k1, &l)
@@ -82,15 +110,16 @@ func dbl(dst, src *[Size]byte) {
 	dst[Size-1] ^= 0x87 * carry
 }
 
-func (m *mac) Reset() {
+// Reset restores the initial state, keeping the cached key schedule.
+func (m *CMAC) Reset() {
 	m.x = [Size]byte{}
 	m.used = 0
 }
 
-func (m *mac) Size() int      { return Size }
-func (m *mac) BlockSize() int { return Size }
+func (m *CMAC) Size() int      { return Size }
+func (m *CMAC) BlockSize() int { return Size }
 
-func (m *mac) Write(p []byte) (int, error) {
+func (m *CMAC) Write(p []byte) (int, error) {
 	n := len(p)
 	for len(p) > 0 {
 		// Flush a *full* buffered block only when more input follows, so
@@ -110,7 +139,15 @@ func (m *mac) Write(p []byte) (int, error) {
 	return n, nil
 }
 
-func (m *mac) Sum(b []byte) []byte {
+func (m *CMAC) Sum(b []byte) []byte {
+	var out [Size]byte
+	m.SumInto(&out)
+	return append(b, out[:]...)
+}
+
+// SumInto finalizes the tag into dst without allocating. Like Sum it does
+// not mutate the running state, so more data may be written afterwards.
+func (m *CMAC) SumInto(dst *[Size]byte) {
 	var last [Size]byte
 	if m.used == Size {
 		// Complete final block: XOR with K1.
@@ -125,10 +162,21 @@ func (m *mac) Sum(b []byte) []byte {
 			last[i] ^= m.k2[i]
 		}
 	}
-	var out [Size]byte
 	for i := 0; i < Size; i++ {
-		out[i] = m.x[i] ^ last[i]
+		m.tag[i] = m.x[i] ^ last[i]
 	}
-	m.block.Encrypt(out[:], out[:])
-	return append(b, out[:]...)
+	m.block.Encrypt(m.tag[:], m.tag[:])
+	*dst = m.tag
+}
+
+// VerifyTag finalizes the tag into a stack buffer and compares it against
+// tag (possibly truncated) in constant time, without allocating. Like
+// SumInto it leaves the running state intact.
+func (m *CMAC) VerifyTag(tag []byte) bool {
+	if len(tag) == 0 || len(tag) > Size {
+		return false
+	}
+	var full [Size]byte
+	m.SumInto(&full)
+	return subtle.ConstantTimeCompare(full[:len(tag)], tag) == 1
 }

@@ -16,8 +16,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-
-	"github.com/alphawan/alphawan/internal/crypto/cmac"
 )
 
 // MType is the LoRaWAN message type carried in the MHDR.
@@ -106,123 +104,33 @@ const micSize = 4
 // Encode serializes the frame and appends the MIC computed under nwkSKey.
 // If appSKey is non-nil and FPort > 0, Payload is encrypted under appSKey;
 // if FPort == 0, Payload is encrypted under nwkSKey per the specification.
-// The input Frame is not modified.
+// The input Frame is not modified. Sessions encoding many frames under the
+// same keys should hold an Encoder instead (see EncodeTo), which caches
+// the key schedules this one-shot form re-expands on every call.
 func Encode(f *Frame, nwkSKey AESKey, appSKey *AESKey) ([]byte, error) {
-	if len(f.FOpts) > 15 {
-		return nil, ErrFOptsLen
-	}
-	if f.MType < UnconfirmedDataUp || f.MType > ConfirmedDataDown {
-		return nil, ErrMType
-	}
-	mhdr := byte(f.MType)<<5 | lorawanR1
-	fctrl := byte(len(f.FOpts)) & 0x0f
-	if f.ADR {
-		fctrl |= 0x80
-	}
-	if f.ADRACKReq {
-		fctrl |= 0x40
-	}
-	if f.ACK {
-		fctrl |= 0x20
-	}
-	if f.FPending {
-		fctrl |= 0x10
-	}
-
-	buf := make([]byte, 0, 1+7+len(f.FOpts)+1+len(f.Payload)+micSize)
-	buf = append(buf, mhdr)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.DevAddr))
-	buf = append(buf, fctrl)
-	buf = binary.LittleEndian.AppendUint16(buf, uint16(f.FCnt))
-	buf = append(buf, f.FOpts...)
-	if f.FPort != nil {
-		buf = append(buf, *f.FPort)
-		key := nwkSKey
-		if *f.FPort != 0 && appSKey != nil {
-			key = *appSKey
-		}
-		enc, err := cryptPayload(key, f.DevAddr, f.FCnt, f.MType.Uplink(), f.Payload)
-		if err != nil {
-			return nil, err
-		}
-		buf = append(buf, enc...)
-	} else if len(f.Payload) > 0 {
-		return nil, errors.New("frame: payload present without FPort")
-	}
-
-	mic, err := computeMIC(nwkSKey, f.DevAddr, f.FCnt, f.MType.Uplink(), buf)
-	if err != nil {
-		return nil, err
-	}
-	return append(buf, mic...), nil
+	return NewEncoder(nwkSKey, appSKey).EncodeTo(nil, f)
 }
 
 // Decode parses a PHYPayload, verifies its MIC under nwkSKey, and decrypts
 // the FRMPayload. appSKey may be nil when only MAC-layer fields matter (the
-// payload is then returned still encrypted for FPort > 0).
+// payload is then returned still encrypted for FPort > 0). Sessions
+// decoding many frames under the same keys should hold a Decoder instead
+// (see DecodeTo).
 func Decode(raw []byte, nwkSKey AESKey, appSKey *AESKey) (*Frame, error) {
-	if len(raw) < 1+7+micSize {
-		return nil, ErrTooShort
+	d := Decoder{nwk: newSessionKey(nwkSKey, true)}
+	if appSKey != nil {
+		app := newSessionKey(*appSKey, false)
+		d.app = &app
 	}
-	mhdr := raw[0]
-	if mhdr&0x03 != lorawanR1 {
-		return nil, ErrBadVersion
-	}
-	mt := MType(mhdr >> 5)
-	if mt < UnconfirmedDataUp || mt > ConfirmedDataDown {
-		return nil, ErrMType
-	}
-	body, mic := raw[:len(raw)-micSize], raw[len(raw)-micSize:]
-
-	f := &Frame{MType: mt}
-	f.DevAddr = DevAddr(binary.LittleEndian.Uint32(body[1:5]))
-	fctrl := body[5]
-	f.ADR = fctrl&0x80 != 0
-	f.ADRACKReq = fctrl&0x40 != 0
-	f.ACK = fctrl&0x20 != 0
-	f.FPending = fctrl&0x10 != 0
-	fOptsLen := int(fctrl & 0x0f)
-	f.FCnt = uint32(binary.LittleEndian.Uint16(body[6:8]))
-
-	rest := body[8:]
-	if len(rest) < fOptsLen {
-		return nil, ErrTooShort
-	}
-	if fOptsLen > 0 {
-		f.FOpts = append([]byte{}, rest[:fOptsLen]...)
-	}
-	rest = rest[fOptsLen:]
-
-	want, err := computeMIC(nwkSKey, f.DevAddr, f.FCnt, mt.Uplink(), body)
-	if err != nil {
+	f := &Frame{}
+	if err := d.DecodeTo(f, raw); err != nil {
 		return nil, err
 	}
-	if !constEq(mic, want) {
-		return nil, ErrBadMIC
-	}
-
-	if len(rest) > 0 {
-		port := rest[0]
+	// DecodeTo backs FPort with the Decoder, which dies with this call;
+	// rehome it onto the heap so the returned Frame is self-contained.
+	if f.FPort != nil {
+		port := *f.FPort
 		f.FPort = &port
-		enc := rest[1:]
-		key := nwkSKey
-		havekey := true
-		if port != 0 {
-			if appSKey != nil {
-				key = *appSKey
-			} else {
-				havekey = false
-			}
-		}
-		if havekey {
-			dec, err := cryptPayload(key, f.DevAddr, f.FCnt, mt.Uplink(), enc)
-			if err != nil {
-				return nil, err
-			}
-			f.Payload = dec
-		} else {
-			f.Payload = append([]byte{}, enc...)
-		}
 	}
 	return f, nil
 }
@@ -236,55 +144,6 @@ func constEq(a, b []byte) bool {
 		v |= a[i] ^ b[i]
 	}
 	return v == 0
-}
-
-// computeMIC computes the 4-byte LoRaWAN MIC: AES-CMAC over the B0 block
-// followed by the serialized MHDR..FRMPayload, truncated to 4 bytes.
-func computeMIC(key AESKey, addr DevAddr, fcnt uint32, uplink bool, msg []byte) ([]byte, error) {
-	b0 := make([]byte, 16, 16+len(msg))
-	b0[0] = 0x49
-	dir := byte(1)
-	if uplink {
-		dir = 0
-	}
-	b0[5] = dir
-	binary.LittleEndian.PutUint32(b0[6:10], uint32(addr))
-	binary.LittleEndian.PutUint32(b0[10:14], fcnt)
-	b0[15] = byte(len(msg))
-	full, err := cmac.Sum(key[:], append(b0, msg...))
-	if err != nil {
-		return nil, err
-	}
-	return full[:micSize], nil
-}
-
-// cryptPayload applies the LoRaWAN FRMPayload encryption (§4.3.3 of the
-// spec): an AES-ECB keystream of A-blocks XORed over the payload. The
-// operation is its own inverse.
-func cryptPayload(key AESKey, addr DevAddr, fcnt uint32, uplink bool, in []byte) ([]byte, error) {
-	if len(in) == 0 {
-		return nil, nil
-	}
-	block, err := aes.NewCipher(key[:])
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, len(in))
-	var a, s [16]byte
-	a[0] = 0x01
-	if !uplink {
-		a[5] = 1
-	}
-	binary.LittleEndian.PutUint32(a[6:10], uint32(addr))
-	binary.LittleEndian.PutUint32(a[10:14], fcnt)
-	for i := 0; i < len(in); i += 16 {
-		a[15] = byte(i/16 + 1)
-		block.Encrypt(s[:], a[:])
-		for j := 0; j < 16 && i+j < len(in); j++ {
-			out[i+j] = in[i+j] ^ s[j]
-		}
-	}
-	return out, nil
 }
 
 // DeriveSessionKeys derives NwkSKey and AppSKey from an AppKey and the

@@ -1,0 +1,137 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedFrames returns on-air encodings covering the format's corners:
+// plain data, FOpts, FPort 0 (NwkSKey-encrypted MAC payload), empty
+// FRMPayload, and a downlink.
+func fuzzSeedFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	p0, p1 := uint8(0), uint8(1)
+	frames := []*Frame{
+		{MType: UnconfirmedDataUp, DevAddr: 0x2601_1234, ADR: true, FCnt: 7, FPort: &p1, Payload: []byte("hello lora")},
+		{MType: ConfirmedDataUp, DevAddr: 0x0180_0001, FCnt: 65535, FOpts: []byte{0x03, 0x57, 0xFF, 0x0F, 0x61}},
+		{MType: UnconfirmedDataUp, DevAddr: 3, FCnt: 2, FPort: &p0, Payload: []byte{0x03, 0x07}},
+		{MType: UnconfirmedDataDown, DevAddr: 9, ACK: true, FCnt: 1, FPort: &p1},
+		{MType: UnconfirmedDataUp, DevAddr: 9, FCnt: 3},
+	}
+	var raws [][]byte
+	for _, f := range frames {
+		raw, err := Encode(f, testNwk, &testApp)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		raws = append(raws, raw)
+	}
+	return raws
+}
+
+// FuzzFrameDecode differentially fuzzes the two decode paths: for any
+// input — valid, truncated, or corrupted — the session Decoder must agree
+// with the legacy one-shot Decode on both the error outcome and every
+// decoded field, with and without an AppSKey.
+func FuzzFrameDecode(f *testing.F) {
+	for _, raw := range fuzzSeedFrames(f) {
+		f.Add(raw)
+		f.Add(raw[:len(raw)-2]) // truncated MIC
+		bad := append([]byte{}, raw...)
+		bad[len(bad)-1] ^= 0x80 // corrupted MIC
+		f.Add(bad)
+	}
+	f.Add([]byte{})
+	dec := NewDecoder(testNwk, &testApp)
+	decNoApp := NewDecoder(testNwk, nil)
+	var reused Frame
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		legacy, errL := Decode(raw, testNwk, &testApp)
+		errS := dec.DecodeTo(&reused, raw)
+		if (errL == nil) != (errS == nil) {
+			t.Fatalf("error mismatch: Decode=%v DecodeTo=%v", errL, errS)
+		}
+		if errL == nil && !framesEqual(legacy, &reused) {
+			t.Fatalf("field mismatch:\nlegacy:  %+v\nsession: %+v", legacy, &reused)
+		}
+		legacyNoApp, errL2 := Decode(raw, testNwk, nil)
+		gotNoApp, errS2 := decNoApp.Decode(raw)
+		if (errL2 == nil) != (errS2 == nil) {
+			t.Fatalf("nil-AppSKey error mismatch: Decode=%v Decoder=%v", errL2, errS2)
+		}
+		if errL2 == nil && !framesEqual(legacyNoApp, gotNoApp) {
+			t.Fatalf("nil-AppSKey field mismatch")
+		}
+	})
+}
+
+// FuzzFrameEncodeRoundTrip drives randomized frames through both encoders
+// and back: the encodings must match byte-for-byte, the round-trip must
+// restore every field (including FPort-0 NwkSKey encryption), and a
+// corrupted MIC must be rejected.
+func FuzzFrameEncodeRoundTrip(f *testing.F) {
+	f.Add(uint32(0x2601_1234), uint16(7), byte(0x80), true, uint8(1), []byte("hello"), []byte{0x03, 0x57})
+	f.Add(uint32(3), uint16(2), byte(0), true, uint8(0), []byte{0x03, 0x07}, []byte{})
+	f.Add(uint32(9), uint16(1), byte(0x31), false, uint8(0), []byte{}, []byte{})
+	enc := NewEncoder(testNwk, &testApp)
+	dec := NewDecoder(testNwk, &testApp)
+	f.Fuzz(func(t *testing.T, addr uint32, fcnt uint16, flags byte, hasPort bool, fport uint8, payload, fopts []byte) {
+		if len(fopts) > 15 {
+			fopts = fopts[:15]
+		}
+		if len(payload) > 222 {
+			payload = payload[:222]
+		}
+		in := &Frame{
+			MType:     MType(int(UnconfirmedDataUp) + int(flags&0x03)),
+			DevAddr:   DevAddr(addr),
+			ADR:       flags&0x80 != 0,
+			ADRACKReq: flags&0x40 != 0,
+			ACK:       flags&0x20 != 0,
+			FPending:  flags&0x10 != 0,
+			FCnt:      uint32(fcnt),
+			FOpts:     fopts,
+		}
+		if hasPort {
+			in.FPort = &fport
+			in.Payload = payload
+		}
+		legacy, errL := Encode(in, testNwk, &testApp)
+		session, errS := enc.EncodeTo(nil, in)
+		if (errL == nil) != (errS == nil) {
+			t.Fatalf("encode error mismatch: Encode=%v EncodeTo=%v", errL, errS)
+		}
+		if errL != nil {
+			return
+		}
+		if !bytes.Equal(legacy, session) {
+			t.Fatalf("encoding mismatch:\nlegacy:  %x\nsession: %x", legacy, session)
+		}
+
+		var out Frame
+		if err := dec.DecodeTo(&out, session); err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if !framesEqual(in, normalizeEmpty(&out)) {
+			t.Fatalf("round trip changed fields:\nin:  %+v\nout: %+v", in, &out)
+		}
+
+		bad := append([]byte{}, session...)
+		bad[len(bad)-1] ^= 0x01
+		if err := dec.DecodeTo(&out, bad); err == nil {
+			t.Fatal("corrupted MIC must be rejected")
+		}
+	})
+}
+
+// normalizeEmpty maps empty reused buffers back to nil so framesEqual can
+// compare a decode target against a literal input frame.
+func normalizeEmpty(f *Frame) *Frame {
+	if len(f.FOpts) == 0 {
+		f.FOpts = nil
+	}
+	if len(f.Payload) == 0 {
+		f.Payload = nil
+	}
+	return f
+}

@@ -1,0 +1,275 @@
+package frame
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+
+	"github.com/alphawan/alphawan/internal/crypto/cmac"
+)
+
+// Session-scoped codecs. A LoRaWAN session keeps the same NwkSKey/AppSKey
+// for its whole lifetime, but the one-shot Encode/Decode re-ran
+// aes.NewCipher key expansion and rebuilt the CMAC subkeys on every frame
+// — 5–8 heap allocations per message that the massive-connectivity
+// experiments multiply by every uplink and every gateway copy. Encoder and
+// Decoder cache the expanded key schedules once per session and then
+// encode into caller-owned scratch (EncodeTo) or decode into a reused
+// Frame (DecodeTo), allocation-free in steady state.
+
+// sessionKey is one cached key schedule: the expanded AES block cipher
+// (shared by MIC and FRMPayload crypto) plus the CMAC subkeys.
+type sessionKey struct {
+	block cipher.Block
+	mac   *cmac.CMAC
+	// a and s are the A-block/keystream scratch for cryptInPlace. They
+	// live on the session rather than the stack because arguments of
+	// cipher.Block interface calls escape, which would cost two heap
+	// allocations per payload.
+	a, s [16]byte
+}
+
+// newSessionKey expands key's AES schedule; withMAC also derives the
+// CMAC subkeys. The MIC is always computed under the NwkSKey, so the
+// AppSKey's sessionKey skips that derivation.
+func newSessionKey(key AESKey, withMAC bool) sessionKey {
+	// A [16]byte key is always a valid AES-128 key, so NewCipher cannot
+	// fail here.
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic("frame: " + err.Error())
+	}
+	k := sessionKey{block: block}
+	if withMAC {
+		k.mac = cmac.FromCipher(block)
+	}
+	return k
+}
+
+// computeMICInto writes the 4-byte LoRaWAN MIC of msg into dst: AES-CMAC
+// over the B0 block followed by the serialized MHDR..FRMPayload, streamed
+// so no joined buffer is built.
+func (k *sessionKey) computeMICInto(dst *[micSize]byte, addr DevAddr, fcnt uint32, uplink bool, msg []byte) {
+	var b0 [16]byte
+	b0[0] = 0x49
+	if !uplink {
+		b0[5] = 1
+	}
+	binary.LittleEndian.PutUint32(b0[6:10], uint32(addr))
+	binary.LittleEndian.PutUint32(b0[10:14], fcnt)
+	b0[15] = byte(len(msg))
+	k.mac.Reset()
+	k.mac.Write(b0[:])
+	k.mac.Write(msg)
+	var full [cmac.Size]byte
+	k.mac.SumInto(&full)
+	copy(dst[:], full[:micSize])
+}
+
+// verifyMIC is computeMICInto plus a constant-time compare, with the
+// expected tag on the stack.
+func (k *sessionKey) verifyMIC(mic []byte, addr DevAddr, fcnt uint32, uplink bool, msg []byte) bool {
+	var want [micSize]byte
+	k.computeMICInto(&want, addr, fcnt, uplink, msg)
+	return constEq(mic, want[:])
+}
+
+// cryptInPlace applies the LoRaWAN FRMPayload encryption (§4.3.3 of the
+// spec) over buf in place: an AES-ECB keystream of A-blocks XORed over the
+// payload. The operation is its own inverse.
+func (k *sessionKey) cryptInPlace(addr DevAddr, fcnt uint32, uplink bool, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	k.a = [16]byte{0: 0x01}
+	if !uplink {
+		k.a[5] = 1
+	}
+	binary.LittleEndian.PutUint32(k.a[6:10], uint32(addr))
+	binary.LittleEndian.PutUint32(k.a[10:14], fcnt)
+	for i := 0; i < len(buf); i += 16 {
+		k.a[15] = byte(i/16 + 1)
+		k.block.Encrypt(k.s[:], k.a[:])
+		for j := 0; j < 16 && i+j < len(buf); j++ {
+			buf[i+j] ^= k.s[j]
+		}
+	}
+}
+
+// Encoder serializes data frames for one session, with the AES key
+// schedules for NwkSKey (and AppSKey, when present) expanded once at
+// construction. Not safe for concurrent use.
+type Encoder struct {
+	nwk sessionKey
+	app *sessionKey
+}
+
+// NewEncoder builds an Encoder for a session's keys. appSKey may be nil
+// when the session only carries MAC-layer traffic.
+func NewEncoder(nwkSKey AESKey, appSKey *AESKey) *Encoder {
+	e := &Encoder{nwk: newSessionKey(nwkSKey, true)}
+	if appSKey != nil {
+		app := newSessionKey(*appSKey, false)
+		e.app = &app
+	}
+	return e
+}
+
+// EncodeTo appends the serialized frame (MHDR..MIC) to dst and returns the
+// extended slice. dst may be nil, or a reused scratch buffer (pass
+// scratch[:0]); when its capacity suffices, EncodeTo does not allocate.
+// The input Frame is not modified. Payload encryption follows Encode: the
+// AppSKey for FPort > 0 (when the Encoder has one), the NwkSKey otherwise.
+func (e *Encoder) EncodeTo(dst []byte, f *Frame) ([]byte, error) {
+	if len(f.FOpts) > 15 {
+		return nil, ErrFOptsLen
+	}
+	if f.MType < UnconfirmedDataUp || f.MType > ConfirmedDataDown {
+		return nil, ErrMType
+	}
+	if f.FPort == nil && len(f.Payload) > 0 {
+		return nil, errPayloadNoPort
+	}
+	mhdr := byte(f.MType)<<5 | lorawanR1
+	fctrl := byte(len(f.FOpts)) & 0x0f
+	if f.ADR {
+		fctrl |= 0x80
+	}
+	if f.ADRACKReq {
+		fctrl |= 0x40
+	}
+	if f.ACK {
+		fctrl |= 0x20
+	}
+	if f.FPending {
+		fctrl |= 0x10
+	}
+
+	need := 1 + 7 + len(f.FOpts) + 1 + len(f.Payload) + micSize
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	start := len(dst)
+	buf := append(dst, mhdr)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.DevAddr))
+	buf = append(buf, fctrl)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(f.FCnt))
+	buf = append(buf, f.FOpts...)
+	if f.FPort != nil {
+		buf = append(buf, *f.FPort)
+		key := &e.nwk
+		if *f.FPort != 0 && e.app != nil {
+			key = e.app
+		}
+		payloadStart := len(buf)
+		buf = append(buf, f.Payload...)
+		key.cryptInPlace(f.DevAddr, f.FCnt, f.MType.Uplink(), buf[payloadStart:])
+	}
+
+	var mic [micSize]byte
+	e.nwk.computeMICInto(&mic, f.DevAddr, f.FCnt, f.MType.Uplink(), buf[start:])
+	return append(buf, mic[:]...), nil
+}
+
+var errPayloadNoPort = errors.New("frame: payload present without FPort")
+
+// Decoder parses and verifies data frames for one session, with the AES
+// key schedules expanded once at construction. Not safe for concurrent
+// use.
+type Decoder struct {
+	nwk sessionKey
+	app *sessionKey
+	// fport backs Frame.FPort on the DecodeTo path so steady-state decodes
+	// stay allocation-free.
+	fport uint8
+}
+
+// NewDecoder builds a Decoder for a session's keys. appSKey may be nil
+// when only MAC-layer fields matter (FPort > 0 payloads are then returned
+// still encrypted, as with Decode).
+func NewDecoder(nwkSKey AESKey, appSKey *AESKey) *Decoder {
+	d := &Decoder{nwk: newSessionKey(nwkSKey, true)}
+	if appSKey != nil {
+		app := newSessionKey(*appSKey, false)
+		d.app = &app
+	}
+	return d
+}
+
+// Decode parses raw into a fresh Frame using the cached key schedules. It
+// is the session equivalent of the package-level Decode.
+func (d *Decoder) Decode(raw []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := d.DecodeTo(f, raw); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeTo parses a PHYPayload into f, verifying the MIC and decrypting
+// the FRMPayload exactly like Decode. f's FOpts and Payload buffers are
+// reused when their capacity suffices, so a steady-state decode performs
+// no heap allocation; f.FPort points into the Decoder, staying valid until
+// the next DecodeTo. On error f holds unspecified partial state. Callers
+// that hand decoded fields to consumers which may retain them must copy.
+func (d *Decoder) DecodeTo(f *Frame, raw []byte) error {
+	if len(raw) < 1+7+micSize {
+		return ErrTooShort
+	}
+	mhdr := raw[0]
+	if mhdr&0x03 != lorawanR1 {
+		return ErrBadVersion
+	}
+	mt := MType(mhdr >> 5)
+	if mt < UnconfirmedDataUp || mt > ConfirmedDataDown {
+		return ErrMType
+	}
+	body, mic := raw[:len(raw)-micSize], raw[len(raw)-micSize:]
+
+	f.MType = mt
+	f.DevAddr = DevAddr(binary.LittleEndian.Uint32(body[1:5]))
+	fctrl := body[5]
+	f.ADR = fctrl&0x80 != 0
+	f.ADRACKReq = fctrl&0x40 != 0
+	f.ACK = fctrl&0x20 != 0
+	f.FPending = fctrl&0x10 != 0
+	fOptsLen := int(fctrl & 0x0f)
+	f.FCnt = uint32(binary.LittleEndian.Uint16(body[6:8]))
+	f.FPort = nil
+	f.FOpts = f.FOpts[:0]
+	f.Payload = f.Payload[:0]
+
+	rest := body[8:]
+	if len(rest) < fOptsLen {
+		return ErrTooShort
+	}
+	f.FOpts = append(f.FOpts, rest[:fOptsLen]...)
+	rest = rest[fOptsLen:]
+
+	if !d.nwk.verifyMIC(mic, f.DevAddr, f.FCnt, mt.Uplink(), body) {
+		return ErrBadMIC
+	}
+
+	if len(rest) > 0 {
+		d.fport = rest[0]
+		f.FPort = &d.fport
+		enc := rest[1:]
+		key := &d.nwk
+		havekey := true
+		if d.fport != 0 {
+			if d.app != nil {
+				key = d.app
+			} else {
+				havekey = false
+			}
+		}
+		f.Payload = append(f.Payload, enc...)
+		if havekey {
+			key.cryptInPlace(f.DevAddr, f.FCnt, mt.Uplink(), f.Payload)
+		}
+	}
+	return nil
+}

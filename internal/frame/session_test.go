@@ -1,0 +1,225 @@
+package frame
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomFrame draws a structurally valid data frame: random flags, FOpts
+// up to 15 bytes, and an optional FPort/payload (FPort 0 = MAC commands
+// under the NwkSKey).
+func randomFrame(rng *rand.Rand) *Frame {
+	f := &Frame{
+		MType:     MType(int(UnconfirmedDataUp) + rng.Intn(4)),
+		DevAddr:   DevAddr(rng.Uint32()),
+		ADR:       rng.Intn(2) == 0,
+		ADRACKReq: rng.Intn(4) == 0,
+		ACK:       rng.Intn(4) == 0,
+		FPending:  rng.Intn(4) == 0,
+		FCnt:      uint32(rng.Intn(1 << 16)),
+	}
+	if n := rng.Intn(16); n > 0 {
+		f.FOpts = make([]byte, n)
+		rng.Read(f.FOpts)
+	}
+	if rng.Intn(4) > 0 {
+		p := uint8(rng.Intn(224))
+		f.FPort = &p
+		if n := rng.Intn(64); n > 0 {
+			f.Payload = make([]byte, n)
+			rng.Read(f.Payload)
+		}
+	}
+	return f
+}
+
+func framesEqual(a, b *Frame) bool {
+	if a.MType != b.MType || a.DevAddr != b.DevAddr || a.FCnt != b.FCnt ||
+		a.ADR != b.ADR || a.ADRACKReq != b.ADRACKReq || a.ACK != b.ACK ||
+		a.FPending != b.FPending {
+		return false
+	}
+	if (a.FPort == nil) != (b.FPort == nil) {
+		return false
+	}
+	if a.FPort != nil && *a.FPort != *b.FPort {
+		return false
+	}
+	return bytes.Equal(a.FOpts, b.FOpts) && bytes.Equal(a.Payload, b.Payload)
+}
+
+// TestSessionMatchesOneShot pins the session codecs to the legacy one-shot
+// functions byte-for-byte: every randomized frame must encode to identical
+// bytes through Encoder.EncodeTo and decode to identical fields through
+// Decoder.DecodeTo — including when one reused Frame carries state from a
+// previous, differently-shaped decode.
+func TestSessionMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	enc := NewEncoder(testNwk, &testApp)
+	dec := NewDecoder(testNwk, &testApp)
+	encNoApp := NewEncoder(testNwk, nil)
+	decNoApp := NewDecoder(testNwk, nil)
+	var reused Frame
+	var scratch []byte
+	for i := 0; i < 500; i++ {
+		f := randomFrame(rng)
+		legacy, errL := Encode(f, testNwk, &testApp)
+		var errS error
+		scratch, errS = enc.EncodeTo(scratch[:0], f)
+		if (errL == nil) != (errS == nil) {
+			t.Fatalf("frame %d: Encode err=%v, EncodeTo err=%v", i, errL, errS)
+		}
+		if errL != nil {
+			continue
+		}
+		if !bytes.Equal(legacy, scratch) {
+			t.Fatalf("frame %d: EncodeTo diverges from Encode\nlegacy:  %x\nsession: %x", i, legacy, scratch)
+		}
+		if raw, _ := encNoApp.EncodeTo(nil, f); raw != nil {
+			legacyNoApp, _ := Encode(f, testNwk, nil)
+			if !bytes.Equal(legacyNoApp, raw) {
+				t.Fatalf("frame %d: nil-AppSKey EncodeTo diverges", i)
+			}
+		}
+
+		want, errW := Decode(legacy, testNwk, &testApp)
+		errD := dec.DecodeTo(&reused, legacy)
+		if (errW == nil) != (errD == nil) {
+			t.Fatalf("frame %d: Decode err=%v, DecodeTo err=%v", i, errW, errD)
+		}
+		if errW == nil && !framesEqual(want, &reused) {
+			t.Fatalf("frame %d: DecodeTo diverges from Decode\nlegacy:  %+v\nsession: %+v", i, want, &reused)
+		}
+		wantNoApp, errW2 := Decode(legacy, testNwk, nil)
+		gotNoApp, errD2 := decNoApp.Decode(legacy)
+		if (errW2 == nil) != (errD2 == nil) {
+			t.Fatalf("frame %d: nil-AppSKey decode err mismatch: %v vs %v", i, errW2, errD2)
+		}
+		if errW2 == nil && !framesEqual(wantNoApp, gotNoApp) {
+			t.Fatalf("frame %d: nil-AppSKey Decoder.Decode diverges", i)
+		}
+	}
+}
+
+// TestDecoderRejectsTamper mirrors TestMICDetectsTamper on the session
+// path: every single-bit corruption must fail DecodeTo.
+func TestDecoderRejectsTamper(t *testing.T) {
+	in := &Frame{MType: UnconfirmedDataUp, DevAddr: 5, FCnt: 1, FPort: port(1), Payload: []byte("x")}
+	raw, _ := Encode(in, testNwk, &testApp)
+	dec := NewDecoder(testNwk, &testApp)
+	var f Frame
+	for i := range raw {
+		bad := append([]byte{}, raw...)
+		bad[i] ^= 0x01
+		if err := dec.DecodeTo(&f, bad); err == nil {
+			t.Errorf("bit flip at byte %d went undetected by DecodeTo", i)
+		}
+	}
+	if err := dec.DecodeTo(&f, raw); err != nil {
+		t.Fatalf("pristine frame must still decode after rejections: %v", err)
+	}
+}
+
+// TestEncoderSteadyStateZeroAllocs pins the hot encode path's budget: with
+// a warm caller-owned scratch buffer, EncodeTo performs no heap
+// allocation.
+func TestEncoderSteadyStateZeroAllocs(t *testing.T) {
+	enc := NewEncoder(testNwk, &testApp)
+	p := uint8(1)
+	f := &Frame{
+		MType: UnconfirmedDataUp, DevAddr: 0x2601_1234, ADR: true,
+		FCnt: 7, FPort: &p, Payload: make([]byte, 10),
+	}
+	scratch, err := enc.EncodeTo(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		f.FCnt++
+		var err error
+		scratch, err = enc.EncodeTo(scratch[:0], f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("EncodeTo with warm scratch: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDecoderSteadyStateZeroAllocs pins the hot decode path's budget: a
+// warm reused Frame absorbs a decode with no heap allocation.
+func TestDecoderSteadyStateZeroAllocs(t *testing.T) {
+	enc := NewEncoder(testNwk, &testApp)
+	p := uint8(1)
+	raw, err := enc.EncodeTo(nil, &Frame{
+		MType: UnconfirmedDataUp, DevAddr: 0x2601_1234, ADR: true,
+		FCnt: 7, FPort: &p, Payload: make([]byte, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(testNwk, &testApp)
+	var f Frame
+	if err := dec.DecodeTo(&f, raw); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := dec.DecodeTo(&f, raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeTo with warm Frame: %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkEncodeOneShot(b *testing.B) {
+	p := uint8(1)
+	f := &Frame{MType: UnconfirmedDataUp, DevAddr: 1, ADR: true, FCnt: 7, FPort: &p, Payload: make([]byte, 10)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(f, testNwk, &testApp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncoderEncodeTo(b *testing.B) {
+	enc := NewEncoder(testNwk, &testApp)
+	p := uint8(1)
+	f := &Frame{MType: UnconfirmedDataUp, DevAddr: 1, ADR: true, FCnt: 7, FPort: &p, Payload: make([]byte, 10)}
+	var scratch []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if scratch, err = enc.EncodeTo(scratch[:0], f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeOneShot(b *testing.B) {
+	p := uint8(1)
+	raw, _ := Encode(&Frame{MType: UnconfirmedDataUp, DevAddr: 1, ADR: true, FCnt: 7, FPort: &p, Payload: make([]byte, 10)}, testNwk, &testApp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(raw, testNwk, &testApp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecoderDecodeTo(b *testing.B) {
+	p := uint8(1)
+	raw, _ := Encode(&Frame{MType: UnconfirmedDataUp, DevAddr: 1, ADR: true, FCnt: 7, FPort: &p, Payload: make([]byte, 10)}, testNwk, &testApp)
+	dec := NewDecoder(testNwk, &testApp)
+	var f Frame
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := dec.DecodeTo(&f, raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -38,7 +38,7 @@ func (s *Server) BuildDownlink(dev *Device, fport uint8, payload []byte, cmds []
 		f.FPort = &p
 		f.Payload = payload
 	}
-	raw, err := frame.Encode(f, dev.NwkSKey, &dev.AppSKey)
+	raw, err := dev.encoder().EncodeTo(nil, f)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +66,7 @@ func (s *Server) BuildCommandDownlink(dev *Device, cmds []frame.MACCommand) ([]b
 		f.FPort = &p
 		f.Payload = opts
 	}
-	raw, err := frame.Encode(f, dev.NwkSKey, &dev.AppSKey)
+	raw, err := dev.encoder().EncodeTo(nil, f)
 	if err != nil {
 		return nil, err
 	}

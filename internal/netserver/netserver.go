@@ -40,6 +40,31 @@ type Device struct {
 	seenAny  bool
 	// fcntDown is the next downlink frame counter.
 	fcntDown uint32
+
+	// dec and enc cache the session's AES key schedules (lazily built, so
+	// directly-constructed Devices keep working); frm is the reused decode
+	// target that keeps steady-state uplink handling allocation-free.
+	dec *frame.Decoder
+	enc *frame.Encoder
+	frm frame.Frame
+}
+
+// decoder returns the device's cached frame decoder, building it on first
+// use. Session keys are immutable once registered, so the cached key
+// schedules never go stale.
+func (d *Device) decoder() *frame.Decoder {
+	if d.dec == nil {
+		d.dec = frame.NewDecoder(d.NwkSKey, &d.AppSKey)
+	}
+	return d.dec
+}
+
+// encoder returns the device's cached frame encoder for downlink builds.
+func (d *Device) encoder() *frame.Encoder {
+	if d.enc == nil {
+		d.enc = frame.NewEncoder(d.NwkSKey, &d.AppSKey)
+	}
+	return d.enc
 }
 
 // LogEntry is one row of the operational log: the per-gateway receive
@@ -65,7 +90,10 @@ type UplinkMeta struct {
 	At      des.Time
 }
 
-// Data is a deduplicated application-layer delivery.
+// Data is a deduplicated application-layer delivery. Payload aliases the
+// device session's reusable decode buffer: it is valid during the
+// synchronous Served dispatch, and subscribers that retain it past their
+// callback must copy.
 type Data struct {
 	Dev     *Device
 	FPort   uint8
@@ -186,6 +214,13 @@ var (
 // HandleUplink processes one gateway copy of an uplink PHYPayload. It logs
 // the copy, verifies the MIC, deduplicates, delivers application data once
 // per frame, and runs ADR.
+//
+// Copies whose (DevAddr, FCnt) already sit in the dedup window are
+// accounted from the plain-text header alone — the first copy's MIC
+// already authenticated the frame, so the 1–15 redundant per-gateway
+// AES-CMAC verifications of a dense deployment are skipped entirely. A
+// forged copy colliding with a live (DevAddr, FCnt) would be tallied as a
+// duplicate rather than a MIC failure; it still delivers nothing.
 func (s *Server) HandleUplink(raw []byte, meta UplinkMeta) error {
 	s.stats.Uplinks++
 	// Peek the DevAddr before full decode to find the session key.
@@ -198,8 +233,31 @@ func (s *Server) HandleUplink(raw []byte, meta UplinkMeta) error {
 		s.stats.Unknown++
 		return fmt.Errorf("%w: %v", ErrUnknownDevice, addr)
 	}
-	f, err := frame.Decode(raw, dev.NwkSKey, &dev.AppSKey)
-	if err != nil {
+
+	// The dedup key and the fields the duplicate path needs — FCnt for the
+	// log entry, the ADR bit for SNR accounting — are readable from the
+	// unencrypted FHDR (FCnt little-endian at raw[6:8], FCtrl at raw[5]).
+	fcnt := uint32(raw[6]) | uint32(raw[7])<<8
+	key := dedupKey{addr, fcnt}
+	if p, ok := s.dedup[key]; ok && meta.At-p.firstAt <= s.DedupWindow {
+		s.appendLog(LogEntry{
+			At: meta.At, Gateway: meta.Gateway, Dev: addr,
+			Freq: meta.Freq, DR: meta.DR,
+			RSSIdBm: meta.RSSIdBm, SNRdB: meta.SNRdB, FCnt: fcnt,
+		})
+		p.copies++
+		if meta.SNRdB > p.best.SNRdB {
+			p.best = meta
+		}
+		s.stats.Duplicates++
+		if s.ADREnabled && raw[5]&0x80 != 0 {
+			dev.ADR.Observe(meta.SNRdB)
+		}
+		return nil
+	}
+
+	f := &dev.frm
+	if err := dev.decoder().DecodeTo(f, raw); err != nil {
 		s.stats.BadMIC++
 		return fmt.Errorf("%w: %v", ErrBadMIC, err)
 	}
@@ -209,19 +267,6 @@ func (s *Server) HandleUplink(raw []byte, meta UplinkMeta) error {
 		Freq: meta.Freq, DR: meta.DR,
 		RSSIdBm: meta.RSSIdBm, SNRdB: meta.SNRdB, FCnt: f.FCnt,
 	})
-
-	key := dedupKey{addr, f.FCnt}
-	if p, ok := s.dedup[key]; ok && meta.At-p.firstAt <= s.DedupWindow {
-		p.copies++
-		if meta.SNRdB > p.best.SNRdB {
-			p.best = meta
-		}
-		s.stats.Duplicates++
-		if s.ADREnabled && f.ADR {
-			dev.ADR.Observe(meta.SNRdB)
-		}
-		return nil
-	}
 
 	// New frame: replay guard (allow equality only for the dedup window
 	// handled above; FCnt must grow otherwise).

@@ -1,0 +1,40 @@
+package node
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/phy"
+)
+
+// TestUplinkEncodeAllocBudget pins the steady-state uplink build to at
+// most one heap allocation: the returned on-air slice, which the medium
+// retains for the transmission's lifetime. Key schedules, the frame
+// skeleton, and the MIC path are all reused.
+func TestUplinkEncodeAllocBudget(t *testing.T) {
+	n := New(1, 1, 0x34, phy.Pt(0, 0))
+	payload := make([]byte, n.PayloadLen)
+	if _, err := n.BuildFrame(payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := n.BuildFrame(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("BuildFrame: %v allocs/op, want ≤1 (the returned on-air slice)", allocs)
+	}
+}
+
+// BenchmarkBuildFrame measures the per-uplink encode cost a node pays in
+// the massive-connectivity experiments.
+func BenchmarkBuildFrame(b *testing.B) {
+	n := New(1, 1, 0x34, phy.Pt(0, 0))
+	payload := make([]byte, n.PayloadLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.BuildFrame(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

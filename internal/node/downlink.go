@@ -22,7 +22,10 @@ type Downlink struct {
 // application payload plus the MAC answers. universe is the channel table
 // LinkADRReq channel masks index into.
 func (n *Node) HandleDownlink(raw []byte, universe []region.Channel) (*Downlink, error) {
-	f, err := frame.Decode(raw, n.NwkSKey, &n.AppSKey)
+	// Cached key schedules, but a fresh Frame per call: the returned
+	// Downlink hands its Payload to the caller, which may hold it across
+	// later downlinks.
+	f, err := n.decoder().Decode(raw)
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,7 @@ func (n *Node) SetOTAA(id OTAAIdentity) {
 	n.otaa = &id
 	n.joined = false
 	n.devNonce = uint16(n.ID)*257 + 1
+	n.dropKeySchedules()
 }
 
 // Joined reports whether the node holds a live session.
@@ -60,6 +61,7 @@ func (n *Node) HandleJoinAccept(raw []byte) error {
 	n.DevAddr = acc.DevAddr
 	n.NwkSKey = nwk
 	n.AppSKey = app
+	n.dropKeySchedules()
 	n.joined = true
 	n.fcnt = 0
 

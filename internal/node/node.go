@@ -50,6 +50,41 @@ type Node struct {
 	otaa     *OTAAIdentity
 	joined   bool
 	devNonce uint16
+
+	// enc and dec cache the session's AES key schedules (dropped when a
+	// join installs new keys); fbuf and fport are the reused uplink frame
+	// skeleton, and payloadBuf the reused application-payload scratch, so
+	// a steady-state uplink build allocates only the on-air byte slice the
+	// medium retains.
+	enc        *frame.Encoder
+	dec        *frame.Decoder
+	fbuf       frame.Frame
+	fport      uint8
+	payloadBuf []byte
+}
+
+// encoder returns the node's cached frame encoder, building it on first
+// use.
+func (n *Node) encoder() *frame.Encoder {
+	if n.enc == nil {
+		n.enc = frame.NewEncoder(n.NwkSKey, &n.AppSKey)
+	}
+	return n.enc
+}
+
+// decoder returns the node's cached frame decoder, building it on first
+// use.
+func (n *Node) decoder() *frame.Decoder {
+	if n.dec == nil {
+		n.dec = frame.NewDecoder(n.NwkSKey, &n.AppSKey)
+	}
+	return n.dec
+}
+
+// dropKeySchedules discards the cached codecs after a session-key change.
+func (n *Node) dropKeySchedules() {
+	n.enc = nil
+	n.dec = nil
 }
 
 // New creates a node with LoRaWAN defaults: DR0 (most robust), 14 dBm,
@@ -90,17 +125,20 @@ func (n *Node) NextChannel() region.Channel {
 }
 
 // BuildFrame encodes a real LoRaWAN uplink with the node's session keys.
+// The key schedules are cached across calls, so the only steady-state
+// allocation is the returned slice (which the medium retains for the
+// transmission's lifetime).
 func (n *Node) BuildFrame(payload []byte) ([]byte, error) {
-	p := uint8(1)
-	f := &frame.Frame{
+	n.fport = 1
+	n.fbuf = frame.Frame{
 		MType:   frame.UnconfirmedDataUp,
 		DevAddr: n.DevAddr,
 		ADR:     true,
 		FCnt:    n.fcnt,
-		FPort:   &p,
+		FPort:   &n.fport,
 		Payload: payload,
 	}
-	return frame.Encode(f, n.NwkSKey, &n.AppSKey)
+	return n.encoder().EncodeTo(nil, &n.fbuf)
 }
 
 // CanSend reports whether the duty cycle permits a transmission now.
@@ -132,7 +170,13 @@ func (n *Node) SendOn(med *medium.Medium, ch region.Channel) (*medium.Transmissi
 }
 
 func (n *Node) forceSend(med *medium.Medium, ch region.Channel) (*medium.Transmission, error) {
-	payload := make([]byte, n.PayloadLen)
+	if cap(n.payloadBuf) < n.PayloadLen {
+		n.payloadBuf = make([]byte, n.PayloadLen)
+	}
+	payload := n.payloadBuf[:n.PayloadLen]
+	for i := range payload {
+		payload[i] = 0
+	}
 	payload[0] = byte(n.ID)
 	raw, err := n.BuildFrame(payload)
 	if err != nil {
