@@ -6,6 +6,7 @@
 // Usage:
 //
 //	alphawan-gwsim -server 127.0.0.1:1700 -gateways 3 -devices 16 -duration 30s
+//	alphawan-gwsim -impair drop=0.1,dup=0.05,reorder=0.1,delay=20ms -impair-seed 7
 package main
 
 import (
@@ -32,7 +33,15 @@ func main() {
 	devices := flag.Int("devices", 16, "simulated devices")
 	duration := flag.Duration("duration", 30*time.Second, "simulated duration")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	impair := flag.String("impair", "",
+		"backhaul impairment spec, e.g. drop=0.1,dup=0.05,reorder=0.1,delay=20ms")
+	impairSeed := flag.Int64("impair-seed", 1, "impairment RNG seed")
 	flag.Parse()
+
+	imp, err := udpfwd.ParseImpairment(*impair)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	env := phy.Urban(*seed)
 	env.ShadowSigma = 0
@@ -52,6 +61,11 @@ func main() {
 			log.Fatalf("forwarder %d: %v", i, err)
 		}
 		defer fwd.Close()
+		// Each gateway's backhaul gets its own RNG stream so the fleet's
+		// impairments are independent but reproducible run to run.
+		if err := fwd.SetImpairment(imp, *impairSeed+int64(i)); err != nil {
+			log.Fatalf("forwarder %d: %v", i, err)
+		}
 		gw.Uplinks.Subscribe(func(u gateway.Uplink) {
 			rx := udpfwd.RXPK{
 				Tmst: uint32(u.At), Freq: float64(u.TX.Channel.Center) / 1e6,

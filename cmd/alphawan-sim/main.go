@@ -8,18 +8,21 @@
 //	alphawan-sim -run fig02a [-seed 1] [-csv]
 //	alphawan-sim -run all [-parallel 8]
 //	alphawan-sim -trace out.jsonl [-seed 1] [-progress]
+//	alphawan-sim -faults plan.json [-trace out.jsonl] [-seed 1]
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	"github.com/alphawan/alphawan/internal/events/sinks"
 	"github.com/alphawan/alphawan/internal/experiments"
+	"github.com/alphawan/alphawan/internal/faults"
 	"github.com/alphawan/alphawan/internal/metrics"
 	"github.com/alphawan/alphawan/internal/runner"
 )
@@ -33,6 +36,8 @@ func main() {
 		"worker cap for experiment cells: 0 = GOMAXPROCS (default), 1 = serial")
 	trace := flag.String("trace", "",
 		"write a packet-lifecycle JSONL trace of the built-in two-operator scenario to this file")
+	faultsPlan := flag.String("faults", "",
+		"inject the fault plan (JSON, see examples/faultplans) into the built-in scenario and report invariants")
 	progress := flag.Bool("progress", false,
 		"with -trace: print periodic run-summary counters to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -71,6 +76,8 @@ func main() {
 	}
 
 	switch {
+	case *faultsPlan != "":
+		runChaos(*faultsPlan, *trace, *seed, *progress)
 	case *trace != "":
 		runTrace(*trace, *seed, *progress)
 	case *list:
@@ -126,6 +133,79 @@ func runTrace(path string, seed int64, progress bool) {
 	for c := metrics.DecoderContentionIntra; c <= metrics.Others; c++ {
 		fmt.Printf("  lost to %-26s %d\n", c.String()+":", tot.Losses[c])
 	}
+}
+
+// runChaos runs the built-in scenario with a fault plan injected,
+// optionally tracing, and prints the episode schedule, the injector's
+// intervention counters, the final loss breakdown, and the invariant
+// verdict. A run with invariant violations exits non-zero.
+func runChaos(planPath, tracePath string, seed int64, progress bool) {
+	plan, err := faults.LoadPlan(planPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alphawan-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer
+	var f *os.File
+	var bw *bufio.Writer
+	if tracePath != "" {
+		f, err = os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alphawan-sim: %v\n", err)
+			os.Exit(1)
+		}
+		bw = bufio.NewWriter(f)
+		w = bw
+	}
+	var prog *os.File
+	if progress {
+		prog = os.Stderr
+	}
+
+	n, tr, inj, inv := sinks.RunChaosDemo(seed, plan, w, prog)
+
+	if bw != nil {
+		if err := tr.Err(); err == nil {
+			err = bw.Flush()
+		} else {
+			bw.Flush()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alphawan-sim: trace write: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d records -> %s\n", tr.Records(), tracePath)
+	}
+
+	fmt.Printf("fault plan: %s (%d episodes)\n", planPath, len(plan.Episodes))
+	for i := range plan.Episodes {
+		fmt.Printf("  %s\n", &plan.Episodes[i])
+	}
+	st := inj.Stats()
+	fmt.Printf("injected: backhaul drop=%d dup=%d reorder=%d delayed=%d; commands drop=%d delayed=%d\n",
+		st.BackhaulDropped, st.BackhaulDuplicated, st.BackhaulReordered, st.BackhaulDelayed,
+		st.CommandsDropped, st.CommandsDelayed)
+
+	tot := n.Col.Total()
+	fmt.Printf("sent=%d received=%d PRR=%.1f%%\n", tot.Sent, tot.Received, 100*tot.PRR())
+	for c := metrics.DecoderContentionIntra; c <= metrics.Others; c++ {
+		fmt.Printf("  lost to %-26s %d\n", c.String()+":", tot.Losses[c])
+	}
+
+	violations := inv.Finish()
+	if len(violations) == 0 {
+		fmt.Printf("invariants: all held (%d transmissions checked)\n", inv.Started())
+		return
+	}
+	fmt.Printf("invariants: %d VIOLATIONS\n", len(violations))
+	for _, v := range violations {
+		fmt.Printf("  %s\n", v)
+	}
+	os.Exit(1)
 }
 
 func runOne(e experiments.Experiment, seed int64, csv bool) {

@@ -126,6 +126,17 @@ func (s *Sim) At(t Time, fn func()) EventID {
 // After schedules fn after delay d from now.
 func (s *Sim) After(d Time, fn func()) EventID { return s.At(s.now+d, fn) }
 
+// AtOrNow schedules fn at t, clamping to the current time when t has
+// already passed — unlike At, which panics on past times. Fault plans use
+// this so an episode whose window opened before the plan was attached
+// still begins (immediately) instead of crashing the run.
+func (s *Sim) AtOrNow(t Time, fn func()) EventID {
+	if t < s.now {
+		t = s.now
+	}
+	return s.At(t, fn)
+}
+
 // Cancel removes a scheduled event from the queue. Cancelling an
 // already-fired or already-cancelled event is a no-op (the slot's seq
 // guard rejects stale ids even after the slot is recycled).

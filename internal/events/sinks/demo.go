@@ -5,6 +5,7 @@ import (
 
 	"github.com/alphawan/alphawan/internal/baseline"
 	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/faults"
 	"github.com/alphawan/alphawan/internal/phy"
 	"github.com/alphawan/alphawan/internal/radio"
 	"github.com/alphawan/alphawan/internal/region"
@@ -22,14 +23,9 @@ const (
 	demoMeanIval   = des.Second
 )
 
-// RunDemo composes and runs the built-in trace scenario behind
-// `alphawan-sim -trace`: two operators coexist on the same AS923
-// channels, Poisson uplink traffic for 20 s of simulated time. The
-// packet-lifecycle trace goes to trace as JSONL (nil to disable); the
-// periodic run summary goes to progress (nil to disable). It returns
-// the finished network (for final statistics) and the tracer (nil when
-// trace was nil).
-func RunDemo(seed int64, trace, progress io.Writer) (*sim.Network, *Tracer) {
+// buildDemo composes the demo scenario without running it, so the plain
+// trace run and the chaos run share one topology bit for bit.
+func buildDemo(seed int64) *sim.Network {
 	env := phy.Urban(seed)
 	n := sim.New(seed, env)
 	for i := 0; i < 2; i++ {
@@ -43,6 +39,18 @@ func RunDemo(seed int64, trace, progress io.Writer) (*sim.Network, *Tracer) {
 		op.UniformNodes(demoNodesPerOp, demoAreaM, demoAreaM,
 			region.AS923.AllChannels(), seed+int64(i))
 	}
+	return n
+}
+
+// RunDemo composes and runs the built-in trace scenario behind
+// `alphawan-sim -trace`: two operators coexist on the same AS923
+// channels, Poisson uplink traffic for 20 s of simulated time. The
+// packet-lifecycle trace goes to trace as JSONL (nil to disable); the
+// periodic run summary goes to progress (nil to disable). It returns
+// the finished network (for final statistics) and the tracer (nil when
+// trace was nil).
+func RunDemo(seed int64, trace, progress io.Writer) (*sim.Network, *Tracer) {
+	n := buildDemo(seed)
 
 	var tr *Tracer
 	if trace != nil {
@@ -58,4 +66,38 @@ func RunDemo(seed int64, trace, progress io.Writer) (*sim.Network, *Tracer) {
 		sm.Flush()
 	}
 	return n, tr
+}
+
+// RunChaosDemo is RunDemo with a fault plan attached and invariants
+// watched: the scenario behind `alphawan-sim -faults`. The plan's
+// episodes are injected on the demo's DES clock, the tracer (when trace
+// is non-nil) additionally records fault transitions and episode-
+// attributed drops, and the returned Invariants has observed the whole
+// run — call Finish on it for the verdict. With an empty plan the run is
+// byte-identical to RunDemo at the same seed.
+func RunChaosDemo(seed int64, plan *faults.Plan, trace, progress io.Writer) (*sim.Network, *Tracer, *faults.Injector, *faults.Invariants) {
+	n := buildDemo(seed)
+
+	inj, err := faults.Attach(n, plan)
+	if err != nil {
+		panic(err)
+	}
+	inv := faults.Watch(n)
+	inv.WatchInjector(inj)
+
+	var tr *Tracer
+	if trace != nil {
+		tr = Attach(trace, n)
+		tr.ObserveFaults(inj)
+	}
+	var sm *Summary
+	if progress != nil {
+		sm = AttachSummary(progress, n.Sim, n.Col, 5*des.Second)
+	}
+
+	n.RunBackgroundTraffic(0, demoWindow, demoMeanIval)
+	if sm != nil {
+		sm.Flush()
+	}
+	return n, tr, inj, inv
 }

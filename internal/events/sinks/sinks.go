@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/faults"
 	"github.com/alphawan/alphawan/internal/gateway"
 	"github.com/alphawan/alphawan/internal/medium"
 	"github.com/alphawan/alphawan/internal/metrics"
@@ -115,6 +116,11 @@ func (t *Tracer) ObserveMedium(med *medium.Medium) *Tracer {
 		r["gw"] = d.Port.Index()
 		r["reason"] = d.Reason.String()
 		r["inter"] = d.InterNetwork
+		if d.Episode != 0 {
+			// Fault-injected outage: attribute the loss to its episode so
+			// chaos traces separate injected downtime from reboot downtime.
+			r["episode"] = d.Episode
+		}
 		t.emit(r)
 	})
 	med.AirDone.Subscribe(func(tx *medium.Transmission) {
@@ -172,10 +178,31 @@ func (t *Tracer) ObserveServer(sv *netserver.Server, network medium.NetworkID) *
 			"event": "served",
 			"net":   int(network),
 			"dev":   uint32(d.Dev.Addr),
+			"fcnt":  d.FCnt,
 			"fport": int(d.FPort),
 			"gw":    d.Meta.Gateway,
 			"snr":   d.Meta.SNRdB,
 		})
+	})
+	return t
+}
+
+// ObserveFaults subscribes the tracer to a fault injector's episode
+// transitions: one record at each window open ("active":true) and close,
+// carrying the episode id and kind, so a chaos trace can be sliced by
+// what was broken when.
+func (t *Tracer) ObserveFaults(inj *faults.Injector) *Tracer {
+	inj.Events.Subscribe(func(e faults.FaultEvent) {
+		r := map[string]any{
+			"event":   "fault",
+			"episode": e.Episode.ID,
+			"kind":    string(e.Episode.Kind),
+			"active":  e.Active,
+		}
+		if e.Episode.Gateway != nil {
+			r["gw"] = *e.Episode.Gateway
+		}
+		t.emit(r)
 	})
 	return t
 }

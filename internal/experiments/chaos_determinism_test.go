@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/events/sinks"
+	"github.com/alphawan/alphawan/internal/faults"
+	"github.com/alphawan/alphawan/internal/runner"
+)
+
+// TestChaosTraceDeterminism is the chaos counterpart of
+// TestTraceDeterminism: with the same seed AND the same fault plan, two
+// runs must produce byte-identical JSONL traces, identical summary
+// output, identical injector intervention counters, and identical
+// collector totals. Any randomness in the injector that escapes its
+// dedicated stream — or any plan application order depending on map
+// iteration — shows up here as a diff.
+func TestChaosTraceDeterminism(t *testing.T) {
+	const seed = 7
+	run := func() (string, string, faults.Stats, int, int, int) {
+		var trace, prog bytes.Buffer
+		n, tr, inj, inv := sinks.RunChaosDemo(seed, faults.DemoPlan(), &trace, &prog)
+		if err := tr.Err(); err != nil {
+			t.Fatalf("tracer error: %v", err)
+		}
+		if v := inv.Finish(); len(v) != 0 {
+			t.Fatalf("invariant violations under demo plan: %v", v)
+		}
+		tot := n.Col.Total()
+		return trace.String(), prog.String(), inj.Stats(), tot.Sent, tot.Received, tr.Records()
+	}
+	t1, p1, s1, sent1, recv1, rec1 := run()
+	t2, p2, s2, sent2, recv2, rec2 := run()
+	if t1 != t2 {
+		t.Error("chaos trace diverges between identically-seeded runs")
+	}
+	if p1 != p2 {
+		t.Error("chaos summary output diverges between identically-seeded runs")
+	}
+	if s1 != s2 {
+		t.Errorf("injector stats diverge: %+v vs %+v", s1, s2)
+	}
+	if sent1 != sent2 || recv1 != recv2 || rec1 != rec2 {
+		t.Errorf("collector totals diverge: sent %d/%d received %d/%d records %d/%d",
+			sent1, sent2, recv1, recv2, rec1, rec2)
+	}
+	if s1.BackhaulDropped == 0 || s1.BackhaulDuplicated == 0 {
+		t.Errorf("demo plan injected nothing: %+v", s1)
+	}
+}
+
+// TestEmptyPlanMatchesPlainRun pins the no-op contract: attaching an
+// empty fault plan must not perturb the run at all — the chaos path with
+// zero episodes emits exactly the bytes of the plain trace path at the
+// same seed. This is what keeps `-faults` safe to wire into the demo
+// without forking the baseline outputs.
+func TestEmptyPlanMatchesPlainRun(t *testing.T) {
+	const seed = 3
+	var plainTrace, plainProg bytes.Buffer
+	_, tr := sinks.RunDemo(seed, &plainTrace, &plainProg)
+	if err := tr.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+
+	var chaosTrace, chaosProg bytes.Buffer
+	_, ctr, inj, inv := sinks.RunChaosDemo(seed, &faults.Plan{}, &chaosTrace, &chaosProg)
+	if err := ctr.Err(); err != nil {
+		t.Fatalf("chaos tracer error: %v", err)
+	}
+	if v := inv.Finish(); len(v) != 0 {
+		t.Fatalf("invariant violations on an empty plan: %v", v)
+	}
+	if s := inj.Stats(); s != (faults.Stats{}) {
+		t.Errorf("empty plan intervened: %+v", s)
+	}
+
+	if plainTrace.String() != chaosTrace.String() {
+		t.Error("empty-plan chaos trace diverges from the plain trace")
+	}
+	if plainProg.String() != chaosProg.String() {
+		t.Error("empty-plan chaos summary diverges from the plain summary")
+	}
+}
+
+// TestResilienceParallelMatchesSerial extends the runner determinism
+// regression to the chaos sweep: fig-resilience must emit byte-identical
+// tables and notes whether its intensity cells run on one worker or
+// many, with the fault injector active in every cell.
+func TestResilienceParallelMatchesSerial(t *testing.T) {
+	withProfile(t, smallProfile())
+	const seed = 7
+	e, ok := Get("fig-resilience")
+	if !ok {
+		t.Fatal("fig-resilience not registered")
+	}
+	prevW := runner.SetMaxWorkers(1)
+	serial := renderResult(e.Run(seed))
+	runner.SetMaxWorkers(6)
+	parallel := renderResult(e.Run(seed))
+	runner.SetMaxWorkers(prevW)
+	if serial != parallel {
+		t.Errorf("fig-resilience: parallel output diverges from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}

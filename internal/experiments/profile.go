@@ -31,6 +31,10 @@ type profileT struct {
 	// solverPop/solverGens/solverPatience override the CP solver budget
 	// when > 0 — only the shrunken test profile sets them.
 	solverPop, solverGens, solverPatience int
+	// resilNodes/resilWindow size the fault-resilience sweep
+	// (fig-resilience): nodes per operator and measured traffic window.
+	resilNodes  int
+	resilWindow des.Time
 }
 
 func fullProfile() profileT {
@@ -44,6 +48,8 @@ func fullProfile() profileT {
 		fig12cBand:  region.Testbed,
 		fig12cGWs:   15,
 		fig12cSeeds: 10,
+		resilNodes:  40,
+		resilWindow: 90 * des.Second,
 	}
 }
 
@@ -63,6 +69,8 @@ func smallProfile() profileT {
 		solverPop:      24,
 		solverGens:     30,
 		solverPatience: 10,
+		resilNodes:     20,
+		resilWindow:    45 * des.Second,
 	}
 }
 

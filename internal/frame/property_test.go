@@ -1,0 +1,194 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randomKey draws a random 128-bit session key.
+func randomKey(rng *rand.Rand) AESKey {
+	var k AESKey
+	rng.Read(k[:])
+	return k
+}
+
+// TestSessionRoundTripRandomKeys is the codec property test over the
+// whole key space, not just the fixed test keys: for random
+// NwkSKey/AppSKey pairs and random frames, Encoder→Decoder under the
+// same session must reproduce the frame exactly, a decoder holding a
+// different NwkSKey must reject the MIC, and the session bytes must
+// match the one-shot Encode bit for bit.
+func TestSessionRoundTripRandomKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		nwk, app := randomKey(rng), randomKey(rng)
+		enc := NewEncoder(nwk, &app)
+		dec := NewDecoder(nwk, &app)
+		in := randomFrame(rng)
+
+		raw, err := enc.EncodeTo(nil, in)
+		if err != nil {
+			t.Fatalf("iter %d: EncodeTo: %v", i, err)
+		}
+		oneShot, err := Encode(in, nwk, &app)
+		if err != nil {
+			t.Fatalf("iter %d: Encode: %v", i, err)
+		}
+		if !bytes.Equal(raw, oneShot) {
+			t.Fatalf("iter %d: session bytes diverge from one-shot", i)
+		}
+
+		out, err := dec.Decode(raw)
+		if err != nil {
+			t.Fatalf("iter %d: Decode: %v", i, err)
+		}
+		if !framesEqual(in, out) {
+			t.Fatalf("iter %d: round trip mismatch:\nin  %+v\nout %+v", i, in, out)
+		}
+
+		// A decoder on a different network session must reject the frame.
+		wrongNwk := randomKey(rng)
+		if wrongNwk == nwk {
+			continue
+		}
+		if _, err := NewDecoder(wrongNwk, &app).Decode(raw); !errors.Is(err, ErrBadMIC) {
+			t.Fatalf("iter %d: wrong NwkSKey: got %v, want ErrBadMIC", i, err)
+		}
+	}
+}
+
+// TestSessionMICTamperRandom flips one random bit anywhere in randomly
+// generated frames and requires the decoder to reject every mutant: a
+// flip in the body or MIC must fail verification, and a flip in the
+// MHDR may alternatively trip the version/MType checks — but no
+// single-bit flip may ever decode cleanly.
+func TestSessionMICTamperRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	enc := NewEncoder(testNwk, &testApp)
+	dec := NewDecoder(testNwk, &testApp)
+	var f Frame
+	for i := 0; i < 300; i++ {
+		raw, err := enc.EncodeTo(nil, randomFrame(rng))
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		bit := rng.Intn(len(raw) * 8)
+		raw[bit/8] ^= 1 << (bit % 8)
+		if err := dec.DecodeTo(&f, raw); err == nil {
+			t.Fatalf("iter %d: bit flip at %d decoded cleanly (% x)", i, bit, raw)
+		}
+	}
+}
+
+// TestDecodeToDoesNotAliasInput pins the copy semantics of the reuse
+// path: the FOpts and Payload a DecodeTo produces must be backed by the
+// Frame's own buffers, never by the raw datagram — a backhaul that
+// recycles its receive buffer (as udpfwd does) must not be able to
+// corrupt an already-decoded frame.
+func TestDecodeToDoesNotAliasInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	enc := NewEncoder(testNwk, &testApp)
+	dec := NewDecoder(testNwk, &testApp)
+	var f Frame
+	for i := 0; i < 100; i++ {
+		in := randomFrame(rng)
+		raw, err := enc.EncodeTo(nil, in)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if err := dec.DecodeTo(&f, raw); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		fopts := append([]byte(nil), f.FOpts...)
+		payload := append([]byte(nil), f.Payload...)
+		var port *uint8
+		if f.FPort != nil {
+			p := *f.FPort
+			port = &p
+		}
+		// Scribble over the input; the decoded frame must be unaffected.
+		for j := range raw {
+			raw[j] = ^raw[j]
+		}
+		if !bytes.Equal(f.FOpts, fopts) {
+			t.Fatalf("iter %d: FOpts aliases the input datagram", i)
+		}
+		if !bytes.Equal(f.Payload, payload) {
+			t.Fatalf("iter %d: Payload aliases the input datagram", i)
+		}
+		if (f.FPort == nil) != (port == nil) || (port != nil && *f.FPort != *port) {
+			t.Fatalf("iter %d: FPort aliases the input datagram", i)
+		}
+	}
+}
+
+// TestEncodeToPreservesInputAndPrefix pins the other half of the
+// aliasing contract: EncodeTo encrypts in its output scratch, never in
+// the caller's Frame (Payload must read back plaintext afterwards), and
+// appending to a non-empty dst leaves the existing prefix intact.
+func TestEncodeToPreservesInputAndPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	enc := NewEncoder(testNwk, &testApp)
+	scratch := make([]byte, 0, 256)
+	for i := 0; i < 100; i++ {
+		in := randomFrame(rng)
+		fopts := append([]byte(nil), in.FOpts...)
+		payload := append([]byte(nil), in.Payload...)
+
+		prefix := make([]byte, rng.Intn(8))
+		rng.Read(prefix)
+		dst := append(scratch[:0], prefix...)
+		out, err := enc.EncodeTo(dst, in)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if !bytes.Equal(out[:len(prefix)], prefix) {
+			t.Fatalf("iter %d: EncodeTo clobbered the dst prefix", i)
+		}
+		want, err := Encode(in, testNwk, &testApp)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if !bytes.Equal(out[len(prefix):], want) {
+			t.Fatalf("iter %d: appended bytes diverge from one-shot encode", i)
+		}
+		if !bytes.Equal(in.FOpts, fopts) || !bytes.Equal(in.Payload, payload) {
+			t.Fatalf("iter %d: EncodeTo mutated the input frame", i)
+		}
+	}
+}
+
+// TestSessionWireFCnt16 pins the on-air counter width through the
+// session codecs: only the low 16 bits travel in the FHDR while the MIC
+// is computed over the full 32-bit value, so a frame encoded with a
+// high FCnt must fail MIC verification in a decoder that reconstructs
+// only the truncated counter — the exact ambiguity the network server's
+// replay guard compensates for.
+func TestSessionWireFCnt16(t *testing.T) {
+	enc := NewEncoder(testNwk, &testApp)
+	dec := NewDecoder(testNwk, &testApp)
+
+	in := &Frame{MType: UnconfirmedDataUp, DevAddr: 9, FCnt: 0xFFFF}
+	raw, err := enc.EncodeTo(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dec.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FCnt != 0xFFFF {
+		t.Errorf("FCnt = %d, want 65535", out.FCnt)
+	}
+
+	in.FCnt = 0x1_0002
+	raw, err = enc.EncodeTo(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(raw); !errors.Is(err, ErrBadMIC) {
+		t.Errorf("high FCnt: got %v, want ErrBadMIC (16-bit wire counter)", err)
+	}
+}

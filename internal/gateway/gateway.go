@@ -138,6 +138,21 @@ func (g *Gateway) ApplyConfig(cfg radio.Config) (upAt des.Time, err error) {
 	return upAt, nil
 }
 
+// SetFaultOutage forces the gateway offline (or back online) for fault
+// injection, attributing the downtime's drops to the episode id. Unlike
+// ApplyConfig it changes no radio settings and publishes no ConfigEvent:
+// a crashed backhaul or power loss does not reconfigure anything. A
+// gateway already down (rebooting) stays down; the episode attribution
+// takes over for the overlap.
+func (g *Gateway) SetFaultOutage(down bool, episode int64) {
+	if down {
+		g.port.SetDownEpisode(episode)
+		g.port.SetDown(true)
+		return
+	}
+	g.port.SetDown(false)
+}
+
 // ApplyConfigInstant installs a configuration with no downtime — used to
 // set up initial deployments before a run starts.
 func (g *Gateway) ApplyConfigInstant(cfg radio.Config) error {

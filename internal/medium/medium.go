@@ -79,6 +79,11 @@ type Port struct {
 
 	// down is set while the gateway reboots; a down port hears nothing.
 	down bool
+	// downEpisode attributes the current downtime to a fault-injection
+	// episode (0 = ordinary reboot downtime). Carried on every
+	// DropGatewayDown emitted while the port is down, so traces
+	// distinguish injected outages from reconfiguration reboots.
+	downEpisode int64
 	// id is the port's registration index.
 	id  int
 	med *Medium
@@ -103,6 +108,9 @@ func (p *Port) SetDown(down bool) {
 		return
 	}
 	p.down = down
+	if !down {
+		p.downEpisode = 0
+	}
 	if p.med != nil {
 		if down {
 			p.med.downPorts++
@@ -111,6 +119,14 @@ func (p *Port) SetDown(down bool) {
 		}
 	}
 }
+
+// SetDownEpisode records which fault episode the port's downtime belongs
+// to. Call before SetDown(true); coming back up clears it.
+func (p *Port) SetDownEpisode(episode int64) { p.downEpisode = episode }
+
+// DownEpisode returns the fault episode attributed to the current
+// downtime (0 when the port is up or down for an ordinary reboot).
+func (p *Port) DownEpisode() int64 { return p.downEpisode }
 
 // Delivery reports a successful own-network packet reception at a port,
 // with the metadata a real gateway forwards to the network server.
@@ -131,6 +147,9 @@ type Drop struct {
 	// belonged to another network. Drives the intra/inter split of
 	// Figure 4.
 	InterNetwork bool
+	// Episode attributes a DropGatewayDown to the fault-injection episode
+	// that took the port offline (0 for ordinary reboot downtime).
+	Episode int64
 }
 
 // LockOnEvent reports a packet entering a port's reception pipeline at
@@ -565,7 +584,7 @@ func (m *Medium) Transmit(tx Transmission) *Transmission {
 		// port, as the full port scan used to.
 		for _, p := range m.ports {
 			if p.down {
-				m.emitDrop(Drop{Port: p, TX: t, Reason: radio.DropGatewayDown})
+				m.emitDrop(Drop{Port: p, TX: t, Reason: radio.DropGatewayDown, Episode: p.downEpisode})
 			}
 		}
 	}

@@ -95,8 +95,12 @@ type UplinkMeta struct {
 // synchronous Served dispatch, and subscribers that retain it past their
 // callback must copy.
 type Data struct {
-	Dev     *Device
-	FPort   uint8
+	Dev   *Device
+	FPort uint8
+	// FCnt is the uplink frame counter of the delivered frame —
+	// chaos-test invariants assert it is strictly increasing per device
+	// even when the backhaul duplicates or reorders gateway datagrams.
+	FCnt    uint32
 	Payload []byte
 	Meta    UplinkMeta // best-SNR copy
 	Copies  int
@@ -281,7 +285,7 @@ func (s *Server) HandleUplink(raw []byte, meta UplinkMeta) error {
 
 	s.stats.Delivered++
 	if f.FPort != nil && *f.FPort > 0 {
-		s.Served.Publish(Data{Dev: dev, FPort: *f.FPort, Payload: f.Payload, Meta: meta, Copies: 1})
+		s.Served.Publish(Data{Dev: dev, FPort: *f.FPort, FCnt: f.FCnt, Payload: f.Payload, Meta: meta, Copies: 1})
 	}
 
 	if s.ADREnabled && f.ADR {

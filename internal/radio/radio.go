@@ -209,6 +209,11 @@ type Radio struct {
 
 	busy        int // decoders in use
 	busyForeign int // decoders held by foreign-network packets
+	// poolLimit caps the usable decoder pool when > 0 (fault injection:
+	// partial decoder degradation, e.g. 16→8 mid-run). Decodes in flight
+	// when the limit drops keep their decoders until completion; only new
+	// allocations honor the reduced pool.
+	poolLimit int
 
 	// Results publishes the fate of every packet that reached the
 	// dispatcher (delivered or dropped, including foreign packets). The
@@ -268,8 +273,37 @@ func (r *Radio) ResetStats() { r.stats = Stats{} }
 // InUse returns the number of decoders currently occupied.
 func (r *Radio) InUse() int { return r.busy }
 
-// FreeDecoders returns the number of idle decoders.
-func (r *Radio) FreeDecoders() int { return r.chipset.Decoders - r.busy }
+// DecoderLimit returns the effective decoder-pool size: the chipset's
+// pool, or the degraded cap installed by SetDecoderLimit.
+func (r *Radio) DecoderLimit() int {
+	if r.poolLimit > 0 && r.poolLimit < r.chipset.Decoders {
+		return r.poolLimit
+	}
+	return r.chipset.Decoders
+}
+
+// SetDecoderLimit degrades the decoder pool to n concurrent decodes
+// (n <= 0 or n >= the chipset pool restores the full pool). Decodes
+// already in flight finish on their decoders; the limit only gates new
+// lock-ons, so InUse may transiently exceed a freshly lowered limit while
+// the pool drains. Fault injection uses this to model partial decoder
+// failure without detaching the radio.
+func (r *Radio) SetDecoderLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.poolLimit = n
+}
+
+// FreeDecoders returns the number of idle decoders under the effective
+// pool limit (never negative, even while a lowered limit drains).
+func (r *Radio) FreeDecoders() int {
+	free := r.DecoderLimit() - r.busy
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
 
 // ForeignInUse returns how many occupied decoders are currently decoding
 // packets from other networks. A real gateway cannot know this (that is
@@ -351,7 +385,7 @@ func (k *decodeTask) finish() {
 // LockOn must be called at simulation time m.LockOn.
 func (r *Radio) LockOn(m Meta, judge Judge) bool {
 	r.stats.TotalSeen++
-	if r.busy >= r.chipset.Decoders {
+	if r.busy >= r.DecoderLimit() {
 		r.stats.NoDecoder++
 		r.emit(Result{Meta: m, Reason: DropNoDecoder})
 		return false

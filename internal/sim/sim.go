@@ -32,6 +32,17 @@ func SyncWords(i int) lora.SyncWord {
 	return words[i%len(words)]
 }
 
+// Backhaul delivers one gateway uplink copy toward the operator's network
+// server. The default implementation calls Server.HandleUplink directly
+// (the simulated equivalent of a perfect IP backhaul); fault injection
+// wraps it to drop, duplicate, delay, or reorder datagrams.
+type Backhaul func(gw *gateway.Gateway, raw []byte, meta netserver.UplinkMeta)
+
+// CommandDelivery applies one server downlink command batch to the
+// operator's end devices. The default applies MAC commands instantly;
+// fault injection wraps it to model slow or failed downlink scheduling.
+type CommandDelivery func(c netserver.Command)
+
 // Operator is one network operator in a scenario.
 type Operator struct {
 	ID     medium.NetworkID
@@ -41,8 +52,43 @@ type Operator struct {
 	Gateways []*gateway.Gateway
 	Nodes    []*node.Node
 
-	byAddr map[frame.DevAddr]*node.Node
-	net    *Network
+	byAddr   map[frame.DevAddr]*node.Node
+	net      *Network
+	backhaul Backhaul
+	deliver  CommandDelivery
+}
+
+// Backhaul returns the operator's current gateway→server delivery
+// function (useful to capture before wrapping it).
+func (op *Operator) Backhaul() Backhaul { return op.backhaul }
+
+// SetBackhaul replaces the gateway→server delivery function for every
+// current and future gateway of the operator.
+func (op *Operator) SetBackhaul(b Backhaul) { op.backhaul = b }
+
+// CommandDelivery returns the operator's current downlink command
+// application function.
+func (op *Operator) CommandDelivery() CommandDelivery { return op.deliver }
+
+// SetCommandDelivery replaces the downlink command application function.
+func (op *Operator) SetCommandDelivery(d CommandDelivery) { op.deliver = d }
+
+// ApplyCommands applies a server command batch to the addressed node
+// directly — the default CommandDelivery, exposed so fault wrappers can
+// fall through to it.
+func (op *Operator) ApplyCommands(c netserver.Command) {
+	nd, ok := op.byAddr[c.Dev.Addr]
+	if !ok {
+		return
+	}
+	for _, cmd := range c.Cmds {
+		switch {
+		case cmd.LinkADR != nil:
+			nd.HandleLinkADR(*cmd.LinkADR, nd.Channels)
+		case cmd.NewChannel != nil:
+			nd.HandleNewChannel(*cmd.NewChannel)
+		}
+	}
 }
 
 // Network is a composed scenario.
@@ -77,20 +123,11 @@ func (n *Network) AddOperator() *Operator {
 		byAddr: make(map[frame.DevAddr]*node.Node),
 		net:    n,
 	}
-	op.Server.Commands.Subscribe(func(c netserver.Command) {
-		nd, ok := op.byAddr[c.Dev.Addr]
-		if !ok {
-			return
-		}
-		for _, cmd := range c.Cmds {
-			switch {
-			case cmd.LinkADR != nil:
-				nd.HandleLinkADR(*cmd.LinkADR, nd.Channels)
-			case cmd.NewChannel != nil:
-				nd.HandleNewChannel(*cmd.NewChannel)
-			}
-		}
-	})
+	op.backhaul = func(_ *gateway.Gateway, raw []byte, meta netserver.UplinkMeta) {
+		op.Server.HandleUplink(raw, meta)
+	}
+	op.deliver = op.ApplyCommands
+	op.Server.Commands.Subscribe(func(c netserver.Command) { op.deliver(c) })
 	n.Operators = append(n.Operators, op)
 	return op
 }
@@ -108,7 +145,7 @@ func (op *Operator) AddGateway(model radio.GatewayModel, pos phy.Point, cfg radi
 		if u.TX.Raw == nil {
 			return
 		}
-		op.Server.HandleUplink(u.TX.Raw, netserver.UplinkMeta{
+		op.backhaul(u.GW, u.TX.Raw, netserver.UplinkMeta{
 			Gateway: u.GW.ID, Freq: u.TX.Channel.Center, DR: u.TX.DR,
 			RSSIdBm: u.Meta.RSSIdBm, SNRdB: u.Meta.SNRdB, At: u.At,
 		})

@@ -163,6 +163,9 @@ type Forwarder struct {
 	downlinks chan TXPK
 	closed    chan struct{}
 	once      sync.Once
+	// impair, when non-nil, makes every outbound datagram traverse a
+	// lossy backhaul (see SetImpairment).
+	impair *impairState
 
 	// RetryInterval and MaxRetries govern PUSH_DATA retransmission.
 	RetryInterval time.Duration
@@ -196,8 +199,15 @@ func NewForwarder(eui EUI, serverAddr string, keepalive time.Duration) (*Forward
 // Downlinks returns the channel of PULL_RESP downlinks from the server.
 func (f *Forwarder) Downlinks() <-chan TXPK { return f.downlinks }
 
-// Close shuts the forwarder down.
+// Close shuts the forwarder down, first flushing any datagram the
+// impairment's reorder swap is holding.
 func (f *Forwarder) Close() error {
+	f.mu.Lock()
+	st := f.impair
+	f.mu.Unlock()
+	if st != nil {
+		st.flushHeld(f)
+	}
 	f.once.Do(func() { close(f.closed) })
 	return f.conn.Close()
 }
@@ -265,7 +275,7 @@ func (f *Forwarder) sendPullData() {
 	if err != nil {
 		return
 	}
-	f.conn.Write(raw)
+	f.write(raw)
 }
 
 // Push sends a PUSH_DATA with the given rxpks and waits for the PUSH_ACK,
@@ -289,7 +299,7 @@ func (f *Forwarder) Push(rxpks []RXPK, stat *Stat) error {
 	}()
 
 	for attempt := 0; attempt <= f.MaxRetries; attempt++ {
-		if _, err := f.conn.Write(raw); err != nil {
+		if err := f.write(raw); err != nil {
 			return err
 		}
 		select {

@@ -1,0 +1,226 @@
+package udpfwd
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Impairment describes a lossy backhaul applied to a Forwarder's
+// outbound datagrams — the live-stack counterpart of the simulator's
+// backhaul fault episodes, so alphawan-gwsim can exercise the server's
+// dedup and retransmission paths over real UDP.
+type Impairment struct {
+	// Drop is the probability a datagram is silently discarded.
+	Drop float64
+	// Duplicate is the probability a datagram is sent twice.
+	Duplicate float64
+	// Reorder is the probability a datagram is held back and emitted
+	// after the next one (a one-deep swap; a held datagram is never
+	// lost — Close flushes it).
+	Reorder float64
+	// Delay postpones a datagram's transmission by a fixed amount.
+	Delay time.Duration
+}
+
+// zero reports whether the impairment does nothing.
+func (im Impairment) zero() bool {
+	return im.Drop == 0 && im.Duplicate == 0 && im.Reorder == 0 && im.Delay == 0
+}
+
+func (im Impairment) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", im.Drop}, {"dup", im.Duplicate}, {"reorder", im.Reorder}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("udpfwd: impairment %s=%v outside [0,1]", p.name, p.v)
+		}
+	}
+	if im.Delay < 0 {
+		return fmt.Errorf("udpfwd: impairment delay %v negative", im.Delay)
+	}
+	return nil
+}
+
+// ParseImpairment parses the comma-separated spec used by the
+// alphawan-gwsim -impair flag: "drop=0.1,dup=0.05,reorder=0.1,delay=20ms".
+// Keys may appear in any order and any subset; an empty spec is the zero
+// impairment.
+func ParseImpairment(spec string) (Impairment, error) {
+	var im Impairment
+	if strings.TrimSpace(spec) == "" {
+		return im, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return im, fmt.Errorf("udpfwd: impairment term %q is not key=value", part)
+		}
+		switch k {
+		case "drop", "dup", "reorder":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return im, fmt.Errorf("udpfwd: impairment %s: %w", k, err)
+			}
+			switch k {
+			case "drop":
+				im.Drop = p
+			case "dup":
+				im.Duplicate = p
+			case "reorder":
+				im.Reorder = p
+			}
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return im, fmt.Errorf("udpfwd: impairment delay: %w", err)
+			}
+			im.Delay = d
+		default:
+			return im, fmt.Errorf("udpfwd: unknown impairment key %q", k)
+		}
+	}
+	return im, im.validate()
+}
+
+// ImpairStats counts the interventions an impairment performed.
+type ImpairStats struct {
+	Dropped    int
+	Duplicated int
+	Reordered  int
+	Delayed    int
+}
+
+// impairState is the Forwarder-attached impairment: its own seeded RNG
+// (independent of everything else in the process, so runs with the same
+// seed impair the same datagrams) plus the one-deep reorder slot.
+type impairState struct {
+	mu    sync.Mutex
+	imp   Impairment
+	rng   *rand.Rand
+	held  []byte
+	stats ImpairStats
+}
+
+// SetImpairment attaches (or, with a zero Impairment, detaches) a lossy
+// send path to the forwarder. The seed fixes the impairment's RNG so a
+// rerun impairs identically. Returns an error if a probability is
+// outside [0,1] or the delay is negative.
+func (f *Forwarder) SetImpairment(im Impairment, seed int64) error {
+	if err := im.validate(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if im.zero() {
+		f.impair = nil
+		return nil
+	}
+	f.impair = &impairState{imp: im, rng: rand.New(rand.NewSource(seed))}
+	return nil
+}
+
+// ImpairStats returns the intervention counters of the attached
+// impairment (zero when none is attached).
+func (f *Forwarder) ImpairStats() ImpairStats {
+	f.mu.Lock()
+	st := f.impair
+	f.mu.Unlock()
+	if st == nil {
+		return ImpairStats{}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
+// write sends one datagram through the impairment when one is attached,
+// directly otherwise. All Forwarder transmissions (PUSH_DATA attempts
+// and PULL_DATA keepalives) funnel through here.
+func (f *Forwarder) write(raw []byte) error {
+	f.mu.Lock()
+	st := f.impair
+	f.mu.Unlock()
+	if st == nil {
+		_, err := f.conn.Write(raw)
+		return err
+	}
+	return st.write(f, raw)
+}
+
+// write applies the impairment coins in a fixed order — drop, then the
+// reorder swap, then duplication and delay — mirroring the simulator's
+// backhaul injector so the two chaos paths age their RNG the same way.
+func (st *impairState) write(f *Forwarder, raw []byte) error {
+	st.mu.Lock()
+	im := st.imp
+	if im.Drop > 0 && st.rng.Float64() < im.Drop {
+		st.stats.Dropped++
+		st.mu.Unlock()
+		return nil
+	}
+	var flush []byte
+	if held := st.held; held != nil {
+		// A datagram is waiting: send the current one first, then the
+		// held one — the swap that completes the reorder.
+		flush = held
+		st.held = nil
+	} else if im.Reorder > 0 && st.rng.Float64() < im.Reorder {
+		st.stats.Reordered++
+		st.held = append([]byte(nil), raw...)
+		st.mu.Unlock()
+		return nil
+	}
+	dup := im.Duplicate > 0 && st.rng.Float64() < im.Duplicate
+	if dup {
+		st.stats.Duplicated++
+	}
+	if im.Delay > 0 {
+		st.stats.Delayed++
+	}
+	st.mu.Unlock()
+
+	send := func(b []byte) error {
+		if im.Delay > 0 {
+			c := append([]byte(nil), b...)
+			time.AfterFunc(im.Delay, func() {
+				select {
+				case <-f.closed:
+				default:
+					f.conn.Write(c)
+				}
+			})
+			return nil
+		}
+		_, err := f.conn.Write(b)
+		return err
+	}
+	if err := send(raw); err != nil {
+		return err
+	}
+	if dup {
+		if err := send(raw); err != nil {
+			return err
+		}
+	}
+	if flush != nil {
+		return send(flush)
+	}
+	return nil
+}
+
+// flushHeld emits a datagram parked by the reorder swap, so Close never
+// strands an uplink.
+func (st *impairState) flushHeld(f *Forwarder) {
+	st.mu.Lock()
+	held := st.held
+	st.held = nil
+	st.mu.Unlock()
+	if held != nil {
+		f.conn.Write(held)
+	}
+}
