@@ -105,3 +105,26 @@ func BenchmarkAblationPreFilter(b *testing.B)        { runExperiment(b, "abl-pre
 func BenchmarkAblationSeeding(b *testing.B)          { runExperiment(b, "abl-seeding") }
 func BenchmarkAblationOverlapThreshold(b *testing.B) { runExperiment(b, "abl-overlap") }
 func BenchmarkAblationTrafficWindows(b *testing.B)   { runExperiment(b, "abl-trafficwin") }
+
+// City-scale smoke: the 50k-device sharded-SoA run CI gates on. The full
+// city-1M sweep (up to a million devices, three strategies) is not a
+// testing.B benchmark — the CI bench smoke runs every benchmark once —
+// but is available as `alphawan-bench -only city-1M`.
+func BenchmarkCitySmoke(b *testing.B) {
+	e, ok := experiments.Get("city-smoke")
+	if !ok {
+		b.Fatal("city-smoke not registered")
+	}
+	b.ReportAllocs()
+	var devices int
+	for i := 0; i < b.N; i++ {
+		res := e.Run(1)
+		if res.Table.Rows() == 0 {
+			b.Fatal("city-smoke produced no rows")
+		}
+		devices = res.Devices
+	}
+	if devices > 0 {
+		b.ReportMetric(float64(devices)/b.Elapsed().Seconds()*float64(b.N), "devices/sec")
+	}
+}

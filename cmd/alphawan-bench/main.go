@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -43,6 +44,16 @@ type benchResult struct {
 	// the same quantities `go test -benchmem` reports.
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Devices is the simulated end-device population when the experiment
+	// reports one (the city-scale runs); the derived throughput and
+	// footprint columns below divide by it.
+	Devices        int     `json:"devices,omitempty"`
+	DevicesPerSec  float64 `json:"devices_per_sec,omitempty"`
+	BytesPerDevice int64   `json:"bytes_per_device,omitempty"`
+	// PeakRSSBytes is the process's high-water resident set (VmHWM) after
+	// the timed runs — only meaningful with -isolate, where the child
+	// process ran exactly one experiment. 0 when unavailable.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // benchFile is the BENCH_<n>.json schema.
@@ -176,6 +187,10 @@ func main() {
 		fmt.Printf("%-14s %12d ns/op %14d B/op %12d allocs/op  (%s)\n",
 			res.ID, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp,
 			time.Duration(res.NsPerOp).Round(time.Millisecond))
+		if res.Devices > 0 {
+			fmt.Printf("%-14s %12d devices %10.0f devices/sec %8d B/device  peak RSS %d MiB\n",
+				"", res.Devices, res.DevicesPerSec, res.BytesPerDevice, res.PeakRSSBytes>>20)
+		}
 	}
 
 	if *memprofile != "" {
@@ -225,11 +240,12 @@ func measure(e experiments.Experiment, seed int64, runs int, mintime time.Durati
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	done, batch := 0, runs
+	devices := 0
 	var total time.Duration
 	t0 := time.Now()
 	for {
 		for r := 0; r < batch; r++ {
-			e.Run(seed)
+			devices = e.Run(seed).Devices
 		}
 		done += batch
 		total = time.Since(t0)
@@ -240,12 +256,43 @@ func measure(e experiments.Experiment, seed int64, runs int, mintime time.Durati
 	}
 	runtime.ReadMemStats(&ms1)
 	n := int64(done)
-	return benchResult{
+	res := benchResult{
 		ID: e.ID, Runs: done,
-		NsPerOp:     total.Nanoseconds() / n,
-		AllocsPerOp: int64(ms1.Mallocs-ms0.Mallocs) / n,
-		BytesPerOp:  int64(ms1.TotalAlloc-ms0.TotalAlloc) / n,
+		NsPerOp:      total.Nanoseconds() / n,
+		AllocsPerOp:  int64(ms1.Mallocs-ms0.Mallocs) / n,
+		BytesPerOp:   int64(ms1.TotalAlloc-ms0.TotalAlloc) / n,
+		PeakRSSBytes: peakRSS(),
 	}
+	if devices > 0 {
+		res.Devices = devices
+		res.DevicesPerSec = float64(devices) / (float64(res.NsPerOp) / 1e9)
+		res.BytesPerDevice = res.BytesPerOp / int64(devices)
+	}
+	return res
+}
+
+// peakRSS reads the process's resident-set high-water mark (VmHWM) from
+// /proc/self/status, in bytes. Returns 0 where procfs is unavailable.
+func peakRSS() int64 {
+	buf, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
 }
 
 // measureIsolated re-execs this binary for a single experiment id and

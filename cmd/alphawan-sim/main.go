@@ -220,5 +220,10 @@ func runOne(e experiments.Experiment, seed int64, csv bool) {
 	for _, n := range res.Notes {
 		fmt.Printf("-> %s\n", n)
 	}
+	// Sidecar lines are wall-clock/host-bound observations: informative,
+	// but excluded from the deterministic, seed-reproducible output above.
+	for _, s := range res.Sidecar {
+		fmt.Printf("~> %s\n", s)
+	}
 	fmt.Println()
 }

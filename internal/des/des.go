@@ -92,13 +92,27 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // NewStream derives an independent deterministic random stream, e.g. one
 // per node, so that adding a node does not perturb every other node's
 // draws.
-func (s *Sim) NewStream(id int64) *rand.Rand {
-	// SplitMix-style mixing of the seed and stream id.
-	z := uint64(s.seed) + uint64(id)*0x9E3779B97F4A7C15
+func (s *Sim) NewStream(id int64) *rand.Rand { return Stream(s.seed, id) }
+
+// Stream is the stream derivation behind Sim.NewStream, usable without a
+// Sim: the (seed, id) pair fully determines the returned source. The
+// struct-of-arrays simulation core shares this derivation so its compact
+// per-device generators are seeded exactly like a Sim-owned stream.
+func Stream(seed, id int64) *rand.Rand {
+	return rand.New(rand.NewSource(StreamSeed(seed, id)))
+}
+
+// StreamSeed mixes a run seed and a stream id into the source seed
+// Stream uses (SplitMix-style finalization). Components that keep only a
+// few bytes of RNG state per entity — instead of a full *rand.Rand — can
+// use the returned value as their initial state and still inherit the
+// per-(seed, id) independence of NewStream.
+func StreamSeed(seed, id int64) int64 {
+	z := uint64(seed) + uint64(id)*0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
-	return rand.New(rand.NewSource(int64(z)))
+	return int64(z)
 }
 
 // At schedules fn at absolute time t, which must not be in the past.

@@ -34,8 +34,12 @@ func renderResult(r *Result) string {
 // runner: the registered multi-cell experiments must emit byte-identical
 // tables and notes whether cells run on one worker or many, at the same
 // seed. It covers fig04a (user-scale sweep), fig13 (strategy × scale
-// grid), and fig12c (the city144 contention workload) on the shrunken
-// profile so the whole comparison stays tier-1 fast.
+// grid), fig12c (the city144 contention workload), fig17 (whose
+// wall-clock latencies now live in the sidecar, so its table and notes
+// are held to the same standard as everyone else's), and the two sharded
+// city-scale experiments (whose cell sweeps parallelize inside the SoA
+// core) on the shrunken profile so the whole comparison stays tier-1
+// fast.
 // TestTraceDeterminism is the event-order regression for the bus: with
 // the same seed and the same subscriber set (the full sink stack on the
 // built-in trace scenario), two runs must produce byte-identical JSONL
@@ -69,7 +73,7 @@ func TestTraceDeterminism(t *testing.T) {
 func TestParallelMatchesSerial(t *testing.T) {
 	withProfile(t, smallProfile())
 	const seed = 7
-	for _, id := range []string{"fig04a", "fig13", "fig12c"} {
+	for _, id := range []string{"fig04a", "fig13", "fig12c", "fig17", "city-smoke", "city-1M"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			e, ok := Get(id)

@@ -19,11 +19,26 @@ type Result struct {
 	// Notes carries the headline observations — the claims to compare
 	// against the paper (EXPERIMENTS.md is generated from these).
 	Notes []string
+	// Sidecar carries wall-clock measurements and other host-dependent
+	// observations. Everything in Table and Notes is byte-identical per
+	// seed; anything that depends on the machine or the moment goes
+	// here, clearly delimited, and the determinism tests ignore it.
+	Sidecar []string
+	// Devices is the total number of simulated end devices, when the
+	// experiment tracks it — the denominator of the bench harness's
+	// devices/sec and bytes/device reporting.
+	Devices int
 }
 
 // Note appends a formatted observation.
 func (r *Result) Note(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Sidecarf appends a formatted wall-clock (non-deterministic) sidecar
+// line.
+func (r *Result) Sidecarf(format string, args ...any) {
+	r.Sidecar = append(r.Sidecar, fmt.Sprintf(format, args...))
 }
 
 // Experiment is one table/figure reproduction.

@@ -14,6 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12a", "fig12b", "fig12c", "fig12de", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig21", "table1", "table4",
 		"abl-prefilter", "abl-seeding", "abl-overlap", "abl-trafficwin",
+		"city-1M", "city-smoke",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -101,6 +102,28 @@ func TestFig18AndTable4(t *testing.T) {
 
 func TestTable1Survey(t *testing.T) {
 	noWarnings(t, "table1")
+}
+
+// TestCityShapes runs both city-scale experiments on the shrunken
+// profile (the full-profile sweep reaches a million devices) and checks
+// that the sharded core actually shards and that the wall-clock
+// observations land in the sidecar, not in the deterministic output.
+func TestCityShapes(t *testing.T) {
+	withProfile(t, smallProfile())
+	for _, id := range []string{"city-1M", "city-smoke"} {
+		res := noWarnings(t, id)
+		if res.Devices == 0 {
+			t.Errorf("%s: Result.Devices not reported", id)
+		}
+		if len(res.Sidecar) == 0 {
+			t.Errorf("%s: expected wall-clock sidecar lines", id)
+		}
+		for _, s := range res.Sidecar {
+			if !strings.Contains(s, "devices/sec") {
+				t.Errorf("%s: sidecar line %q lacks a devices/sec figure", id, s)
+			}
+		}
+	}
 }
 
 func TestAblationsRun(t *testing.T) {

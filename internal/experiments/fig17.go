@@ -20,10 +20,15 @@ func init() {
 	})
 }
 
+// runFig17 splits the latency breakdown by nature: the modeled
+// components (config distribution, gateway reboot) are deterministic per
+// seed and go in the table; the measured wall-clocks (CP solve on this
+// machine's GA run, Master comms over real loopback TCP) are
+// hardware-bound and go in the sidecar.
 func runFig17(seed int64) *Result {
 	res := &Result{Table: tabulate.New(
-		"Figure 17 — capacity-upgrade latency breakdown",
-		"scenario", "CP solve (s)", "config distribution (s)", "GW reboot (s)", "master comms (s)", "total (s)",
+		"Figure 17 — capacity-upgrade latency breakdown (modeled components; measured wall-clocks in the sidecar)",
+		"scenario", "config distribution (s)", "GW reboot (s)",
 	)}
 
 	// (a) Single network at different scales: CP solve wall-clock is real;
@@ -41,7 +46,7 @@ func runFig17(seed int64) *Result {
 		{"8k users / 8 GWs", 8, 8000},
 		{"12k users / 12 GWs", 12, 12000},
 	}
-	type aOut struct{ solve, dist, reboot, total float64 }
+	type aOut struct{ solve, dist, reboot float64 }
 	aCells := runner.Map(len(scenarios), func(i int) aOut {
 		sc := scenarios[i]
 		n, op := buildCity(seed, region.Testbed, sc.gws)
@@ -68,13 +73,13 @@ func runFig17(seed int64) *Result {
 			solve:  solve,
 			dist:   agent.DefaultDistributionDelay.Duration().Seconds(),
 			reboot: (lastUp - upStart - agent.DefaultDistributionDelay).Duration().Seconds(),
-			total:  solve + (lastUp - upStart).Duration().Seconds(),
 		}
 	})
 	var solve4k, solve12k float64
 	for i, sc := range scenarios {
 		c := aCells[i]
-		res.Table.AddRow(sc.name, c.solve, c.dist, c.reboot, 0.0, c.total)
+		res.Table.AddRow(sc.name, c.dist, c.reboot)
+		res.Sidecarf("%s: CP solve %.2f s wall-clock, total %.2f s", sc.name, c.solve, c.solve+c.dist+c.reboot)
 		if sc.users == 4000 {
 			solve4k = c.solve
 		}
@@ -86,7 +91,7 @@ func runFig17(seed int64) *Result {
 	// (b) Coexisting networks: each solves its CP in parallel; the Master
 	// round-trip is measured over real TCP (loopback). Each network count
 	// runs against its own server instance, so the cells are independent.
-	type bOut struct{ solve, dist, reboot, comms, total float64 }
+	type bOut struct{ solve, dist, reboot, comms float64 }
 	bCells := runner.Map(3, func(i int) bOut {
 		nets := i + 2
 		srv, err := master.NewServer("127.0.0.1:0", []byte("fig17"), nil)
@@ -117,15 +122,16 @@ func runFig17(seed int64) *Result {
 		solve := plan.Latency.Solve.Seconds()
 		reboot := 4.62
 		dist := agent.DefaultDistributionDelay.Duration().Seconds()
-		return bOut{solve: solve, dist: dist, reboot: reboot, comms: comms,
-			total: solve + comms + dist + reboot}
+		return bOut{solve: solve, dist: dist, reboot: reboot, comms: comms}
 	})
 	for i, c := range bCells {
-		res.Table.AddRow(tabFmtInt("%d coexisting networks", i+2), c.solve, c.dist, c.reboot, c.comms, c.total)
+		res.Table.AddRow(tabFmtInt("%d coexisting networks", i+2), c.dist, c.reboot)
+		res.Sidecarf("%d coexisting networks: CP solve %.2f s + master comms %.2f s wall-clock, total %.2f s",
+			i+2, c.solve, c.comms, c.solve+c.comms+c.dist+c.reboot)
 	}
 
-	res.Note("CP solve grows %.2f s → %.2f s with scale (paper: 0.45 → 1.37 s; our GA budget and hardware differ)", solve4k, solve12k)
-	res.Note("gateway reboot (≈4.8 s incl. distribution) dominates every upgrade, and totals stay below 10 s (paper: <6 s)")
+	res.Sidecarf("CP solve grows %.2f s → %.2f s with scale (paper: 0.45 → 1.37 s; our GA budget and hardware differ)", solve4k, solve12k)
+	res.Note("gateway reboot (≈4.8 s incl. distribution) dominates every upgrade (paper: reboot ≈4.62 s of <6 s totals); the hardware-bound solve and comms wall-clocks are reported in the sidecar")
 	return res
 }
 

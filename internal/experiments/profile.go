@@ -35,6 +35,15 @@ type profileT struct {
 	// (fig-resilience): nodes per operator and measured traffic window.
 	resilNodes  int
 	resilWindow des.Time
+	// cityScales is the device-count sweep of the city-1M experiment;
+	// citySmoke sizes the single-run city-smoke cell; cityWindow,
+	// cityMeanInterval, and cityCell set the measured window, the mean
+	// Poisson gap, and the sharding grid cell of both.
+	cityScales       []int
+	citySmoke        int
+	cityWindow       des.Time
+	cityMeanInterval des.Time
+	cityCell         float64
 }
 
 func fullProfile() profileT {
@@ -50,6 +59,12 @@ func fullProfile() profileT {
 		fig12cSeeds: 10,
 		resilNodes:  40,
 		resilWindow: 90 * des.Second,
+
+		cityScales:       []int{100_000, 300_000, 1_000_000},
+		citySmoke:        50_000,
+		cityWindow:       10 * des.Minute,
+		cityMeanInterval: 10 * des.Minute,
+		cityCell:         1500,
 	}
 }
 
@@ -71,6 +86,12 @@ func smallProfile() profileT {
 		solverPatience: 10,
 		resilNodes:     20,
 		resilWindow:    45 * des.Second,
+
+		cityScales:       []int{1500, 3000},
+		citySmoke:        2000,
+		cityWindow:       des.Minute,
+		cityMeanInterval: 2 * des.Minute,
+		cityCell:         250,
 	}
 }
 

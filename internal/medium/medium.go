@@ -636,10 +636,11 @@ const CaptureThresholdDB = 6.0
 // (Figure 16) while ≥40% misalignment keeps PRR above 80% (Figure 8).
 const OffsetRejectionDB = 40.0
 
-// sameSettingsOverlap is the spectral overlap above which an interferer
+// SameSettingsOverlap is the spectral overlap above which an interferer
 // counts as using "identical transmission settings" for loss
-// classification (channel contention vs other interference).
-const sameSettingsOverlap = 0.9
+// classification (channel contention vs other interference). Exported so
+// the sharded struct-of-arrays core applies the identical threshold.
+const SameSettingsOverlap = 0.9
 
 // buriedBy returns the transmission that masks t's preamble at port p:
 // same SF, near-full spectral overlap, overlapping t's preamble in time,
@@ -659,7 +660,7 @@ func (m *Medium) buriedBy(t *Transmission, p *Port, rssiV float64) *Transmission
 		if u.End <= t.Start || u.Start >= t.LockOn {
 			return // no overlap with t's preamble window
 		}
-		if t.Channel.Overlap(u.Channel) < sameSettingsOverlap {
+		if t.Channel.Overlap(u.Channel) < SameSettingsOverlap {
 			return
 		}
 		rssiU, _ := m.rxSNR(u, p)
@@ -693,7 +694,7 @@ func (m *Medium) evalInterferer(j *judgement, u *Transmission, ov float64) bool 
 	eff := rssiU + 20*math.Log10(ov) - OffsetRejectionDB*(1-ov)
 
 	if u.DR.SF() == j.t.DR.SF() {
-		if ov >= sameSettingsOverlap {
+		if ov >= SameSettingsOverlap {
 			if m.ResolveCollisions && j.sicColliders <= 1 {
 				// CIC cancels a fully-aligned same-SF collider: it
 				// neither kills the packet nor raises the noise
@@ -737,7 +738,7 @@ func (m *Medium) judge(t *Transmission, p *Port, rssiV float64) radio.DecodeVerd
 				return
 			}
 			ov := t.Channel.Overlap(u.Channel)
-			if u.DR.SF() == t.DR.SF() && ov >= sameSettingsOverlap {
+			if u.DR.SF() == t.DR.SF() && ov >= SameSettingsOverlap {
 				j.sicColliders++
 			}
 			if ov <= 0 {

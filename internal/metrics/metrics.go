@@ -14,7 +14,6 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/alphawan/alphawan/internal/des"
 	"github.com/alphawan/alphawan/internal/events"
@@ -123,9 +122,19 @@ type Outcome struct {
 // It is an ordinary event-bus subscriber: constructing it does not claim
 // any exclusive hook, and any number of other subscribers can observe the
 // same medium.
+//
+// Its steady-state footprint is O(seen networks + in-flight packets):
+// per-network stats live in a dense slice indexed by NetworkID, and
+// finished txRecords recycle through a freelist instead of churning the
+// allocator — after warm-up a run of any length allocates nothing here
+// on the per-packet path.
 type Collector struct {
-	perNet  map[medium.NetworkID]*NetworkStats
+	// perNet/seen are dense, indexed by NetworkID (operator ids are small
+	// sequential integers everywhere in this codebase).
+	perNet  []NetworkStats
+	seen    []bool
 	pending map[int64]*txRecord
+	free    []*txRecord
 
 	// Outcomes publishes each transmission's network-wide final outcome
 	// once it leaves the air. Experiments use it for live capacity probes;
@@ -137,7 +146,6 @@ type Collector struct {
 // delivery, drop, and air-done topics.
 func NewCollector(med *medium.Medium) *Collector {
 	c := &Collector{
-		perNet:  make(map[medium.NetworkID]*NetworkStats),
 		pending: make(map[int64]*txRecord),
 	}
 	med.Deliveries.Subscribe(c.delivery)
@@ -147,18 +155,27 @@ func NewCollector(med *medium.Medium) *Collector {
 }
 
 func (c *Collector) net(id medium.NetworkID) *NetworkStats {
-	s, ok := c.perNet[id]
-	if !ok {
-		s = &NetworkStats{}
-		c.perNet[id] = s
+	if id < 0 {
+		panic("metrics: negative network id")
 	}
-	return s
+	for int(id) >= len(c.perNet) {
+		c.perNet = append(c.perNet, NetworkStats{})
+		c.seen = append(c.seen, false)
+	}
+	c.seen[id] = true
+	return &c.perNet[id]
 }
 
 func (c *Collector) rec(t *medium.Transmission) *txRecord {
 	r, ok := c.pending[t.ID]
 	if !ok {
-		r = &txRecord{network: t.Network, dr: t.DR, payload: t.PayloadLen}
+		if n := len(c.free); n > 0 {
+			r = c.free[n-1]
+			c.free = c.free[:n-1]
+		} else {
+			r = new(txRecord)
+		}
+		*r = txRecord{network: t.Network, dr: t.DR, payload: t.PayloadLen}
 		c.pending[t.ID] = r
 	}
 	return r
@@ -223,12 +240,15 @@ func (c *Collector) drop(d medium.Drop) {
 }
 
 func (c *Collector) airDone(t *medium.Transmission) {
-	r, ok := c.pending[t.ID]
-	if !ok {
+	var r txRecord
+	if p, ok := c.pending[t.ID]; ok {
+		r = *p
+		delete(c.pending, t.ID)
+		c.free = append(c.free, p)
+	} else {
 		// Nobody heard the packet at all: count as a weak-signal loss.
-		r = &txRecord{network: t.Network, dr: t.DR, payload: t.PayloadLen, dropSeen: true, cause: Others}
+		r = txRecord{network: t.Network, dr: t.DR, payload: t.PayloadLen, dropSeen: true, cause: Others}
 	}
-	delete(c.pending, t.ID)
 	s := c.net(r.network)
 	s.Sent++
 	if r.delivered > 0 {
@@ -248,27 +268,31 @@ func (c *Collector) airDone(t *medium.Transmission) {
 
 // Network returns the statistics for one network (zero value if unseen).
 func (c *Collector) Network(id medium.NetworkID) NetworkStats {
-	if s, ok := c.perNet[id]; ok {
-		return *s
+	if id < 0 || int(id) >= len(c.perNet) {
+		return NetworkStats{}
 	}
-	return NetworkStats{}
+	return c.perNet[id]
 }
 
-// Networks returns the ids of all networks seen.
+// Networks returns the ids of all networks seen, ascending.
 func (c *Collector) Networks() []medium.NetworkID {
-	ids := make([]medium.NetworkID, 0, len(c.perNet))
-	for id := range c.perNet {
-		ids = append(ids, id)
+	var ids []medium.NetworkID
+	for id, ok := range c.seen {
+		if ok {
+			ids = append(ids, medium.NetworkID(id))
+		}
 	}
-	// Deterministic order.
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // Total returns statistics aggregated across all networks.
 func (c *Collector) Total() NetworkStats {
 	var t NetworkStats
-	for _, s := range c.perNet {
+	for id, ok := range c.seen {
+		if !ok {
+			continue
+		}
+		s := &c.perNet[id]
 		t.Sent += s.Sent
 		t.Received += s.Received
 		t.PayloadBytes += s.PayloadBytes
@@ -283,10 +307,13 @@ func (c *Collector) Total() NetworkStats {
 	return t
 }
 
-// Reset clears accumulated statistics (pending transmissions are kept so
-// in-flight packets finalize correctly).
+// Reset clears accumulated statistics, keeping capacity (pending
+// transmissions are kept so in-flight packets finalize correctly).
 func (c *Collector) Reset() {
-	c.perNet = make(map[medium.NetworkID]*NetworkStats)
+	for i := range c.perNet {
+		c.perNet[i] = NetworkStats{}
+		c.seen[i] = false
+	}
 }
 
 // ThroughputBps returns delivered application payload throughput over a

@@ -46,6 +46,13 @@ type Environment struct {
 	Exponent float64
 	// ShadowSigma is the standard deviation (dB) of lognormal shadowing.
 	ShadowSigma float64
+	// ShadowClamp, when positive, truncates the standard-normal shadow
+	// draw to ±ShadowClamp (in σ units). Zero keeps the legacy unclamped
+	// draw, whose tail is bounded only by the Box-Muller u1 guard (see
+	// MaxShadowDB). City-scale sharded runs clamp at 3σ so that a
+	// transmission's maximum reach — and therefore the set of grid cells
+	// its interference must be exported to — stays tightly bounded.
+	ShadowClamp float64
 	// Seed makes the per-link shadowing deterministic.
 	Seed int64
 }
@@ -73,6 +80,17 @@ func DenseUrban(seed int64) Environment {
 	return Environment{PL0: 118, D0: 40, Exponent: 3.8, ShadowSigma: 6, Seed: seed}
 }
 
+// Metro returns the propagation profile of the city-scale sharded runs
+// (the `city-1M` sweep): urban attenuation midway between Urban and
+// DenseUrban, with shadowing clamped at 3σ so a transmission's worst-case
+// reach — and therefore the set of grid cells its interference must be
+// exported to — is hard-bounded. With 14 dBm TX the DR0 demodulation
+// floor closes at ≈900 m, giving the ~1.2 km gateway grids of the city
+// experiments realistic edge users at every data rate.
+func Metro(seed int64) Environment {
+	return Environment{PL0: 105, D0: 40, Exponent: 3.6, ShadowSigma: 5, ShadowClamp: 3, Seed: seed}
+}
+
 // PathLoss returns the deterministic path loss in dB between two points,
 // including the frozen shadowing term for that link. Shadowing is a
 // function of both endpoints, so the same link always sees the same value
@@ -87,7 +105,7 @@ func (e Environment) PathLoss(a, b Point) float64 {
 }
 
 // shadow returns a deterministic standard-normal draw for the unordered
-// link (a, b).
+// link (a, b), truncated to ±ShadowClamp σ when the clamp is set.
 func (e Environment) shadow(a, b Point) float64 {
 	// Hash the two endpoints symmetrically so shadow(a,b) == shadow(b,a).
 	ha := hashPoint(a)
@@ -101,7 +119,32 @@ func (e Environment) shadow(a, b Point) float64 {
 	if u1 < 1e-12 {
 		u1 = 1e-12
 	}
-	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	if c := e.ShadowClamp; c > 0 {
+		if z > c {
+			z = c
+		} else if z < -c {
+			z = -c
+		}
+	}
+	return z
+}
+
+// maxBoxMullerZ is the exact bound of the unclamped shadow draw: u1 is
+// clamped to ≥ 1e-12 before the Box-Muller transform and |cos| ≤ 1, so
+// |z| never exceeds sqrt(-2·ln(1e-12)) ≈ 7.43.
+var maxBoxMullerZ = math.Sqrt(-2 * math.Log(1e-12))
+
+// MaxShadowDB returns a hard upper bound on the shadowing term (in dB)
+// any link in this environment can see — ShadowClamp·σ when clamped,
+// otherwise the Box-Muller bound above. The sharded medium uses it to
+// bound a transmission's best-case receive power at a distant grid cell.
+func (e Environment) MaxShadowDB() float64 {
+	z := maxBoxMullerZ
+	if e.ShadowClamp > 0 && e.ShadowClamp < z {
+		z = e.ShadowClamp
+	}
+	return z * e.ShadowSigma
 }
 
 func hashPoint(p Point) uint64 {

@@ -1,0 +1,151 @@
+package soa
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/node"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/runner"
+	"github.com/alphawan/alphawan/internal/traffic"
+)
+
+// TestArenaNodeEquivalence freezes a mixed ABP/OTAA node population into
+// the arena, generates the arena's traffic schedule, and replays every
+// send through the reference node.Node implementation on a real medium:
+// at each arena send time the node's duty-cycle regulator must permit the
+// send, the hop sequence must pick the same channel, and the frame
+// counter and duty-cycle state must track exactly.
+func TestArenaNodeEquivalence(t *testing.T) {
+	prev := runner.SetMaxWorkers(1)
+	defer runner.SetMaxWorkers(prev)
+
+	const seed = 11
+	env := phy.Urban(seed)
+	band := region.Testbed
+	appKey := frame.AESKey{0x01, 0x02, 0x03}
+
+	var nodes []*node.Node
+	pts := traffic.JitterPositions(12, 2000, 2000, seed)
+	for i, pt := range pts {
+		n := node.New(medium.NodeID(i), medium.NetworkID(i%2), 0x34, phy.Pt(pt.X, pt.Y))
+		n.DR = lora.DR(i % lora.NumDRs)
+		if i%3 == 0 {
+			// OTAA: factory identity, join handshake, CFList channel plan.
+			n.SetOTAA(node.OTAAIdentity{
+				DevEUI: frame.EUI64(0x1000 + i), AppEUI: frame.EUI64(0xAA), AppKey: appKey,
+			})
+			if _, err := n.BuildJoinRequest(); err != nil {
+				t.Fatal(err)
+			}
+			acc := frame.JoinAcceptFrame{
+				AppNonce: [3]byte{1, 2, byte(i)}, NetID: [3]byte{0x13},
+				DevAddr: frame.DevAddr(0x2600_0000 + uint32(i)),
+			}
+			for k, ci := range band.Plan(2) {
+				if k >= len(acc.CFListFreqsHz) {
+					break
+				}
+				acc.CFListFreqsHz[k] = uint64(band.Channel(ci).Center)
+			}
+			raw, err := frame.EncodeJoinAccept(&acc, appKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.HandleJoinAccept(raw); err != nil {
+				t.Fatal(err)
+			}
+			if !n.Joined() {
+				t.Fatalf("node %d failed to join", i)
+			}
+		} else {
+			// ABP: session keys from New, plan assigned directly.
+			var chans []region.Channel
+			for _, ci := range band.Plan(i % band.Plans()) {
+				chans = append(chans, band.Channel(ci))
+			}
+			n.Channels = chans
+		}
+		nodes = append(nodes, n)
+	}
+
+	c := New(Config{
+		Seed: seed, Env: env, Width: 2000, Height: 2000,
+		MeanInterval: 5 * des.Second,
+	})
+	idx := c.FromNodes(nodes)
+	c.Seal()
+
+	// Arena state must capture each node's post-join configuration.
+	for i, n := range nodes {
+		d := idx[i]
+		if got := c.devs.FCnt[d]; got != n.FCnt() {
+			t.Errorf("node %d: arena FCnt %d != node %d", i, got, n.FCnt())
+		}
+		set := c.setTab[c.devs.ChSet[d]]
+		if len(set) != len(n.Channels) {
+			t.Fatalf("node %d: arena has %d channels, node %d", i, len(set), len(n.Channels))
+		}
+		for k, ci := range set {
+			if c.chanTab[ci] != n.Channels[k] {
+				t.Errorf("node %d channel %d: arena %v != node %v", i, k, c.chanTab[ci], n.Channels[k])
+			}
+		}
+	}
+
+	// Generate the arena's schedule epoch by epoch.
+	var sends []sendRec
+	const window = 2 * des.Minute
+	for t0 := des.Time(0); t0 < window; t0 += c.cfg.Epoch {
+		t1 := t0 + c.cfg.Epoch
+		if t1 > window {
+			t1 = window
+		}
+		c.genEpoch(t1)
+		sends = append(sends, c.sends...)
+	}
+	if len(sends) < len(nodes) {
+		t.Fatalf("degenerate schedule: %d sends for %d nodes", len(sends), len(nodes))
+	}
+
+	// Replay through the reference implementation.
+	sim := des.New(seed)
+	med := medium.New(sim, env)
+	for _, s := range sends {
+		s := s
+		n := nodes[s.dev]
+		want := c.chanTab[s.ch]
+		sim.At(s.at, func() {
+			if !n.CanSend(sim.Now()) {
+				t.Fatalf("node %d: arena sends at %v but duty cycle blocks until %v",
+					s.dev, sim.Now(), n.NextAllowed())
+			}
+			tx, err := n.Send(med)
+			if err != nil {
+				t.Fatalf("node %d replay: %v", s.dev, err)
+			}
+			if tx.Channel != want {
+				t.Fatalf("node %d at %v: node hopped to %v, arena to %v",
+					s.dev, sim.Now(), tx.Channel, want)
+			}
+			if tx.DR != lora.DR(s.dr) {
+				t.Fatalf("node %d: DR mismatch %v vs DR%d", s.dev, tx.DR, s.dr)
+			}
+		})
+	}
+	sim.Run()
+
+	for i, n := range nodes {
+		d := idx[i]
+		if c.devs.FCnt[d] != n.FCnt() {
+			t.Errorf("node %d: final FCnt arena %d != node %d", i, c.devs.FCnt[d], n.FCnt())
+		}
+		if c.devs.NextAllowed[d] != n.NextAllowed() {
+			t.Errorf("node %d: NextAllowed arena %v != node %v", i, c.devs.NextAllowed[d], n.NextAllowed())
+		}
+	}
+}
