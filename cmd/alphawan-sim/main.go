@@ -7,7 +7,7 @@
 //	alphawan-sim -list
 //	alphawan-sim -run fig02a [-seed 1] [-csv]
 //	alphawan-sim -run all [-parallel 8]
-//	alphawan-sim -trace out.jsonl [-seed 1] [-progress]
+//	alphawan-sim -trace out.jsonl [-seed 1] [-progress] [-mac pure|slotted|capture]
 //	alphawan-sim -faults plan.json [-trace out.jsonl] [-seed 1]
 package main
 
@@ -23,6 +23,7 @@ import (
 	"github.com/alphawan/alphawan/internal/events/sinks"
 	"github.com/alphawan/alphawan/internal/experiments"
 	"github.com/alphawan/alphawan/internal/faults"
+	"github.com/alphawan/alphawan/internal/mac"
 	"github.com/alphawan/alphawan/internal/metrics"
 	"github.com/alphawan/alphawan/internal/runner"
 )
@@ -40,6 +41,8 @@ func main() {
 		"inject the fault plan (JSON, see examples/faultplans) into the built-in scenario and report invariants")
 	progress := flag.Bool("progress", false,
 		"with -trace: print periodic run-summary counters to stderr")
+	macFlag := flag.String("mac", "pure",
+		"with -trace: MAC strategy of the built-in scenario (pure|slotted|capture)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	flag.Parse()
@@ -79,7 +82,12 @@ func main() {
 	case *faultsPlan != "":
 		runChaos(*faultsPlan, *trace, *seed, *progress)
 	case *trace != "":
-		runTrace(*trace, *seed, *progress)
+		kind, err := mac.ParseKind(*macFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alphawan-sim: %v\n", err)
+			os.Exit(1)
+		}
+		runTrace(*trace, *seed, kind, *progress)
 	case *list:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s  %s\n", e.ID, e.Title)
@@ -101,9 +109,10 @@ func main() {
 	}
 }
 
-// runTrace runs the built-in two-operator coexistence scenario with the
-// packet-lifecycle tracer attached and prints the final loss breakdown.
-func runTrace(path string, seed int64, progress bool) {
+// runTrace runs the built-in two-operator coexistence scenario under the
+// chosen MAC strategy with the packet-lifecycle tracer attached and
+// prints the final loss breakdown.
+func runTrace(path string, seed int64, kind mac.Kind, progress bool) {
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "alphawan-sim: %v\n", err)
@@ -114,7 +123,7 @@ func runTrace(path string, seed int64, progress bool) {
 	if progress {
 		prog = os.Stderr
 	}
-	n, tr := sinks.RunDemo(seed, w, prog)
+	n, tr := sinks.RunDemoMAC(seed, kind, w, prog)
 	if err := tr.Err(); err == nil {
 		err = w.Flush()
 	} else {

@@ -6,6 +6,7 @@ import (
 	"github.com/alphawan/alphawan/internal/baseline"
 	"github.com/alphawan/alphawan/internal/des"
 	"github.com/alphawan/alphawan/internal/faults"
+	"github.com/alphawan/alphawan/internal/mac"
 	"github.com/alphawan/alphawan/internal/phy"
 	"github.com/alphawan/alphawan/internal/radio"
 	"github.com/alphawan/alphawan/internal/region"
@@ -42,6 +43,25 @@ func buildDemo(seed int64) *sim.Network {
 	return n
 }
 
+// installDemoMAC applies a MAC strategy to the demo scenario: one slot
+// grid shared by every node of every operator (slotted ALOHA aligns all
+// coexisting devices to the same time grid), or a capture model on the
+// shared medium. KindPure installs nothing, keeping RunDemo's output
+// byte-identical.
+func installDemoMAC(n *sim.Network, seed int64, kind mac.Kind) {
+	switch kind {
+	case mac.KindSlotted:
+		grid := mac.NewSlotGrid(seed, 10+13) // demo nodes run default 10 B payloads
+		for _, op := range n.Operators {
+			for _, nd := range op.Nodes {
+				nd.Slots = grid
+			}
+		}
+	case mac.KindCapture:
+		n.Med.Capture = mac.NewCurving()
+	}
+}
+
 // RunDemo composes and runs the built-in trace scenario behind
 // `alphawan-sim -trace`: two operators coexist on the same AS923
 // channels, Poisson uplink traffic for 20 s of simulated time. The
@@ -50,7 +70,15 @@ func buildDemo(seed int64) *sim.Network {
 // the finished network (for final statistics) and the tracer (nil when
 // trace was nil).
 func RunDemo(seed int64, trace, progress io.Writer) (*sim.Network, *Tracer) {
+	return RunDemoMAC(seed, mac.KindPure, trace, progress)
+}
+
+// RunDemoMAC is RunDemo under an explicit MAC strategy — the scenario
+// behind `alphawan-sim -trace -mac slotted|capture`. KindPure is
+// byte-identical to RunDemo.
+func RunDemoMAC(seed int64, kind mac.Kind, trace, progress io.Writer) (*sim.Network, *Tracer) {
 	n := buildDemo(seed)
+	installDemoMAC(n, seed, kind)
 
 	var tr *Tracer
 	if trace != nil {

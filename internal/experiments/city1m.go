@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/mac"
 	"github.com/alphawan/alphawan/internal/medium"
 	"github.com/alphawan/alphawan/internal/metrics"
 	"github.com/alphawan/alphawan/internal/phy"
@@ -110,8 +111,10 @@ func (g cityGrid) nearest(x, y float64) (int, int) {
 // devices under the swept strategy, operator B the remaining 40% on
 // fixed sequential plans. Devices take the channel plan of their nearest
 // own-operator gateway and the fastest DR that link clears with 2 dB
-// margin — the standard ADR assignment both operators run.
-func cityCore(seed int64, devices int, strat cityStrategy) *soa.Core {
+// margin — the standard ADR assignment both operators run. slots and
+// capture select the MAC overlay of the run (nil, nil is pure ALOHA —
+// bit-identical to the pre-MAC-seam core).
+func cityCore(seed int64, devices int, strat cityStrategy, slots *mac.SlotGrid, capture mac.CaptureModel) *soa.Core {
 	side := math.Sqrt(float64(devices) / cityDensity)
 	env := phy.Metro(seed)
 	band := region.Testbed
@@ -124,6 +127,8 @@ func cityCore(seed int64, devices int, strat cityStrategy) *soa.Core {
 		CellSize:          prof.cityCell,
 		MeanInterval:      prof.cityMeanInterval,
 		ResolveCollisions: strat.cic,
+		Slots:             slots,
+		Capture:           capture,
 	})
 
 	planChans := make([][]region.Channel, plans)
@@ -198,7 +203,7 @@ func runCity1M(seed int64) *Result {
 	prrA := map[string]map[int]float64{}
 	for _, devices := range prof.cityScales {
 		for _, strat := range cityStrategies {
-			c := cityCore(seed, devices, strat)
+			c := cityCore(seed, devices, strat, nil, nil)
 			t0 := time.Now()
 			st := c.Run(prof.cityWindow)
 			elapsed := time.Since(t0)
@@ -228,7 +233,7 @@ func runCitySmoke(seed int64) *Result {
 		cityHeaders...,
 	)}
 	devices := prof.citySmoke
-	c := cityCore(seed, devices, cityStrategy{name: "alphawan", colored: true, cic: true})
+	c := cityCore(seed, devices, cityStrategy{name: "alphawan", colored: true, cic: true}, nil, nil)
 	t0 := time.Now()
 	st := c.Run(prof.cityWindow)
 	elapsed := time.Since(t0)

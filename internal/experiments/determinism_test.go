@@ -73,7 +73,7 @@ func TestTraceDeterminism(t *testing.T) {
 func TestParallelMatchesSerial(t *testing.T) {
 	withProfile(t, smallProfile())
 	const seed = 7
-	for _, id := range []string{"fig04a", "fig13", "fig12c", "fig17", "city-smoke", "city-1M"} {
+	for _, id := range []string{"fig04a", "fig13", "fig12c", "fig17", "city-smoke", "city-1M", "fig-mac"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			e, ok := Get(id)

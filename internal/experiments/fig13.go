@@ -7,6 +7,7 @@ import (
 	"github.com/alphawan/alphawan/internal/alphawan/planner"
 	"github.com/alphawan/alphawan/internal/baseline"
 	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/mac"
 	"github.com/alphawan/alphawan/internal/metrics"
 	"github.com/alphawan/alphawan/internal/region"
 	"github.com/alphawan/alphawan/internal/runner"
@@ -40,12 +41,32 @@ var fig13Names = []string{
 	"LoRaWAN (w/o ADR)", "LoRaWAN (w/ ADR)", "LMAC", "CIC", "Random CP", "AlphaWAN",
 }
 
-// fig13Run runs one (strategy, user-scale) cell and returns the stats.
-// The deployment is the realistic mixed-provisioning city (duplicate
-// settings happen, as §5.2.1's emulation of 14k organic users implies),
-// and each user reports at a fixed application rate of one packet per
-// minute regardless of data rate.
-func fig13Run(seed int64, strat fig13Strategy, users int) metrics.NetworkStats {
+// installMAC applies a MAC strategy to an operator's population: a
+// slotted grid shared by every node (keyed per node ID for the skew
+// draw), or a capture model on the shared medium. KindPure installs
+// nothing, keeping the run byte-identical to the pre-MAC-seam code.
+func installMAC(n *sim.Network, op *sim.Operator, seed int64, kind mac.Kind) {
+	switch kind {
+	case mac.KindSlotted:
+		phyLen := 10 + 13
+		if len(op.Nodes) > 0 {
+			phyLen = op.Nodes[0].PayloadLen + 13
+		}
+		grid := mac.NewSlotGrid(seed, phyLen)
+		for _, nd := range op.Nodes {
+			nd.Slots = grid
+		}
+	case mac.KindCapture:
+		n.Med.Capture = mac.NewCurving()
+	}
+}
+
+// fig13Run runs one (strategy, MAC, user-scale) cell and returns the
+// stats. The deployment is the realistic mixed-provisioning city
+// (duplicate settings happen, as §5.2.1's emulation of 14k organic users
+// implies), and each user reports at a fixed application rate of one
+// packet per minute regardless of data rate.
+func fig13Run(seed int64, strat fig13Strategy, kind mac.Kind, users int) metrics.NetworkStats {
 	band := region.Testbed
 	n := sim.New(seed, cityEnv(seed))
 	op := cityOperator(n, band, prof.cityGWs, prof.cityPhys, seed)
@@ -74,6 +95,10 @@ func fig13Run(seed int64, strat fig13Strategy, users int) metrics.NetworkStats {
 			panic(err)
 		}
 	}
+	// The MAC overlay goes in after planning/learning: the serialized
+	// learning sweeps bypass the regulator (and with it the slot gate) by
+	// design, and the measured window is what the MAC shapes.
+	installMAC(n, op, seed, kind)
 
 	n.Col.Reset()
 	start := n.Sim.Now()
@@ -173,7 +198,7 @@ func runFig13(seed int64) *Result {
 	}
 	cells := runner.Map(len(scales)*len(strats), func(i int) cellOut {
 		users, strat := scales[i/len(strats)], strats[i%len(strats)]
-		st := fig13Run(seed, strat, users)
+		st := fig13Run(seed, strat, mac.KindPure, users)
 		return cellOut{st: st, thr: metrics.ThroughputBps(st, window) / 1000}
 	})
 

@@ -23,6 +23,9 @@ type profileT struct {
 	// fig13Scales and fig13Strats select Figure 13's sweep cells.
 	fig13Scales []int
 	fig13Strats []fig13Strategy
+	// figMacUsers is the emulated user scale of the fig-mac node-path
+	// matrix (one fixed scale; the MAC × strategy grid is the sweep).
+	figMacUsers int
 	// fig12cBand/fig12cGWs/fig12cSeeds size the city144 contention-
 	// management workload (Figure 12c).
 	fig12cBand  region.Band
@@ -54,6 +57,7 @@ func fullProfile() profileT {
 		window:      2 * des.Minute,
 		fig13Scales: []int{2000, 4000, 6000, 8000, 10000, 12000},
 		fig13Strats: []fig13Strategy{stratNoADR, stratADR, stratLMAC, stratCIC, stratRandomCP, stratAlphaWAN},
+		figMacUsers: 6000,
 		fig12cBand:  region.Testbed,
 		fig12cGWs:   15,
 		fig12cSeeds: 10,
@@ -78,6 +82,7 @@ func smallProfile() profileT {
 		window:         20 * des.Second,
 		fig13Scales:    []int{400, 800},
 		fig13Strats:    []fig13Strategy{stratNoADR, stratCIC, stratAlphaWAN},
+		figMacUsers:    400,
 		fig12cBand:     region.Testbed.SubBand(0, 8), // 48-user oracle
 		fig12cGWs:      4,
 		fig12cSeeds:    2,

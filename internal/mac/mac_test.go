@@ -1,0 +1,136 @@
+package mac
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/lora"
+)
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("aloha++"); err == nil {
+		t.Error("ParseKind accepted an unknown name")
+	}
+}
+
+func TestSkewBounded(t *testing.T) {
+	g := NewSlotGrid(3, 23)
+	seen := map[int64]bool{}
+	for dev := uint32(0); dev < 2000; dev++ {
+		s := g.SkewPPB(dev)
+		if s < -g.MaxSkewPPB || s > g.MaxSkewPPB {
+			t.Fatalf("device %d: skew %d ppb out of ±%d", dev, s, g.MaxSkewPPB)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("skew derivation degenerate: only %d distinct values over 2000 devices", len(seen))
+	}
+	if g.SkewPPB(7) != g.SkewPPB(7) {
+		t.Error("skew not deterministic")
+	}
+}
+
+// TestTxTimeIdempotent: TxTime is a pure fixed point — recomputing at its
+// own result returns the same instant, which is what lets the epoch-
+// sharded scheduler defer a send across a horizon and recompute it next
+// epoch without drift.
+func TestTxTimeIdempotent(t *testing.T) {
+	g := NewSlotGrid(9, 23)
+	for _, anchor := range []des.Time{0, 17 * des.Second} {
+		for dev := uint32(0); dev < 50; dev++ {
+			for dr := uint8(0); dr < lora.NumDRs; dr++ {
+				for _, e := range []des.Time{0, 1, des.Millisecond, des.Second,
+					3*des.Second + 41*des.Millisecond, 10 * des.Minute} {
+					at := g.TxTime(dev, dr, e, anchor)
+					if at < e {
+						t.Fatalf("dev %d dr %d: TxTime(%v) = %v < earliest", dev, dr, e, at)
+					}
+					if again := g.TxTime(dev, dr, at, anchor); again != at {
+						t.Fatalf("dev %d dr %d: TxTime not idempotent: %v then %v", dev, dr, at, again)
+					}
+					if at-e > g.Slot[dr]+2*g.Guard {
+						t.Fatalf("dev %d dr %d: waited %v, more than a slot %v", dev, dr, at-e, g.Slot[dr])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSlotDriftNoGuardViolation is the slot-synchronization drift
+// property: any two devices with bounded clock skew either share a slot
+// (the residual slotted-ALOHA collision case) or their transmissions
+// never overlap in real time — the guard interval absorbs both clock
+// errors. Swept across DRs, anchors, and many device pairs.
+func TestSlotDriftNoGuardViolation(t *testing.T) {
+	g := NewSlotGrid(5, 23)
+	for dr := uint8(0); dr < lora.NumDRs; dr++ {
+		slot := g.Slot[dr]
+		air := slot - 2*g.Guard
+		for pair := 0; pair < 400; pair++ {
+			a, b := uint32(pair), uint32(pair+1000)
+			// Devices anchored at different downlink instants: sync is
+			// per-device, the grid is global.
+			anchA := des.Time(pair%7) * des.Second
+			anchB := des.Time(pair%11) * 500 * des.Millisecond
+			earliest := des.Time(pair) * 773 * des.Millisecond
+			sa := g.TxTime(a, dr, earliest, anchA)
+			sb := g.TxTime(b, dr, earliest, anchB)
+			ka, kb := int64(sa/slot), int64(sb/slot)
+			overlap := sa < sb+air && sb < sa+air
+			if ka == kb {
+				if !overlap {
+					t.Fatalf("dr %d pair %d: same slot %d but no overlap (%v, %v)", dr, pair, ka, sa, sb)
+				}
+				continue
+			}
+			if overlap {
+				t.Fatalf("dr %d pair %d: slots %d vs %d overlap in real time: [%v,%v) vs [%v,%v)",
+					dr, pair, ka, kb, sa, sa+air, sb, sb+air)
+			}
+		}
+	}
+}
+
+// TestTxTimeZeroAllocs pins the slot scheduler's hot path at zero heap
+// allocations — it runs per generated send inside the arena's epoch loop.
+func TestTxTimeZeroAllocs(t *testing.T) {
+	g := NewSlotGrid(1, 23)
+	var sink des.Time
+	e := des.Time(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = g.TxTime(42, 3, e, 0)
+		e = sink + des.Millisecond
+	})
+	if allocs != 0 {
+		t.Errorf("TxTime allocates %.1f times per call, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestCurvingDecodes(t *testing.T) {
+	c := NewCurving()
+	if !c.SeparatePreambles() {
+		t.Error("Curving must separate preambles")
+	}
+	cases := []struct {
+		v, e float64
+		want bool
+	}{
+		{-90, -100, true},   // victim well above: classic capture would also decode
+		{-100, -90, true},   // victim well below: curving decodes, capture would not
+		{-95, -95.5, false}, // inside the separation band: both lost
+	}
+	for _, tc := range cases {
+		if got := c.Decodes(tc.v, tc.e); got != tc.want {
+			t.Errorf("Decodes(%v, %v) = %v, want %v", tc.v, tc.e, got, tc.want)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/alphawan/alphawan/internal/des"
 	"github.com/alphawan/alphawan/internal/events"
 	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/mac"
 	"github.com/alphawan/alphawan/internal/phy"
 	"github.com/alphawan/alphawan/internal/radio"
 	"github.com/alphawan/alphawan/internal/region"
@@ -257,6 +258,15 @@ type Medium struct {
 	// packets. Decoder-pool limits still apply — the paper's §5.2.1
 	// fairness condition for the CIC baseline.
 	ResolveCollisions bool
+
+	// Capture, when non-nil, replaces the single-winner capture margin
+	// with a pluggable same-settings collision judge (CurvingLoRa-style
+	// concurrent decoding via mac.Curving). It decides only the fatality
+	// of a same-settings interferer and whether superposed preambles bury
+	// each other; spectral truncation, SF quasi-orthogonality, CIC, and
+	// the noise budget are unchanged. Nil keeps the classic
+	// CaptureThresholdDB rule bit-for-bit.
+	Capture mac.CaptureModel
 }
 
 type judgeKey struct {
@@ -652,6 +662,11 @@ func (m *Medium) buriedBy(t *Transmission, p *Port, rssiV float64) *Transmission
 		// decoder instead of losing the weaker preamble.
 		return nil
 	}
+	if m.Capture != nil && m.Capture.SeparatePreambles() {
+		// The installed capture model locks distinct superposed preambles
+		// (CurvingLoRa's dechirp stage): nothing is buried before dispatch.
+		return nil
+	}
 	var hit *Transmission
 	m.neighbors(t.Channel, t.Start, func(u *Transmission) {
 		if hit != nil || u.ID == t.ID || u.DR.SF() != t.DR.SF() {
@@ -701,8 +716,13 @@ func (m *Medium) evalInterferer(j *judgement, u *Transmission, ov float64) bool 
 				// floor.
 				return true
 			}
-			// Identical settings: the capture rule decides.
-			if j.rssiV-eff < CaptureThresholdDB {
+			// Identical settings: the capture rule decides — the classic
+			// single-winner margin, or the installed pluggable judge.
+			fatal := j.rssiV-eff < CaptureThresholdDB
+			if m.Capture != nil {
+				fatal = !m.Capture.Decodes(j.rssiV, eff)
+			}
+			if fatal {
 				m.collisionIntf[judgeKey{j.t.ID, j.p.id}] = u.Network != j.t.Network
 				return false
 			}

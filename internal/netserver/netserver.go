@@ -38,6 +38,10 @@ type Device struct {
 	// lastFCnt tracks the highest frame counter seen (replay guard).
 	lastFCnt uint32
 	seenAny  bool
+	// lastUplinkAt is the receive time of the newest authenticated uplink;
+	// downlink commands answering it are stamped one RX1 delay later,
+	// giving slotted-MAC devices their clock-sync anchors.
+	lastUplinkAt des.Time
 	// fcntDown is the next downlink frame counter.
 	fcntDown uint32
 
@@ -106,10 +110,20 @@ type Data struct {
 	Copies  int
 }
 
+// RX1Delay is the Class A first receive-window delay: a downlink
+// answering an uplink reaches the device this long after the uplink's
+// receive time (LoRaWAN RECEIVE_DELAY1).
+const RX1Delay = des.Second
+
 // Command is a downlink MAC command addressed to a device.
 type Command struct {
 	Dev  *Device
 	Cmds []frame.MACCommand
+	// At is the device-side delivery instant of the downlink (the RX1
+	// window of the uplink that triggered it), or zero when the trigger
+	// time is unknown. Beyond ordering, this is the time beacon a
+	// slotted-MAC device anchors its slot-grid clock to.
+	At des.Time
 }
 
 // Server is a LoRaWAN network server instance.
@@ -280,6 +294,7 @@ func (s *Server) HandleUplink(raw []byte, meta UplinkMeta) error {
 	}
 	dev.lastFCnt = f.FCnt
 	dev.seenAny = true
+	dev.lastUplinkAt = meta.At
 	s.dedup[key] = &pendingUplink{firstAt: meta.At, copies: 1, best: meta}
 	s.gcDedup(meta.At)
 
@@ -304,7 +319,7 @@ func (s *Server) runADR(dev *Device) {
 	dev.DR = d.DR
 	dev.TXPower = d.TXPower
 	s.stats.ADRCommands++
-	s.Commands.Publish(Command{Dev: dev, Cmds: []frame.MACCommand{{
+	s.Commands.Publish(Command{Dev: dev, At: s.downlinkAt(dev), Cmds: []frame.MACCommand{{
 		CID: frame.CIDLinkADR,
 		LinkADR: &frame.LinkADRReq{
 			DataRate: uint8(d.DR), TXPower: d.TXPower,
@@ -335,8 +350,19 @@ func (s *Server) SendChannelPlan(dev *Device, channels []region.Channel) error {
 			},
 		})
 	}
-	s.Commands.Publish(Command{Dev: dev, Cmds: cmds})
+	s.Commands.Publish(Command{Dev: dev, At: s.downlinkAt(dev), Cmds: cmds})
 	return nil
+}
+
+// downlinkAt computes the device-side delivery time of a downlink issued
+// now: the RX1 window after the device's newest uplink, or zero when the
+// device has not been heard (the command still applies, just without a
+// usable time anchor).
+func (s *Server) downlinkAt(dev *Device) des.Time {
+	if !dev.seenAny {
+		return 0
+	}
+	return dev.lastUplinkAt + RX1Delay
 }
 
 func (s *Server) appendLog(e LogEntry) {

@@ -1,0 +1,135 @@
+package node
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/mac"
+	"github.com/alphawan/alphawan/internal/phy"
+)
+
+// TestForceSendAssertsDutyCycle is the regression for the scheduled-send
+// bypass: forceSend (the path behind Send, SendOn, and any scheduled
+// probe) must refuse a transmission inside the duty-cycle silence window
+// even when a caller skips the public MAC gate, and must stay silent
+// about it only when the probe legally disarms the regulator by zeroing
+// DutyCycle.
+func TestForceSendAssertsDutyCycle(t *testing.T) {
+	med := newMedium()
+	n := newNode(1)
+	n.DR = lora.DR5
+	med.Sim().At(0, func() {
+		if _, err := n.Send(med); err != nil {
+			t.Fatal(err)
+		}
+	})
+	med.Sim().At(des.Second, func() {
+		// Deep inside the ~5.7 s silence window of a DR5 frame at 1%.
+		if _, err := n.forceSend(med, n.Channels[0]); err == nil {
+			t.Error("forceSend inside the silence window must fail")
+		} else if !strings.Contains(err.Error(), "duty cycle") {
+			t.Errorf("error must name the duty cycle: %v", err)
+		}
+		// The legal bypass: probes zero DutyCycle (ScheduleBurst,
+		// LearningSweep), which disarms the assertion.
+		saved := n.DutyCycle
+		n.DutyCycle = 0
+		if _, err := n.forceSend(med, n.Channels[0]); err != nil {
+			t.Errorf("zero-DutyCycle probe must send: %v", err)
+		}
+		n.DutyCycle = saved
+	})
+	med.Sim().Run()
+}
+
+// TestSlotGateDefersOffSlotSends exercises the slotted overlay on the
+// object path: an off-slot Send must fail, the instant reported by
+// NextSendOpportunity must succeed, and zeroing DutyCycle must bypass
+// the slot gate exactly like it bypasses the regulator.
+func TestSlotGateDefersOffSlotSends(t *testing.T) {
+	med := newMedium()
+	n := newNode(1)
+	n.DR = lora.DR3
+	n.Slots = mac.NewSlotGrid(1, n.PayloadLen+13)
+
+	probe := des.Time(777 * des.Millisecond)
+	med.Sim().At(probe, func() {
+		now := med.Sim().Now()
+		next := n.NextSendOpportunity(now)
+		if next < now {
+			t.Fatalf("NextSendOpportunity went backwards: %v < %v", next, now)
+		}
+		if next == now {
+			t.Fatalf("probe instant %v accidentally on-slot; pick another", now)
+		}
+		if _, err := n.Send(med); err == nil {
+			t.Error("off-slot Send must fail")
+		} else if !strings.Contains(err.Error(), "off-slot") {
+			t.Errorf("error must name the slot gate: %v", err)
+		}
+		// A zero-DutyCycle probe ignores the grid (learning sweeps must
+		// not be slot-throttled).
+		saved := n.DutyCycle
+		n.DutyCycle = 0
+		if _, err := n.SendOn(med, n.Channels[0]); err != nil {
+			t.Errorf("zero-DutyCycle probe must ignore the grid: %v", err)
+		}
+		n.DutyCycle = saved
+		med.Sim().At(next, func() {
+			if got := n.NextSendOpportunity(med.Sim().Now()); got != med.Sim().Now() {
+				t.Fatalf("fixed point violated: opportunity at %v defers to %v", med.Sim().Now(), got)
+			}
+			if _, err := n.Send(med); err != nil {
+				t.Errorf("Send at the reported opportunity must succeed: %v", err)
+			}
+		})
+	})
+	med.Sim().Run()
+}
+
+// TestAnchorSurvivesRejoin pins the satellite property that slot-grid
+// sync state is device time, not session state: an OTAA re-join resets
+// keys, counters, and channel plan, but the downlink-observed anchor —
+// and with it the node's slot schedule — carries over unchanged.
+func TestAnchorSurvivesRejoin(t *testing.T) {
+	key := frame.AESKey{9}
+	n := New(1, 1, lora.SyncPublic, phy.Pt(0, 0))
+	n.Slots = mac.NewSlotGrid(1, n.PayloadLen+13)
+	n.SetOTAA(OTAAIdentity{DevEUI: 7, AppKey: key})
+
+	join := func(nonce byte) {
+		t.Helper()
+		if _, err := n.BuildJoinRequest(); err != nil {
+			t.Fatal(err)
+		}
+		acc := &frame.JoinAcceptFrame{
+			AppNonce: [3]byte{1, 2, nonce}, NetID: [3]byte{0x13},
+			DevAddr: 0x26000042, RxDelay: 1,
+			CFListFreqsHz: [5]uint64{923_300_000, 923_500_000},
+		}
+		wire, err := frame.EncodeJoinAccept(acc, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.HandleJoinAccept(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	join(1)
+	const anchor = des.Time(90 * des.Second)
+	n.ObserveAnchor(anchor)
+	probe := des.Time(300 * des.Second)
+	before := n.NextSendOpportunity(probe)
+
+	join(2) // re-join: new session, same device clock
+	if got := n.Anchor(); got != anchor {
+		t.Fatalf("anchor after re-join = %v, want %v", got, anchor)
+	}
+	if after := n.NextSendOpportunity(probe); after != before {
+		t.Errorf("slot schedule changed across re-join: %v then %v", before, after)
+	}
+}

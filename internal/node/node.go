@@ -11,6 +11,7 @@ import (
 	"github.com/alphawan/alphawan/internal/des"
 	"github.com/alphawan/alphawan/internal/frame"
 	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/mac"
 	"github.com/alphawan/alphawan/internal/medium"
 	"github.com/alphawan/alphawan/internal/phy"
 	"github.com/alphawan/alphawan/internal/region"
@@ -35,6 +36,11 @@ type Node struct {
 	PayloadLen int
 	// DutyCycle caps the node's airtime fraction (1% per regulation).
 	DutyCycle float64
+	// Slots, when non-nil, overlays slotted-ALOHA access on the node: every
+	// send is deferred to the next duty-cycle-legal slot instant of the
+	// grid (keyed by the node ID, tracked through the node's skewed clock
+	// relative to its last downlink anchor). Nil is pure ALOHA.
+	Slots *mac.SlotGrid
 
 	fcnt uint32
 	// airtimeUsed accumulates on-air time for duty-cycle accounting.
@@ -45,6 +51,12 @@ type Node struct {
 
 	// chHop deterministically cycles channels.
 	chHop int
+
+	// anchor is the last downlink-observed sync reference of the slotted
+	// MAC: clock drift against the slot grid accumulates from here. It is
+	// session-independent state — an OTAA re-join resets keys and
+	// counters but not the device's notion of time.
+	anchor des.Time
 
 	// OTAA state (see join.go).
 	otaa     *OTAAIdentity
@@ -148,28 +160,77 @@ func (n *Node) CanSend(now des.Time) bool { return now >= n.nextAllowed }
 // the next transmission.
 func (n *Node) NextAllowed() des.Time { return n.nextAllowed }
 
-// Send transmits one uplink on the next hop channel, updating duty-cycle
-// state. It returns the transmission, or an error when the duty cycle
-// forbids sending.
-func (n *Node) Send(med *medium.Medium) (*medium.Transmission, error) {
-	now := med.Sim().Now()
+// ObserveAnchor records a downlink reception instant as the node's slot-
+// grid sync reference: the slotted MAC's clock drift re-accumulates from
+// here. The beacon-free synchronization of the slotted overlay — any
+// downlink doubles as a time beacon.
+func (n *Node) ObserveAnchor(at des.Time) { n.anchor = at }
+
+// Anchor returns the node's last downlink-observed sync reference.
+func (n *Node) Anchor() des.Time { return n.anchor }
+
+// NextSendOpportunity returns the earliest instant ≥ now at which the
+// node's MAC permits a transmission: the duty-cycle regulator's opening
+// under pure ALOHA, aligned onto the node's next legal slot when a
+// slotted grid is installed. It is a fixed point — calling Send exactly
+// at the returned instant succeeds.
+func (n *Node) NextSendOpportunity(now des.Time) des.Time {
+	e := now
+	if n.nextAllowed > e {
+		e = n.nextAllowed
+	}
+	if n.Slots != nil {
+		e = n.Slots.TxTime(uint32(n.ID), uint8(n.DR), e, n.anchor)
+	}
+	return e
+}
+
+// macGate rejects a send the node's MAC forbids at `now`: the duty-cycle
+// regulator first, then slot alignment when a slotted grid is installed.
+// Probes that zero DutyCycle (learning sweeps, burst scheduling) bypass
+// the slot gate along with the regulator they already bypass.
+func (n *Node) macGate(now des.Time) error {
 	if !n.CanSend(now) {
-		return nil, fmt.Errorf("node %d: duty cycle blocks until %v", n.ID, n.nextAllowed)
+		return fmt.Errorf("node %d: duty cycle blocks until %v", n.ID, n.nextAllowed)
+	}
+	if n.Slots != nil && n.DutyCycle > 0 {
+		if at := n.Slots.TxTime(uint32(n.ID), uint8(n.DR), now, n.anchor); at != now {
+			return fmt.Errorf("node %d: off-slot at %v (next slot %v)", n.ID, now, at)
+		}
+	}
+	return nil
+}
+
+// Send transmits one uplink on the next hop channel, updating duty-cycle
+// state. It returns the transmission, or an error when the MAC (duty
+// cycle, or slot alignment under a slotted grid) forbids sending.
+func (n *Node) Send(med *medium.Medium) (*medium.Transmission, error) {
+	if err := n.macGate(med.Sim().Now()); err != nil {
+		return nil, err
 	}
 	return n.forceSend(med, n.NextChannel())
 }
 
 // SendOn transmits on a specific channel, bypassing the hop sequence but
-// honoring the duty cycle — used by scheduled experiments.
+// honoring the MAC gate — used by scheduled experiments.
 func (n *Node) SendOn(med *medium.Medium, ch region.Channel) (*medium.Transmission, error) {
-	now := med.Sim().Now()
-	if !n.CanSend(now) {
-		return nil, fmt.Errorf("node %d: duty cycle blocks until %v", n.ID, n.nextAllowed)
+	if err := n.macGate(med.Sim().Now()); err != nil {
+		return nil, err
 	}
 	return n.forceSend(med, ch)
 }
 
+// forceSend builds and transmits the frame. It re-asserts regulator
+// legality even though every public caller has already passed the MAC
+// gate: a scheduler bug (or a future caller skipping the gate) must
+// surface as an error, not as a silent duty-cycle violation. Probes that
+// legally bypass the regulator do so by zeroing DutyCycle, which also
+// disarms this assertion.
 func (n *Node) forceSend(med *medium.Medium, ch region.Channel) (*medium.Transmission, error) {
+	if n.DutyCycle > 0 && med.Sim().Now() < n.nextAllowed {
+		return nil, fmt.Errorf("node %d: scheduled send at %v violates the duty cycle (allowed at %v)",
+			n.ID, med.Sim().Now(), n.nextAllowed)
+	}
 	if cap(n.payloadBuf) < n.PayloadLen {
 		n.payloadBuf = make([]byte, n.PayloadLen)
 	}

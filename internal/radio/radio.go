@@ -165,6 +165,14 @@ type Result struct {
 // Judge lets the medium decide, at decode completion, whether the packet
 // survived the channel (capture, SINR). It runs exactly once per locked-on
 // packet.
+//
+// The judge is the radio's pluggable collision seam: the radio itself
+// only models decoder occupancy (FCFS pool, preamble lock-on) and defers
+// every same-settings collision verdict to this callback. The medium's
+// default judge applies the classic single-winner capture margin; with a
+// mac.CaptureModel installed on the medium the identical callback path
+// yields CurvingLoRa-style concurrent decodes instead — no radio state
+// or dispatch changes, only the verdict policy behind this type.
 type Judge func() DecodeVerdict
 
 // Config is the channel configuration of a radio: which center frequencies

@@ -81,6 +81,11 @@ func (op *Operator) ApplyCommands(c netserver.Command) {
 	if !ok {
 		return
 	}
+	// A stamped downlink doubles as a clock reference: the device heard the
+	// gateway at a known instant and can re-anchor its slot grid to it.
+	if c.At > 0 {
+		nd.ObserveAnchor(c.At)
+	}
 	for _, cmd := range c.Cmds {
 		switch {
 		case cmd.LinkADR != nil:

@@ -38,6 +38,10 @@ type Arena struct {
 	// NextAllowed is the duty-cycle regulator state: earliest time the
 	// device may transmit again.
 	NextAllowed []des.Time
+	// Anchor is the device's slot-grid clock reference — the instant of
+	// its last observed downlink (node.Node.Anchor). Only read when
+	// Config.Slots is installed; zero means "never synchronized".
+	Anchor []des.Time
 	// nextTick is the device's next Poisson arrival (traffic state).
 	nextTick []des.Time
 	// rng is the device's compact traffic generator state: a splitmix64
@@ -85,6 +89,7 @@ func (c *Core) AddDevice(pos phy.Point, net medium.NetworkID, sync lora.SyncWord
 	a.ChHop = append(a.ChHop, 0)
 	a.FCnt = append(a.FCnt, 0)
 	a.NextAllowed = append(a.NextAllowed, 0)
+	a.Anchor = append(a.Anchor, 0)
 	a.nextTick = append(a.nextTick, 0)
 	a.rng = append(a.rng, uint64(des.StreamSeed(c.cfg.Seed, int64(d)+int64(net)<<32)))
 	a.cell = append(a.cell, 0)
@@ -110,6 +115,7 @@ func (c *Core) FromNodes(nodes []*node.Node) []int {
 		}
 		d := c.AddDevice(n.Pos, n.Network, n.Sync, n.Channels, n.DR, n.PowerDBm)
 		c.devs.FCnt[d] = n.FCnt()
+		c.devs.Anchor[d] = n.Anchor()
 		idx[i] = d
 	}
 	return idx

@@ -6,6 +6,7 @@ import (
 	"github.com/alphawan/alphawan/internal/des"
 	"github.com/alphawan/alphawan/internal/frame"
 	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/mac"
 	"github.com/alphawan/alphawan/internal/medium"
 	"github.com/alphawan/alphawan/internal/node"
 	"github.com/alphawan/alphawan/internal/phy"
@@ -21,6 +22,19 @@ import (
 // send, the hop sequence must pick the same channel, and the frame
 // counter and duty-cycle state must track exactly.
 func TestArenaNodeEquivalence(t *testing.T) {
+	testArenaNodeEquivalence(t, nil)
+}
+
+// TestArenaNodeEquivalenceSlotted is the same replay under the slotted
+// MAC: the identical slot grid is installed on both the arena config and
+// every reference node (node ID == arena index, so the per-device skews
+// agree), and every arena send time must pass the node's slot-legality
+// gate in addition to the duty-cycle regulator.
+func TestArenaNodeEquivalenceSlotted(t *testing.T) {
+	testArenaNodeEquivalence(t, mac.NewSlotGrid(11, 10+LoRaWANOverhead))
+}
+
+func testArenaNodeEquivalence(t *testing.T, grid *mac.SlotGrid) {
 	prev := runner.SetMaxWorkers(1)
 	defer runner.SetMaxWorkers(prev)
 
@@ -70,12 +84,14 @@ func TestArenaNodeEquivalence(t *testing.T) {
 			}
 			n.Channels = chans
 		}
+		n.Slots = grid
 		nodes = append(nodes, n)
 	}
 
 	c := New(Config{
 		Seed: seed, Env: env, Width: 2000, Height: 2000,
 		MeanInterval: 5 * des.Second,
+		Slots:        grid,
 	})
 	idx := c.FromNodes(nodes)
 	c.Seal()
@@ -123,6 +139,10 @@ func TestArenaNodeEquivalence(t *testing.T) {
 			if !n.CanSend(sim.Now()) {
 				t.Fatalf("node %d: arena sends at %v but duty cycle blocks until %v",
 					s.dev, sim.Now(), n.NextAllowed())
+			}
+			if next := n.NextSendOpportunity(sim.Now()); next != sim.Now() {
+				t.Fatalf("node %d: arena sends at %v but the node's MAC defers to %v",
+					s.dev, sim.Now(), next)
 			}
 			tx, err := n.Send(med)
 			if err != nil {

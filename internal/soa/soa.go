@@ -35,6 +35,7 @@ import (
 
 	"github.com/alphawan/alphawan/internal/des"
 	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/mac"
 	"github.com/alphawan/alphawan/internal/medium"
 	"github.com/alphawan/alphawan/internal/metrics"
 	"github.com/alphawan/alphawan/internal/phy"
@@ -86,6 +87,16 @@ type Config struct {
 	// ResolveCollisions enables CIC successive interference cancellation
 	// at every gateway, as medium.Medium's flag does.
 	ResolveCollisions bool
+	// Slots, when non-nil, installs a slotted-ALOHA overlay: every device
+	// defers each Poisson arrival to its next legal slot boundary on the
+	// shared grid (see mac.SlotGrid), using the device's downlink-observed
+	// anchor from Arena.Anchor. Nil keeps pure ALOHA bit-for-bit.
+	Slots *mac.SlotGrid
+	// Capture, when non-nil, replaces the classic same-settings collision
+	// verdict — and, when the model separates preambles, the preamble
+	// burial gate — exactly as medium.Medium.Capture does. Nil keeps the
+	// classic rule bit-for-bit.
+	Capture mac.CaptureModel
 }
 
 // portState is one gateway reception port (the SoA counterpart of
@@ -148,6 +159,9 @@ type Core struct {
 
 	sealed bool
 	done   bool
+	// sepPre caches Capture.SeparatePreambles() at Seal so the sweep's
+	// burial gate reads one bool instead of an interface call.
+	sepPre bool
 
 	nx, ny int
 	// targets[cell] lists the cells (ascending, including itself) whose
@@ -177,6 +191,10 @@ type Core struct {
 	pend      []pendRec
 	sendBufs  [][]sendRec
 	sends     []sendRec
+	// genT1 carries the epoch horizon into genShard; genFn is the cached
+	// closure handed to the runner (see genEpoch).
+	genT1 des.Time
+	genFn func(int)
 
 	stats  []metrics.NetworkStats
 	seen   []bool
@@ -296,6 +314,7 @@ func (c *Core) Seal() {
 		panic("soa: Seal called twice")
 	}
 	c.sealed = true
+	c.sepPre = c.cfg.Capture != nil && c.cfg.Capture.SeparatePreambles()
 
 	phyLen := c.cfg.PayloadLen + LoRaWANOverhead
 	for d := lora.DR0; d <= lora.DR5; d++ {

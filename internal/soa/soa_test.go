@@ -1,11 +1,13 @@
 package soa
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
 	"github.com/alphawan/alphawan/internal/des"
 	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/mac"
 	"github.com/alphawan/alphawan/internal/medium"
 	"github.com/alphawan/alphawan/internal/metrics"
 	"github.com/alphawan/alphawan/internal/phy"
@@ -14,19 +16,35 @@ import (
 	"github.com/alphawan/alphawan/internal/traffic"
 )
 
+// townMAC translates a MAC kind into the Config fields that install it on
+// a town-scale core (PayloadLen defaults to 10, so the PHY length the
+// slot grid must cover is 10 + LoRaWANOverhead).
+func townMAC(seed int64, kind mac.Kind) (*mac.SlotGrid, mac.CaptureModel) {
+	switch kind {
+	case mac.KindSlotted:
+		return mac.NewSlotGrid(seed, 10+LoRaWANOverhead), nil
+	case mac.KindCapture:
+		return nil, mac.NewCurving()
+	}
+	return nil, nil
+}
+
 // buildTown constructs a two-operator deployment over a 3×3 km area:
 // gateway grids per operator on interleaved channel plans, devices
 // low-discrepancy-scattered with mixed DRs. cellSize and epoch select
-// the sharding shape under test.
-func buildTown(t *testing.T, seed int64, cellSize float64, epoch des.Time, cic bool) *Core {
+// the sharding shape under test; kind selects the MAC strategy.
+func buildTown(t *testing.T, seed int64, cellSize float64, epoch des.Time, cic bool, kind mac.Kind) *Core {
 	t.Helper()
 	const side = 3000.0
+	slots, capture := townMAC(seed, kind)
 	c := New(Config{
 		Seed: seed, Env: phy.Metro(seed),
 		Width: side, Height: side,
 		CellSize: cellSize, Epoch: epoch,
 		MeanInterval:      30 * des.Second,
 		ResolveCollisions: cic,
+		Slots:             slots,
+		Capture:           capture,
 	})
 	band := region.Testbed
 	syncs := []lora.SyncWord{0x34, 0x12}
@@ -59,48 +77,82 @@ func buildTown(t *testing.T, seed int64, cellSize float64, epoch des.Time, cic b
 	return c
 }
 
-func runTown(t *testing.T, cellSize float64, epoch des.Time, cic bool, workers int) *RunStats {
+func runTown(t *testing.T, cellSize float64, epoch des.Time, cic bool, kind mac.Kind, workers int) *RunStats {
 	t.Helper()
 	prev := runner.SetMaxWorkers(workers)
 	defer runner.SetMaxWorkers(prev)
-	c := buildTown(t, 1, cellSize, epoch, cic)
+	c := buildTown(t, 1, cellSize, epoch, cic, kind)
 	return c.Run(2 * des.Minute)
 }
 
 // TestShardedMatchesSerial is the core determinism guarantee: one cell
 // swept serially, a fine grid swept serially, and the same fine grid
 // swept on six workers — with two different epoch quanta — must produce
-// bit-identical statistics.
+// bit-identical statistics, for every MAC strategy. The slotted case is
+// the sharpest: a slot-deferred send can land past one epoch horizon but
+// inside another, so identical results across epoch quanta prove the
+// horizon-deferral logic of genEpoch.
 func TestShardedMatchesSerial(t *testing.T) {
-	for _, cic := range []bool{false, true} {
-		serial := runTown(t, 4000, 10*des.Second, cic, 1) // single cell
-		if serial.Cells != 1 {
-			t.Fatalf("cic=%v: serial shape has %d cells, want 1", cic, serial.Cells)
+	for _, kind := range mac.Kinds() {
+		for _, cic := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s-cic=%v", kind, cic), func(t *testing.T) {
+				serial := runTown(t, 4000, 10*des.Second, cic, kind, 1) // single cell
+				if serial.Cells != 1 {
+					t.Fatalf("serial shape has %d cells, want 1", serial.Cells)
+				}
+				if serial.TotalTx == 0 || serial.Total().Received == 0 {
+					t.Fatalf("degenerate workload: %+v", serial.Total())
+				}
+				cases := []struct {
+					name    string
+					cell    float64
+					epoch   des.Time
+					workers int
+				}{
+					{"sharded-serial", 700, 10 * des.Second, 1},
+					{"sharded-parallel", 700, 10 * des.Second, 6},
+					{"sharded-odd-epoch", 700, 7*des.Second + 321*des.Millisecond, 6},
+				}
+				for _, tc := range cases {
+					got := runTown(t, tc.cell, tc.epoch, cic, kind, tc.workers)
+					if got.Cells <= 1 {
+						t.Fatalf("%s: expected a multi-cell grid", tc.name)
+					}
+					if !reflect.DeepEqual(got.nets, serial.nets) || !reflect.DeepEqual(got.seen, serial.seen) ||
+						got.TotalTx != serial.TotalTx {
+						t.Errorf("%s: sharded run diverged from serial:\nserial total %+v\ngot    total %+v",
+							tc.name, serial.Total(), got.Total())
+					}
+				}
+			})
 		}
-		if serial.TotalTx == 0 || serial.Total().Received == 0 {
-			t.Fatalf("cic=%v: degenerate workload: %+v", cic, serial.Total())
-		}
-		cases := []struct {
-			name    string
-			cell    float64
-			epoch   des.Time
-			workers int
-		}{
-			{"sharded-serial", 700, 10 * des.Second, 1},
-			{"sharded-parallel", 700, 10 * des.Second, 6},
-			{"sharded-odd-epoch", 700, 7*des.Second + 321*des.Millisecond, 6},
-		}
-		for _, tc := range cases {
-			got := runTown(t, tc.cell, tc.epoch, cic, tc.workers)
-			if got.Cells <= 1 {
-				t.Fatalf("cic=%v %s: expected a multi-cell grid", cic, tc.name)
+	}
+}
+
+// TestGenEpochSteadyStateZeroAllocs guards the traffic generator's hot
+// path: once the per-shard send buffers have grown to the workload's
+// high-water mark, advancing an epoch — including the slotted scheduler's
+// per-send TxTime — must not allocate. sort.Slice would box its closure
+// every epoch; slices.SortFunc and the pure slot arithmetic keep the
+// arena path allocation-free.
+func TestGenEpochSteadyStateZeroAllocs(t *testing.T) {
+	for _, kind := range []mac.Kind{mac.KindPure, mac.KindSlotted} {
+		t.Run(kind.String(), func(t *testing.T) {
+			prev := runner.SetMaxWorkers(1)
+			defer runner.SetMaxWorkers(prev)
+			c := buildTown(t, 1, 4000, 10*des.Second, false, kind)
+			t1 := des.Time(0)
+			step := func() {
+				t1 += 10 * des.Second
+				c.genEpoch(t1)
 			}
-			if !reflect.DeepEqual(got.nets, serial.nets) || !reflect.DeepEqual(got.seen, serial.seen) ||
-				got.TotalTx != serial.TotalTx {
-				t.Errorf("cic=%v %s: sharded run diverged from serial:\nserial total %+v\ngot    total %+v",
-					cic, tc.name, serial.Total(), got.Total())
+			for i := 0; i < 30; i++ { // warm the buffers to steady state
+				step()
 			}
-		}
+			if avg := testing.AllocsPerRun(10, step); avg != 0 {
+				t.Errorf("genEpoch allocates %.1f times per epoch at steady state, want 0", avg)
+			}
+		})
 	}
 }
 

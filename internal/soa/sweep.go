@@ -1,7 +1,9 @@
 package soa
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 
 	"github.com/alphawan/alphawan/internal/des"
@@ -118,8 +120,11 @@ func (c *Core) gap(d int) des.Time {
 // (start, device). Devices are swept in fixed index ranges, so the
 // result is identical for any worker count. The per-device loop mirrors
 // traffic.PoissonUser.tick: a send consumes an RNG draw for the next
-// arrival; a duty-cycle retry moves the tick to NextAllowed without
-// drawing.
+// arrival; a duty-cycle or slot-grid deferral moves the tick without
+// drawing. A slotted send landing at or past the horizon stays pending
+// (nextTick unchanged): mac.SlotGrid.TxTime is a pure function of the
+// frozen device state, so the next epoch recomputes the same instant —
+// which keeps the schedule identical for every epoch length.
 func (c *Core) genEpoch(t1 des.Time) {
 	n := c.devs.Len()
 	c.sends = c.sends[:0]
@@ -131,50 +136,73 @@ func (c *Core) genEpoch(t1 des.Time) {
 	for len(c.sendBufs) < nShards {
 		c.sendBufs = append(c.sendBufs, nil)
 	}
-	dc := c.cfg.DutyCycle
-	runner.RunCells(nShards, func(si int) {
-		lo, hi := si*shardSize, (si+1)*shardSize
-		if hi > n {
-			hi = n
-		}
-		buf := c.sendBufs[si][:0]
-		a := &c.devs
-		for d := lo; d < hi; d++ {
-			nt := a.nextTick[d]
-			for nt < t1 {
-				if nt >= a.NextAllowed[d] {
-					set := c.setTab[a.ChSet[d]]
-					ch := set[int(a.ChHop[d])%len(set)]
-					a.ChHop[d]++
-					a.FCnt[d]++
-					air := c.air[a.DR[d]]
-					if dc > 0 && dc <= 1 {
-						a.NextAllowed[d] = nt + air + des.Time(float64(air)*(1-dc)/dc)
-					}
-					buf = append(buf, sendRec{
-						at: nt, dev: int32(d), ch: ch,
-						dr: a.DR[d], net: a.Net[d], sync: a.Sync[d],
-					})
-					nt += c.gap(d)
-				} else {
-					nt = a.NextAllowed[d]
-				}
-			}
-			a.nextTick[d] = nt
-		}
-		c.sendBufs[si] = buf
-	})
+	c.genT1 = t1
+	if c.genFn == nil {
+		// One persistent closure (capturing only the receiver) keeps the
+		// steady-state epoch allocation-free; an inline literal would box
+		// its captures on every call.
+		c.genFn = c.genShard
+	}
+	runner.RunCells(nShards, c.genFn)
 	for _, buf := range c.sendBufs[:nShards] {
 		c.sends = append(c.sends, buf...)
 	}
 	// A device never emits two sends at the same instant (gaps are ≥1 ms),
-	// so (start, device) is a strict total order.
-	sort.Slice(c.sends, func(i, j int) bool {
-		if c.sends[i].at != c.sends[j].at {
-			return c.sends[i].at < c.sends[j].at
+	// so (start, device) is a strict total order. slices.SortFunc keeps
+	// the steady-state path allocation-free where sort.Slice would box.
+	slices.SortFunc(c.sends, func(x, y sendRec) int {
+		if x.at != y.at {
+			return cmp.Compare(x.at, y.at)
 		}
-		return c.sends[i].dev < c.sends[j].dev
+		return cmp.Compare(x.dev, y.dev)
 	})
+}
+
+// genShard advances one fixed device index range to the c.genT1 horizon —
+// the parallel body of genEpoch.
+func (c *Core) genShard(si int) {
+	const shardSize = 1 << 15
+	n := c.devs.Len()
+	t1 := c.genT1
+	dc := c.cfg.DutyCycle
+	grid := c.cfg.Slots
+	lo, hi := si*shardSize, (si+1)*shardSize
+	if hi > n {
+		hi = n
+	}
+	buf := c.sendBufs[si][:0]
+	a := &c.devs
+	for d := lo; d < hi; d++ {
+		nt := a.nextTick[d]
+		for nt < t1 {
+			if nt >= a.NextAllowed[d] {
+				at := nt
+				if grid != nil {
+					at = grid.TxTime(uint32(d), a.DR[d], nt, a.Anchor[d])
+					if at >= t1 {
+						break
+					}
+				}
+				set := c.setTab[a.ChSet[d]]
+				ch := set[int(a.ChHop[d])%len(set)]
+				a.ChHop[d]++
+				a.FCnt[d]++
+				air := c.air[a.DR[d]]
+				if dc > 0 && dc <= 1 {
+					a.NextAllowed[d] = at + air + des.Time(float64(air)*(1-dc)/dc)
+				}
+				buf = append(buf, sendRec{
+					at: at, dev: int32(d), ch: ch,
+					dr: a.DR[d], net: a.Net[d], sync: a.Sync[d],
+				})
+				nt = at + c.gap(d)
+			} else {
+				nt = a.NextAllowed[d]
+			}
+		}
+		a.nextTick[d] = nt
+	}
+	c.sendBufs[si] = buf
 }
 
 // processEpoch fans c.sends out to the reachable cells' queues, sweeps
@@ -325,7 +353,7 @@ func (c *Core) handleEvent(cs *cellState, ev swEvent) {
 	t := &cs.store[ev.tx]
 	p := &c.ports[ev.port]
 	if ev.kind == evLock {
-		if p.busy < p.decoders && !c.cfg.ResolveCollisions {
+		if p.busy < p.decoders && !c.cfg.ResolveCollisions && !c.sepPre {
 			if uNet, buried := c.buriedBy(cs, t, p, ev.rssi); buried {
 				cs.emit(t.gid, codeChannel(uNet != t.net))
 				return
@@ -423,7 +451,11 @@ func (c *Core) evalInterferer(t *txRec, rssiV float64, nb *nbRef, sic int, intfL
 			if c.cfg.ResolveCollisions && sic <= 1 {
 				return true
 			}
-			if rssiV-eff < medium.CaptureThresholdDB {
+			fatal := rssiV-eff < medium.CaptureThresholdDB
+			if c.cfg.Capture != nil {
+				fatal = !c.cfg.Capture.Decodes(rssiV, eff)
+			}
+			if fatal {
 				return false
 			}
 		}

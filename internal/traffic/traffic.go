@@ -105,14 +105,17 @@ func (u *PoissonUser) tick(med *medium.Medium) {
 	if u.Stop != 0 && now >= u.Stop {
 		return
 	}
-	if u.Node.CanSend(now) {
-		u.Node.Send(med)
-		med.Sim().At(now+u.nextGap(), func() { u.tick(med) })
+	// The MAC may be holding the node: the duty-cycle regulator (or
+	// self-serialization under the multi-user emulation), or — with a
+	// slotted grid installed — the wait for the next legal slot. Defer to
+	// the opening without drawing from the RNG, so the traffic stream is
+	// identical whichever MAC is in force.
+	if next := u.Node.NextSendOpportunity(now); next > now {
+		med.Sim().At(next, func() { u.tick(med) })
 		return
 	}
-	// The regulator is holding the node (duty cycle or self-serialization
-	// under the multi-user emulation): retry as soon as it opens.
-	med.Sim().At(u.Node.NextAllowed(), func() { u.tick(med) })
+	u.Node.Send(med)
+	med.Sim().At(now+u.nextGap(), func() { u.tick(med) })
 }
 
 // MeanIntervalForDutyCycle returns the Poisson inter-arrival that keeps a
