@@ -23,6 +23,12 @@ type compareRow struct {
 	OldAllocs   int64
 	NewAllocs   int64
 	AllocsDelta float64 // percent; negative = fewer
+	// Live-load rows additionally carry throughput and tail latency.
+	// Live is true when both snapshots reported packets_per_sec.
+	Live               bool
+	OldPPS, NewPPS     float64
+	OldP99Us, NewP99Us float64
+	P99Delta           float64 // percent; positive = slower tail
 }
 
 // deltaPct returns the relative change new-vs-old in percent. A zero old
@@ -64,9 +70,22 @@ func compareBench(old, new benchFile, regressPct float64) (rows []compareRow, re
 			NewAllocs:   n.AllocsPerOp,
 			AllocsDelta: deltaPct(o.AllocsPerOp, n.AllocsPerOp),
 		}
+		if o.PacketsPerSec > 0 && n.PacketsPerSec > 0 {
+			row.Live = true
+			row.OldPPS, row.NewPPS = o.PacketsPerSec, n.PacketsPerSec
+			row.OldP99Us, row.NewP99Us = o.P99Us, n.P99Us
+			if o.P99Us > 0 {
+				row.P99Delta = 100 * (n.P99Us - o.P99Us) / o.P99Us
+			}
+		}
 		rows = append(rows, row)
 		if row.NsDelta > regressPct {
 			regressions = append(regressions, fmt.Sprintf("%s: ns/op +%.1f%%", o.ID, row.NsDelta))
+		}
+		// ns/op on live rows is 1e9/pps, so the check above already gates
+		// throughput; the tail latency needs its own gate.
+		if row.Live && row.P99Delta > regressPct {
+			regressions = append(regressions, fmt.Sprintf("%s: p99 +%.1f%%", o.ID, row.P99Delta))
 		}
 	}
 	for _, n := range new.Results {
@@ -96,9 +115,41 @@ func printCompare(w io.Writer, rows []compareRow, unmatched []string) {
 		fmt.Fprintf(w, "%-14s %14d %14d %7.1f%% %14d %14d %7.1f%%\n",
 			"TOTAL", oldNs, newNs, deltaPct(oldNs, newNs), oldAl, newAl, deltaPct(oldAl, newAl))
 	}
+	// Live-load rows get a throughput/tail table of their own.
+	header := false
+	for _, r := range rows {
+		if !r.Live {
+			continue
+		}
+		if !header {
+			header = true
+			fmt.Fprintf(w, "%-16s %12s %12s %8s %12s %12s %8s\n",
+				"live", "old pps", "new pps", "Δpps", "old p99 µs", "new p99 µs", "Δp99")
+		}
+		ppsDelta := 0.0
+		if r.OldPPS > 0 {
+			ppsDelta = 100 * (r.NewPPS - r.OldPPS) / r.OldPPS
+		}
+		fmt.Fprintf(w, "%-16s %12.0f %12.0f %7.1f%% %12.0f %12.0f %7.1f%%\n",
+			r.ID, r.OldPPS, r.NewPPS, ppsDelta, r.OldP99Us, r.NewP99Us, r.P99Delta)
+	}
 	for _, u := range unmatched {
 		fmt.Fprintf(w, "# unmatched: %s\n", u)
 	}
+}
+
+// livePPS extracts a snapshot's live-load throughput for the -speedup
+// check, preferring the batched row ("live-load") and falling back to the
+// serial one so a serial-only baseline snapshot still compares.
+func livePPS(bf benchFile) (float64, string, bool) {
+	for _, id := range []string{"live-load", "live-load-serial"} {
+		for _, r := range bf.Results {
+			if r.ID == id && r.PacketsPerSec > 0 {
+				return r.PacketsPerSec, id, true
+			}
+		}
+	}
+	return 0, "", false
 }
 
 // readBenchFile loads one BENCH_<n>.json snapshot.
@@ -115,8 +166,9 @@ func readBenchFile(path string) (benchFile, error) {
 }
 
 // runCompare implements the -compare mode; it returns the process exit
-// code (1 = regression past threshold or unreadable input).
-func runCompare(oldPath, newPath string, regressPct float64) int {
+// code (1 = regression past threshold, speedup floor missed, or
+// unreadable input).
+func runCompare(oldPath, newPath string, regressPct, speedup float64) int {
 	old, err := readBenchFile(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -129,6 +181,22 @@ func runCompare(oldPath, newPath string, regressPct float64) int {
 	}
 	rows, regressions, unmatched := compareBench(old, new, regressPct)
 	printCompare(os.Stdout, rows, unmatched)
+	code := 0
+	if speedup > 0 {
+		oldPPS, oldID, okOld := livePPS(old)
+		newPPS, newID, okNew := livePPS(new)
+		if !okOld || !okNew {
+			fmt.Fprintln(os.Stderr, "-speedup: both snapshots need a live-load row with packets_per_sec")
+			return 1
+		}
+		ratio := newPPS / oldPPS
+		fmt.Printf("# speedup: %s %.0f pps → %s %.0f pps = %.2fx (floor %.1fx)\n",
+			oldID, oldPPS, newID, newPPS, ratio, speedup)
+		if ratio < speedup {
+			fmt.Fprintf(os.Stderr, "live-load speedup %.2fx below the %.1fx floor\n", ratio, speedup)
+			code = 1
+		}
+	}
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "regression threshold %.1f%% exceeded:\n", regressPct)
 		for _, r := range regressions {
@@ -136,5 +204,5 @@ func runCompare(oldPath, newPath string, regressPct float64) int {
 		}
 		return 1
 	}
-	return 0
+	return code
 }

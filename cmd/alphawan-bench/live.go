@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/alphawan/alphawan/internal/liveload"
+)
+
+// Live-stack load benchmark: `alphawan-bench -live` drives pre-encoded
+// uplinks over real UDP into the packet-forwarder bridge + network server
+// and reports sustained packets/sec, p50/p99 latency, and loss counters
+// as BENCH rows — id "live-load" for the batched/sharded path, id
+// "live-load-serial" for the legacy single-goroutine path. Both ids carry
+// NsPerOp = 1e9/pps so the ordinary -compare -regress gate covers
+// throughput drift, and the extra packets_per_sec / p99_us fields feed
+// the live columns of the compare table.
+
+// liveID maps a liveload mode to its bench row id.
+func liveID(mode string) string {
+	if mode == liveload.ModeSerial {
+		return "live-load-serial"
+	}
+	return "live-load"
+}
+
+// runLiveMode executes one mode and converts the measurement to a bench
+// row.
+func runLiveMode(cfg liveload.Config) (benchResult, error) {
+	res, err := liveload.Run(cfg)
+	if err != nil {
+		return benchResult{}, err
+	}
+	if res.Delivered == 0 {
+		return benchResult{}, fmt.Errorf("live-load %s: nothing delivered (offered %d pps)",
+			cfg.Mode, cfg.OfferedPPS)
+	}
+	row := benchResult{
+		ID:            liveID(cfg.Mode),
+		Runs:          1,
+		NsPerOp:       int64(1e9 / res.PPS),
+		AllocsPerOp:   int64(res.AllocsPerUplink + 0.5),
+		BytesPerOp:    int64(res.BytesPerUplink + 0.5),
+		PacketsPerSec: res.PPS,
+		P50Us:         float64(res.P50.Nanoseconds()) / 1e3,
+		P99Us:         float64(res.P99.Nanoseconds()) / 1e3,
+		OfferedPPS:    res.OfferedPPS,
+		Drops:         res.Drops,
+		OverloadDrops: res.OverloadDrops,
+		PeakRSSBytes:  peakRSS(),
+	}
+	return row, nil
+}
+
+// runLiveOnce measures the requested live modes ("serial", "batched", or
+// "both") and reports the batched-over-serial throughput ratio (0 unless
+// both modes ran).
+func runLiveOnce(mode string, cfg liveload.Config) ([]benchResult, float64, error) {
+	var modes []string
+	switch mode {
+	case "both":
+		modes = []string{liveload.ModeSerial, liveload.ModeBatched}
+	case liveload.ModeSerial, liveload.ModeBatched:
+		modes = []string{mode}
+	default:
+		return nil, 0, fmt.Errorf("-live-mode %q: want both, serial, or batched", mode)
+	}
+	byMode := map[string]benchResult{}
+	var rows []benchResult
+	for _, m := range modes {
+		c := cfg
+		c.Mode = m
+		// Settle between runs so one mode's heap and socket state cannot
+		// charge the other.
+		runtime.GC()
+		time.Sleep(100 * time.Millisecond)
+		row, err := runLiveMode(c)
+		if err != nil {
+			return nil, 0, err
+		}
+		byMode[m] = row
+		rows = append(rows, row)
+		fmt.Printf("%-16s %10.0f pkts/sec  p50 %8.0f µs  p99 %8.0f µs  offered %d pps  drops %d (overload %d)\n",
+			row.ID, row.PacketsPerSec, row.P50Us, row.P99Us,
+			row.OfferedPPS, row.Drops, row.OverloadDrops)
+	}
+	ratio := 0.0
+	if s, ok := byMode[liveload.ModeSerial]; ok {
+		if b, ok := byMode[liveload.ModeBatched]; ok {
+			ratio = b.PacketsPerSec / s.PacketsPerSec
+			fmt.Printf("%-16s %10.2fx batched over serial\n", "speedup", ratio)
+		}
+	}
+	return rows, ratio, nil
+}
+
+// runLive runs the live measurement up to `retries` times and enforces
+// the optional speedup floor of batched over serial. Throughput on a
+// shared CI box is noisy — the serial mode's reflection-heavy parsing is
+// especially GC- and neighbor-sensitive — so the gate is best-of-N: one
+// clean attempt proving the floor is evidence the speedup exists, while a
+// single slow neighbor window is not evidence it doesn't. The attempt
+// with the best ratio is the one reported.
+func runLive(mode string, cfg liveload.Config, minSpeedup float64, retries int) ([]benchResult, error) {
+	if retries < 1 {
+		retries = 1
+	}
+	if minSpeedup > 0 && mode != "both" {
+		return nil, fmt.Errorf("-live-min-speedup needs -live-mode both")
+	}
+	var best []benchResult
+	bestRatio := -1.0
+	for attempt := 1; ; attempt++ {
+		rows, ratio, err := runLiveOnce(mode, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if ratio > bestRatio {
+			best, bestRatio = rows, ratio
+		}
+		if minSpeedup <= 0 || bestRatio >= minSpeedup {
+			break
+		}
+		if attempt >= retries {
+			return nil, fmt.Errorf("live-load speedup %.2fx below the %.1fx floor after %d attempts",
+				bestRatio, minSpeedup, attempt)
+		}
+		fmt.Printf("# attempt %d/%d: %.2fx below the %.1fx floor, retrying\n",
+			attempt, retries, ratio, minSpeedup)
+	}
+	return best, nil
+}

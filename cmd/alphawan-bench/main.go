@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/alphawan/alphawan/internal/experiments"
+	"github.com/alphawan/alphawan/internal/liveload"
 	"github.com/alphawan/alphawan/internal/runner"
 )
 
@@ -54,6 +55,16 @@ type benchResult struct {
 	// the timed runs — only meaningful with -isolate, where the child
 	// process ran exactly one experiment. 0 when unavailable.
 	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
+	// Live-load rows (-live) additionally report the sustained uplink
+	// rate, send-to-delivery latency quantiles, the offered load they
+	// were measured under, and the loss counters. NsPerOp on these rows
+	// is 1e9/PacketsPerSec, so the ordinary -regress gate covers them.
+	PacketsPerSec float64 `json:"packets_per_sec,omitempty"`
+	P50Us         float64 `json:"p50_us,omitempty"`
+	P99Us         float64 `json:"p99_us,omitempty"`
+	OfferedPPS    int     `json:"offered_pps,omitempty"`
+	Drops         int64   `json:"drops,omitempty"`
+	OverloadDrops int64   `json:"overload_drops,omitempty"`
 }
 
 // benchFile is the BENCH_<n>.json schema.
@@ -111,6 +122,24 @@ func main() {
 	isolate := flag.Bool("isolate", true,
 		"measure each experiment in its own child process so one experiment's "+
 			"heap cannot skew another's timing (off when profiling)")
+	speedup := flag.Float64("speedup", 0,
+		"with -compare: require the new snapshot's live-load packets/sec to be "+
+			"at least this multiple of the old snapshot's (0 = no check)")
+	live := flag.Bool("live", false,
+		"run the live-stack UDP load benchmark instead of the experiments")
+	liveMode := flag.String("live-mode", "both",
+		"live ingest paths to measure: both, serial, or batched")
+	livePPS := flag.Int("live-pps", 100_000, "live offered load, uplink frames per second")
+	liveDuration := flag.Duration("live-duration", 2*time.Second, "live send window")
+	liveDevices := flag.Int("live-devices", 64, "live provisioned device sessions")
+	liveWorkers := flag.Int("live-workers", 0, "batched bridge parse workers (0 = default)")
+	liveRxpks := flag.Int("live-rxpks", 8, "uplinks per PUSH_DATA datagram (MAX_RX_PKT)")
+	liveMinSpeedup := flag.Float64("live-min-speedup", 0,
+		"with -live-mode both: exit non-zero unless batched sustains at least "+
+			"this multiple of serial packets/sec (0 = no check)")
+	liveRetries := flag.Int("live-retries", 1,
+		"attempts at clearing -live-min-speedup before failing (best ratio wins; "+
+			"shared-runner throughput is noisy)")
 	flag.Parse()
 
 	if *compare != "" {
@@ -118,7 +147,31 @@ func main() {
 			fmt.Fprintln(os.Stderr, "usage: alphawan-bench -compare OLD.json NEW.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(*compare, flag.Arg(0), *regress))
+		os.Exit(runCompare(*compare, flag.Arg(0), *regress, *speedup))
+	}
+
+	if *live {
+		rows, err := runLive(*liveMode, liveload.Config{
+			Devices:    *liveDevices,
+			OfferedPPS: *livePPS,
+			Duration:   *liveDuration,
+			Workers:    *liveWorkers,
+			Rxpks:      *liveRxpks,
+		}, *liveMinSpeedup, *liveRetries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out := benchFile{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoOS:       runtime.GOOS,
+			GoArch:     runtime.GOARCH,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Seed:       *seed,
+			Results:    rows,
+		}
+		writeBenchFile(*dir, out)
+		return
 	}
 
 	if *runs < 1 {
@@ -207,7 +260,13 @@ func main() {
 		f.Close()
 	}
 
-	path, err := nextBenchPath(*dir)
+	writeBenchFile(*dir, out)
+}
+
+// writeBenchFile stores the snapshot in the next free BENCH_<n>.json slot,
+// exiting the process on any failure.
+func writeBenchFile(dir string, out benchFile) {
+	path, err := nextBenchPath(dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -104,3 +104,45 @@ func ids2(rows []compareRow) []string {
 	}
 	return out
 }
+
+// TestCompareBenchLive exercises the live-load columns: throughput and
+// p99 carry through to the row, and a p99 regression is flagged on its
+// own alongside the ns/op check.
+func TestCompareBenchLive(t *testing.T) {
+	old := benchFile{Results: []benchResult{
+		{ID: "live-load", NsPerOp: 10_000, PacketsPerSec: 100_000, P99Us: 400},
+	}}
+	new := benchFile{Results: []benchResult{
+		{ID: "live-load", NsPerOp: 9_000, PacketsPerSec: 111_111, P99Us: 480},
+	}}
+	rows, regressions, _ := compareBench(old, new, 5)
+	if len(rows) != 1 || !rows[0].Live {
+		t.Fatalf("want one live row, got %+v", rows)
+	}
+	if rows[0].NewPPS != 111_111 || rows[0].OldP99Us != 400 {
+		t.Errorf("live fields lost: %+v", rows[0])
+	}
+	// ns/op improved but the tail grew 20% — only the p99 gate fires.
+	if len(regressions) != 1 || regressions[0] != "live-load: p99 +20.0%" {
+		t.Errorf("regressions = %v, want exactly the p99 flag", regressions)
+	}
+}
+
+func TestLivePPS(t *testing.T) {
+	both := benchFile{Results: []benchResult{
+		{ID: "live-load-serial", PacketsPerSec: 25_000},
+		{ID: "live-load", PacketsPerSec: 100_000},
+	}}
+	if pps, id, ok := livePPS(both); !ok || id != "live-load" || pps != 100_000 {
+		t.Errorf("livePPS(both) = %v %q %v, want batched row", pps, id, ok)
+	}
+	serialOnly := benchFile{Results: []benchResult{
+		{ID: "live-load-serial", PacketsPerSec: 25_000},
+	}}
+	if pps, id, ok := livePPS(serialOnly); !ok || id != "live-load-serial" || pps != 25_000 {
+		t.Errorf("livePPS(serial-only) = %v %q %v", pps, id, ok)
+	}
+	if _, _, ok := livePPS(benchFile{Results: []benchResult{{ID: "fig13", NsPerOp: 1}}}); ok {
+		t.Error("livePPS must report absence when no live rows exist")
+	}
+}

@@ -1,0 +1,405 @@
+// Package liveload drives the live UDP stack — pre-encoded LoRaWAN
+// uplinks over a real socket into a packet-forwarder bridge feeding the
+// network server — at a configurable offered load, and measures sustained
+// packets/sec and end-to-end latency quantiles.
+//
+// The harness is open-loop: frames are sent on a wall-clock schedule
+// derived from OfferedPPS regardless of how fast the server keeps up, so
+// a saturated configuration shows its true capacity (delivered/sec) and
+// its loss behaviour (kernel drops, ring overload) instead of silently
+// slowing the generator down. Every datagram is pre-encoded before the
+// clock starts; the send loop is a batched send (sendmmsg(2) where
+// available, one kernel crossing per 16 datagrams) plus a few atomic
+// stores, keeping the generator far cheaper than either server path so
+// the measurement bounds the server, not the harness.
+//
+// Two modes bracket the PR's claim:
+//
+//   - serial: the legacy Bridge with a single consumer goroutine doing
+//     encoding/json + Sscanf per datagram — the alphawan-server path
+//     before batching.
+//   - batched: the BatchBridge worker pool with the zero-alloc scanner
+//     feeding the sharded netserver directly.
+package liveload
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/frame"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/metrics"
+	"github.com/alphawan/alphawan/internal/netserver"
+	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/udpfwd"
+)
+
+// Modes.
+const (
+	ModeSerial  = "serial"
+	ModeBatched = "batched"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Mode selects the server ingest path: ModeSerial or ModeBatched.
+	Mode string
+	// Devices is the provisioned session population (default 64). Frames
+	// round-robin across devices, spreading load over session shards.
+	Devices int
+	// OfferedPPS is the offered load in uplink frames per second
+	// (default 100000).
+	OfferedPPS int
+	// Duration is the send window (default 2s); the run then waits for
+	// the server to drain before measuring.
+	Duration time.Duration
+	// Rxpks is how many uplinks share one PUSH_DATA datagram (default 8,
+	// the SX1302 HAL's MAX_RX_PKT fetch bound). All rxpks of a datagram
+	// belong to one device, preserving per-device FIFO through the
+	// batched bridge's routing.
+	Rxpks int
+	// Workers, RingSize, Batch tune the batched bridge (defaults as in
+	// udpfwd.Options).
+	Workers, RingSize, Batch int
+	// Payload is the application payload size in bytes (default 10).
+	Payload int
+}
+
+func (c *Config) defaults() error {
+	switch c.Mode {
+	case ModeSerial, ModeBatched:
+	default:
+		return fmt.Errorf("liveload: unknown mode %q", c.Mode)
+	}
+	if c.Devices <= 0 {
+		c.Devices = 64
+	}
+	if c.OfferedPPS <= 0 {
+		c.OfferedPPS = 100_000
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Rxpks <= 0 {
+		c.Rxpks = 8
+	}
+	if c.Payload <= 0 {
+		c.Payload = 10
+	}
+	return nil
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Mode       string
+	OfferedPPS int
+	// Frames is how many uplinks the generator sent.
+	Frames int
+	// Delivered is deduplicated application deliveries at the server.
+	Delivered int64
+	// Drops is Frames minus the uplinks that reached the server's
+	// HandleUplink — loss in the kernel socket buffer plus, for the
+	// batched bridge, ring overload (also broken out below).
+	Drops         int64
+	OverloadDrops int64
+	Fallbacks     int64
+	// Elapsed spans first send to last delivery; PPS = Delivered/Elapsed.
+	Elapsed time.Duration
+	PPS     float64
+	// Send-to-delivery latency quantiles over delivered frames.
+	P50, P99, Max time.Duration
+	// AllocsPerUplink and BytesPerUplink are heap churn per delivered
+	// uplink across the whole process (generator included — it is
+	// allocation-free after pre-encoding).
+	AllocsPerUplink float64
+	BytesPerUplink  float64
+}
+
+// dgram is one pre-encoded PUSH_DATA wire datagram carrying frames
+// [first, first+n) of the flat frame index.
+type dgram struct {
+	buf      []byte
+	first, n int
+}
+
+// appKey matches cmd/alphawan-server's deterministic provisioning.
+var appKey = frame.AESKey{0x2b, 0x7e, 0x15, 0x16}
+
+// addrBase is the DevAddr of device index 0 (device i is addrBase+i+1).
+const addrBase = 0x02000000
+
+// Run executes one load run and blocks until the server has drained.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+
+	// Frame schedule: perDev frames per device, padded to whole
+	// datagrams. FCnt is 16-bit on the wire, so perDev stays well below
+	// the wrap.
+	total := int(float64(cfg.OfferedPPS) * cfg.Duration.Seconds())
+	perDev := (total + cfg.Devices - 1) / cfg.Devices
+	perDev = (perDev + cfg.Rxpks - 1) / cfg.Rxpks * cfg.Rxpks
+	if perDev > 65000 {
+		perDev = 65000 / cfg.Rxpks * cfg.Rxpks
+	}
+	total = perDev * cfg.Devices
+
+	srv := netserver.New()
+	// Bound the operational log to a cache-resident window. The DES
+	// experiments keep the 1M-entry default for the log-compaction study;
+	// at live rates that much retention turns every append into a DRAM
+	// round-trip and the periodic halving into a tens-of-megabyte copy
+	// under the global log mutex — identical tax on both modes, but it
+	// buries the parse-path difference this harness exists to measure.
+	srv.MaxLog = 1 << 16
+	encs := make([]*frame.Encoder, cfg.Devices)
+	for i := 0; i < cfg.Devices; i++ {
+		addr := frame.DevAddr(addrBase | uint32(i+1))
+		nwk, app, err := frame.DeriveSessionKeys(appKey, [3]byte{0x01}, [3]byte{0x13}, uint16(i+1))
+		if err != nil {
+			return Result{}, fmt.Errorf("liveload: provision: %w", err)
+		}
+		srv.Register(addr, nwk, app, lora.DR(i%6), 0)
+		encs[i] = frame.NewEncoder(nwk, &app)
+	}
+
+	dgs, err := prebuild(cfg, encs, perDev)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// t0 anchors every timestamp; it is set before any goroutine below
+	// exists, so closures read it without synchronization.
+	t0 := time.Now()
+	sendNs := make([]atomic.Int64, total)
+	var delivered atomic.Int64
+	var lastDeliverNs atomic.Int64
+	hist := &metrics.Histogram{}
+	srv.Served.Subscribe(func(d netserver.Data) {
+		now := time.Since(t0).Nanoseconds()
+		idx := (int(uint32(d.Dev.Addr)&0x00FFFFFF) - 1) * perDev
+		idx += int(d.FCnt)
+		if idx >= 0 && idx < len(sendNs) {
+			if s := sendNs[idx].Load(); s > 0 {
+				hist.Record(now - s)
+			}
+		}
+		delivered.Add(1)
+		lastDeliverNs.Store(now)
+	})
+
+	// Ingest path under test.
+	var addr *net.UDPAddr
+	var batch *udpfwd.BatchBridge
+	var serial *udpfwd.Bridge
+	serialDone := make(chan struct{})
+	switch cfg.Mode {
+	case ModeBatched:
+		batch, err = udpfwd.NewBatchBridge("127.0.0.1:0", udpfwd.Options{
+			Workers:  cfg.Workers,
+			RingSize: cfg.RingSize,
+			Batch:    cfg.Batch,
+			Handler: func(u *udpfwd.UplinkFrame) {
+				srv.HandleUplink(u.Raw, netserver.UplinkMeta{
+					Gateway: int(u.EUI), Freq: region.Hz(u.FreqHz), DR: u.DR,
+					RSSIdBm: float64(u.RSSIdBm), SNRdB: u.SNRdB, At: des.Time(u.Tmst),
+				})
+			},
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		addr = batch.Addr()
+	case ModeSerial:
+		serial, err = udpfwd.NewBridge("127.0.0.1:0")
+		if err != nil {
+			return Result{}, err
+		}
+		addr = serial.Addr()
+		// The pre-batching alphawan-server ingest, verbatim: one
+		// goroutine, encoding/json already paid by the bridge, base64 +
+		// Sscanf + HandleUplink here.
+		go func() {
+			defer close(serialDone)
+			for up := range serial.Uplinks() {
+				raw, err := udpfwd.DecodeData(up.RXPK.Data)
+				if err != nil {
+					continue
+				}
+				dr, err := udpfwd.ParseDatr(up.RXPK.Datr)
+				if err != nil {
+					continue
+				}
+				srv.HandleUplink(raw, netserver.UplinkMeta{
+					Gateway: int(up.EUI), Freq: region.Hz(up.RXPK.Freq * 1e6), DR: dr,
+					RSSIdBm: float64(up.RXPK.RSSI), SNRdB: up.RXPK.LSNR,
+					At: des.Time(up.RXPK.Tmst),
+				})
+			}
+		}()
+	}
+
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return Result{}, err
+	}
+	defer conn.Close()
+	// Drain PUSH_ACKs so the generator socket's receive queue never
+	// backs up into ICMP noise — batched, so the drain costs the shared
+	// CPU one syscall per 16 acks instead of one each.
+	go func() {
+		rx := udpfwd.NewMultiReceiver(conn)
+		for {
+			if _, err := rx.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	runtime.GC()
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+
+	// Open-loop send: by elapsed time e, e*rate datagrams are due. Due
+	// datagrams go out through the batching sender (sendmmsg where the
+	// platform has it), so a backlog of 16 costs one kernel crossing —
+	// keeping the generator's share of the CPU small even at the offered
+	// rates that saturate the server.
+	rate := float64(cfg.OfferedPPS) / float64(cfg.Rxpks)
+	sender := udpfwd.NewMultiSender(conn)
+	sendBufs := make([][]byte, 0, 16)
+	firstSendNs := time.Since(t0).Nanoseconds()
+	for i := 0; i < len(dgs); {
+		due := int(time.Since(t0).Seconds() * rate)
+		if due > len(dgs) {
+			due = len(dgs)
+		}
+		for i < due {
+			end := i + cap(sendBufs)
+			if end > due {
+				end = due
+			}
+			now := time.Since(t0).Nanoseconds()
+			sendBufs = sendBufs[:0]
+			for ; i < end; i++ {
+				dg := &dgs[i]
+				for k := 0; k < dg.n; k++ {
+					sendNs[dg.first+k].Store(now)
+				}
+				sendBufs = append(sendBufs, dg.buf)
+			}
+			if err := sender.Send(sendBufs); err != nil {
+				return Result{}, fmt.Errorf("liveload: send: %w", err)
+			}
+		}
+		if i < len(dgs) {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	// Quiesce: the server has drained when its uplink counter stops
+	// moving. Capped so a wedged path still reports.
+	deadline := time.Now().Add(5 * time.Second)
+	prev := int64(-1)
+	for time.Now().Before(deadline) {
+		cur := int64(srv.Stats().Uplinks)
+		if cur == prev {
+			break
+		}
+		prev = cur
+		time.Sleep(150 * time.Millisecond)
+	}
+
+	runtime.ReadMemStats(&ms1)
+
+	res := Result{
+		Mode:       cfg.Mode,
+		OfferedPPS: cfg.OfferedPPS,
+		Frames:     total,
+	}
+	st := srv.Stats()
+	res.Delivered = delivered.Load()
+	res.Drops = int64(total) - int64(st.Uplinks)
+	switch cfg.Mode {
+	case ModeBatched:
+		bs := batch.Stats()
+		res.OverloadDrops = bs.OverloadDrops
+		res.Fallbacks = bs.Fallbacks
+		batch.Drain()
+	case ModeSerial:
+		serial.Close()
+		<-serialDone
+	}
+	if last := lastDeliverNs.Load(); last > firstSendNs {
+		res.Elapsed = time.Duration(last - firstSendNs)
+	}
+	if res.Elapsed > 0 {
+		res.PPS = float64(res.Delivered) / res.Elapsed.Seconds()
+	}
+	res.P50 = time.Duration(hist.Quantile(0.50))
+	res.P99 = time.Duration(hist.Quantile(0.99))
+	res.Max = time.Duration(hist.Max())
+	if res.Delivered > 0 {
+		res.AllocsPerUplink = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Delivered)
+		res.BytesPerUplink = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(res.Delivered)
+	}
+	return res, nil
+}
+
+// prebuild encodes every frame and packs them into PUSH_DATA wire
+// datagrams: device-interleaved so consecutive sends spread across
+// session shards, same-device frames packed per datagram so per-device
+// FIFO survives the batched bridge's DevAddr routing.
+func prebuild(cfg Config, encs []*frame.Encoder, perDev int) ([]dgram, error) {
+	channels := region.AS923.AllChannels()
+	dgs := make([]dgram, 0, perDev/cfg.Rxpks*cfg.Devices)
+	payload := make([]byte, cfg.Payload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	fport := uint8(1)
+	seq := 0
+	for f := 0; f < perDev; f += cfg.Rxpks {
+		for d := 0; d < cfg.Devices; d++ {
+			rxpks := make([]udpfwd.RXPK, cfg.Rxpks)
+			for k := 0; k < cfg.Rxpks; k++ {
+				fcnt := f + k
+				raw, err := encs[d].EncodeTo(nil, &frame.Frame{
+					MType:   frame.UnconfirmedDataUp,
+					DevAddr: frame.DevAddr(addrBase | uint32(d+1)),
+					FCnt:    uint32(fcnt),
+					FPort:   &fport,
+					Payload: payload,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("liveload: encode dev %d fcnt %d: %w", d, fcnt, err)
+				}
+				ch := channels[d%len(channels)]
+				rxpks[k] = udpfwd.RXPK{
+					Tmst: uint32(seq), Freq: float64(ch.Center) / 1e6,
+					Chan: d % 8, Stat: 1, Modu: "LORA",
+					Datr: udpfwd.DatrString(lora.DR(d % 6)), CodR: "4/5",
+					RSSI: -60 - d%40, LSNR: float64(d%20) - 10,
+					Size: len(raw), Data: udpfwd.EncodeData(raw),
+				}
+				seq++
+			}
+			p := udpfwd.Packet{
+				Type: udpfwd.PushData, Token: uint16(seq), EUI: udpfwd.EUI(d % 4),
+				RXPKs: rxpks,
+			}
+			buf, err := p.Marshal()
+			if err != nil {
+				return nil, fmt.Errorf("liveload: marshal: %w", err)
+			}
+			dgs = append(dgs, dgram{buf: buf, first: d*perDev + f, n: cfg.Rxpks})
+		}
+	}
+	return dgs, nil
+}

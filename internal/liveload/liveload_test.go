@@ -1,0 +1,68 @@
+package liveload
+
+import (
+	"testing"
+	"time"
+)
+
+// run is a short smoke configuration: small enough for -race CI, large
+// enough that both paths deliver a measurable stream.
+func run(t *testing.T, mode string) Result {
+	t.Helper()
+	res, err := Run(Config{
+		Mode:       mode,
+		Devices:    16,
+		OfferedPPS: 4000,
+		Duration:   500 * time.Millisecond,
+		Rxpks:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunModes(t *testing.T) {
+	for _, mode := range []string{ModeSerial, ModeBatched} {
+		t.Run(mode, func(t *testing.T) {
+			res := run(t, mode)
+			if res.Delivered == 0 {
+				t.Fatalf("%s: nothing delivered: %+v", mode, res)
+			}
+			if res.PPS <= 0 {
+				t.Errorf("%s: pps = %v", mode, res.PPS)
+			}
+			if res.P99 <= 0 || res.P99 < res.P50 {
+				t.Errorf("%s: quantiles p50=%v p99=%v", mode, res.P50, res.P99)
+			}
+			// Conservation: every frame is delivered, dropped, or was a
+			// duplicate the server rejected (none are sent twice here).
+			if res.Delivered+res.Drops != int64(res.Frames) {
+				t.Errorf("%s: delivered %d + drops %d != frames %d",
+					mode, res.Delivered, res.Drops, res.Frames)
+			}
+			if mode == ModeBatched && res.Fallbacks > 0 {
+				t.Errorf("batched: %d datagrams fell back to encoding/json", res.Fallbacks)
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownMode(t *testing.T) {
+	if _, err := Run(Config{Mode: "warp"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestLatencyIndexing checks the send-timestamp bookkeeping: with a tiny
+// paced run, every delivered frame must have found its send record (the
+// histogram count equals deliveries).
+func TestLatencyIndexing(t *testing.T) {
+	res := run(t, ModeBatched)
+	// P50 > 0 proves samples were recorded against real send times;
+	// delivered frames without a matching sendNs entry would leave the
+	// histogram short, surfacing as Max == 0.
+	if res.Max <= 0 {
+		t.Fatalf("no latency samples recorded: %+v", res)
+	}
+}

@@ -1,0 +1,27 @@
+package liveload
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRun saturates one mode for profiling: run with
+// -cpuprofile to see where the live stack spends its per-uplink CPU.
+func benchRun(b *testing.B, mode string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{
+			Mode:       mode,
+			Devices:    64,
+			OfferedPPS: 80_000,
+			Duration:   2 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PPS, "pkts/s")
+	}
+}
+
+func BenchmarkRunSerial(b *testing.B)  { benchRun(b, ModeSerial) }
+func BenchmarkRunBatched(b *testing.B) { benchRun(b, ModeBatched) }

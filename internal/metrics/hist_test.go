@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for v := int64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 64 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Values below 2*histSubs land in exact buckets, so small quantiles
+	// are exact.
+	if got := h.Quantile(0.5); got != 31 && got != 32 {
+		t.Errorf("p50 = %d, want 31 or 32", got)
+	}
+	if got := h.Max(); got != 63 {
+		t.Errorf("max = %d", got)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 10000)
+	for i := range vals {
+		// Log-uniform over ~6 decades, like real latency tails.
+		vals[i] = int64(1 + rng.ExpFloat64()*float64(uint64(1)<<uint(rng.Intn(30))))
+		h.Record(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := h.Quantile(q)
+		// The histogram reports a bucket ceiling: never below the exact
+		// quantile's bucket floor, never more than ~2*3.2% above.
+		if got < exact-exact/16-1 || got > exact+exact/8+1 {
+			t.Errorf("q%.3f = %d, exact %d (outside ±~6%%)", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramQuantileNeverExceedsMax(t *testing.T) {
+	var h Histogram
+	h.Record(1000)
+	h.Record(1_000_000)
+	if got := h.Quantile(1); got != 1_000_000 {
+		t.Errorf("p100 = %d, want clamped to max 1000000", got)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Record(-5) // clamps to 0
+	if h.Count() != 1 || h.Quantile(0.5) != 0 {
+		t.Errorf("negative record: count=%d p50=%d", h.Count(), h.Quantile(0.5))
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Record(10)
+		b.Record(1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if got := a.Quantile(0.25); got != 10 {
+		t.Errorf("p25 = %d, want 10", got)
+	}
+	if got := a.Max(); got != 1000 {
+		t.Errorf("merged max = %d", got)
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Quantile(0.5) != 0 {
+		t.Error("reset must clear")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(int64(rng.Intn(1 << 20)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestHistogramBucketRoundTrip pins the bucket math: every value maps to
+// a bucket whose [floor, ceiling] contains it, with ceiling within ~3.2%.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 31, 32, 63, 64, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, 1<<62 - 1} {
+		i := bucketOf(v)
+		hi := bucketMax(i)
+		if v > hi {
+			t.Errorf("value %d above bucket %d ceiling %d", v, i, hi)
+		}
+		if i > 0 && bucketMax(i-1) >= v {
+			t.Errorf("value %d not above previous bucket ceiling %d", v, bucketMax(i-1))
+		}
+		if hi > v+v/16 && v >= 64 {
+			t.Errorf("bucket ceiling %d too far above %d", hi, v)
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) * 37 % (1 << 24))
+	}
+}

@@ -77,12 +77,13 @@ func BenchmarkHandleUplinkFirstCopy(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// Cycle distinct FCnts by replaying onto a fresh dedup key each
-		// time: clear the dedup window so every copy is a first copy.
+		// Cycle distinct FCnts by replaying onto a fresh frame counter
+		// each time: clear the device's dedup window so every copy is a
+		// first copy.
 		fc := uint32(1 + i%(len(raws)-1))
 		dev, _ := s.Device(0x100)
 		dev.lastFCnt = fc - 1
-		delete(s.dedup, dedupKey{0x100, fc})
+		dev.dedup = [dedupSlots]pendingUplink{}
 		if err := s.HandleUplink(raws[fc], meta(0, 5, 0)); err != nil {
 			b.Fatal(err)
 		}

@@ -16,8 +16,13 @@ var ErrFOptsOverflow = errors.New("netserver: MAC commands exceed 15-byte FOpts"
 
 // BuildDownlink encodes a downlink data frame for the device: optional
 // application payload on fport (>0) and optional piggybacked MAC commands
-// in FOpts. The device's downlink frame counter advances.
+// in FOpts. The device's downlink frame counter advances. Safe for
+// concurrent calls (builds for one device serialize on its downlink
+// lock, which is independent of the uplink path's device lock — so a
+// Commands subscriber may build inline during uplink dispatch).
 func (s *Server) BuildDownlink(dev *Device, fport uint8, payload []byte, cmds []frame.MACCommand) ([]byte, error) {
+	dev.dlMu.Lock()
+	defer dev.dlMu.Unlock()
 	f := &frame.Frame{
 		MType:   frame.UnconfirmedDataDown,
 		DevAddr: dev.Addr,
@@ -54,6 +59,8 @@ func (s *Server) BuildCommandDownlink(dev *Device, cmds []frame.MACCommand) ([]b
 	if err != nil {
 		return nil, err
 	}
+	dev.dlMu.Lock()
+	defer dev.dlMu.Unlock()
 	f := &frame.Frame{
 		MType:   frame.UnconfirmedDataDown,
 		DevAddr: dev.Addr,

@@ -32,10 +32,12 @@ var (
 
 // ProvisionOTAA registers a device identity for over-the-air activation.
 func (s *Server) ProvisionOTAA(devEUI frame.EUI64, appKey frame.AESKey) {
+	s.joinMu.Lock()
 	if s.otaa == nil {
 		s.otaa = make(map[frame.EUI64]*otaaDevice)
 	}
 	s.otaa[devEUI] = &otaaDevice{devEUI: devEUI, appKey: appKey}
+	s.joinMu.Unlock()
 }
 
 // NetID is the network identifier used in join accepts.
@@ -44,12 +46,17 @@ var defaultNetID = [3]byte{0x13, 0x00, 0x00}
 // HandleJoinRequest verifies a join request, activates a session, and
 // returns the encrypted JoinAccept to transmit back to the device. The
 // CFList carries up to five of the operator's planned channel frequencies
-// so joining devices start on the current channel plan.
+// so joining devices start on the current channel plan. Joins serialize
+// on one mutex — they are rare (once per device lifetime) and must
+// allocate addresses and nonces in a single total order; only the session
+// install touches the sharded table, through Register/deregister.
 func (s *Server) HandleJoinRequest(raw []byte, planned []region.Channel) ([]byte, error) {
 	devEUI, err := frame.PeekJoinDevEUI(raw)
 	if err != nil {
 		return nil, err
 	}
+	s.joinMu.Lock()
+	defer s.joinMu.Unlock()
 	dev, ok := s.otaa[devEUI]
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownDevEUI, devEUI)
@@ -84,13 +91,13 @@ func (s *Server) HandleJoinRequest(raw []byte, planned []region.Channel) ([]byte
 	}
 	// Replace any previous session for this device.
 	if dev.seenJoin {
-		delete(s.devices, dev.addr)
+		s.deregister(dev.addr)
 	}
 	s.Register(acc.DevAddr, nwk, app, lora.DR0, 0)
 	dev.seenJoin = true
 	dev.lastNonce = req.DevNonce
 	dev.addr = acc.DevAddr
-	s.stats.Joins++
+	s.stats.joins.Add(1)
 
 	return frame.EncodeJoinAccept(acc, dev.appKey)
 }

@@ -8,11 +8,35 @@
 // The server core is transport-agnostic: the simulator feeds it through
 // gateway callbacks and the live stack feeds it through the UDP
 // packet-forwarder bridge.
+//
+// # Concurrency
+//
+// The server is safe for concurrent HandleUplink / HandleJoinRequest /
+// downlink-build calls, which is how the live UDP bridge drives it: the
+// device-session table is sharded by DevAddr under per-shard RWMutexes
+// (write-locked only by Register/deregister), so uplinks for different
+// devices proceed in parallel, and the warm duplicate-copy path (the
+// 1–15 redundant per-gateway receptions of a dense deployment) scans the
+// device's own fixed-size dedup window under a leaf mutex — no shared
+// map, no shard write lock anywhere on the uplink path. Per-device state
+// (decode scratch, frame counters, ADR history) serializes on a
+// per-device mutex, so racing copies of the same frame stay consistent
+// while different devices never contend.
+//
+// Served and Commands dispatch inline on whichever goroutine handled the
+// triggering uplink; when the server is driven concurrently, subscribers
+// must themselves be safe for concurrent calls and must not call back
+// into uplink handling. The single-threaded simulation path is untouched
+// by any of this: driven from one goroutine, every lock is uncontended
+// and the externally observable behavior is identical to the unsharded
+// server, which is what keeps the seed-1 experiment outputs byte-exact.
 package netserver
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/alphawan/alphawan/internal/adr"
 	"github.com/alphawan/alphawan/internal/des"
@@ -35,6 +59,13 @@ type Device struct {
 	// ADR holds the SNR history for the standard algorithm.
 	ADR adr.State
 
+	// mu serializes the uplink path's per-device state: the decode
+	// scratch, frame-counter replay guard, ADR history, and the DR/power
+	// mirror. Held across the Served/Commands dispatch of an uplink so
+	// subscribers can read the decoded frame without it being clobbered
+	// by a racing uplink for the same device.
+	mu sync.Mutex
+
 	// lastFCnt tracks the highest frame counter seen (replay guard).
 	lastFCnt uint32
 	seenAny  bool
@@ -42,6 +73,10 @@ type Device struct {
 	// downlink commands answering it are stamped one RX1 delay later,
 	// giving slotted-MAC devices their clock-sync anchors.
 	lastUplinkAt des.Time
+	// dlMu serializes downlink builds (encoder scratch + fcntDown). Kept
+	// separate from mu so a Commands subscriber may build a downlink for
+	// the very device whose uplink is being dispatched.
+	dlMu sync.Mutex
 	// fcntDown is the next downlink frame counter.
 	fcntDown uint32
 
@@ -51,11 +86,31 @@ type Device struct {
 	dec *frame.Decoder
 	enc *frame.Encoder
 	frm frame.Frame
+
+	// ddMu guards the dedup window below. A leaf mutex separate from mu
+	// so a warm duplicate copy is accounted without contending with a
+	// racing decode of the device's next frame.
+	ddMu sync.Mutex
+	// dedup is the device's duplicate window: its most recent frames,
+	// each still collecting gateway copies. A fixed ring replaces the
+	// old per-shard map — at live rates that map grew to millions of
+	// stale entries and every lookup became a DRAM miss, while LoRa
+	// airtime physically bounds a device to about two frames per 200 ms
+	// window, so a handful of slots can never evict a live entry.
+	dedup [dedupSlots]pendingUplink
+	// ddNext is the ring hand: slots are overwritten oldest-first
+	// (inserts happen in arrival order under mu).
+	ddNext uint8
 }
 
+// dedupSlots is the depth of a device's duplicate window. Two is enough
+// physically (see Device.dedup); four adds margin for retransmission
+// bursts at no measurable scan cost.
+const dedupSlots = 4
+
 // decoder returns the device's cached frame decoder, building it on first
-// use. Session keys are immutable once registered, so the cached key
-// schedules never go stale.
+// use (callers hold d.mu). Session keys are immutable once registered, so
+// the cached key schedules never go stale.
 func (d *Device) decoder() *frame.Decoder {
 	if d.dec == nil {
 		d.dec = frame.NewDecoder(d.NwkSKey, &d.AppSKey)
@@ -63,7 +118,8 @@ func (d *Device) decoder() *frame.Decoder {
 	return d.dec
 }
 
-// encoder returns the device's cached frame encoder for downlink builds.
+// encoder returns the device's cached frame encoder for downlink builds
+// (callers hold d.dlMu).
 func (d *Device) encoder() *frame.Encoder {
 	if d.enc == nil {
 		d.enc = frame.NewEncoder(d.NwkSKey, &d.AppSKey)
@@ -126,9 +182,24 @@ type Command struct {
 	At des.Time
 }
 
+// numShards fixes the session-table shard count: a power of two sized so
+// an 8–16 worker ingest pool rarely collides on a shard lock, yet small
+// enough that per-shard maps and freelists stay cache-warm. Sharding is
+// by the DevAddr's low bits, which the deterministic provisioning and the
+// join DevAddr allocator both spread sequentially.
+const numShards = 32
+
+// shard is one slice of the session table. mu is write-locked only by
+// Register and deregister; the uplink path holds it just long enough to
+// look the device up (dedup state lives inside the Device itself).
+type shard struct {
+	mu      sync.RWMutex
+	devices map[frame.DevAddr]*Device
+}
+
 // Server is a LoRaWAN network server instance.
 type Server struct {
-	devices map[frame.DevAddr]*Device
+	shards [numShards]shard
 
 	// DedupWindow groups gateway copies of the same frame (ChirpStack
 	// default 200 ms; simulation copies arrive at the same instant).
@@ -147,12 +218,15 @@ type Server struct {
 	// downlink path or, in simulation, directly).
 	Commands events.Topic[Command]
 
-	log []LogEntry
-	// dedup tracks the last delivery per (device, fcnt).
-	dedup map[dedupKey]*pendingUplink
+	// logMu guards the operational log. The log is a single arrival-
+	// ordered slice — the planner's log parser depends on that order, and
+	// a leaf mutex around an amortized-O(1) append costs the concurrent
+	// path a few tens of nanoseconds per copy.
+	logMu sync.Mutex
+	log   []LogEntry
 
-	// otaa holds provisioned-but-unjoined device identities; joinSeq and
-	// addrSeq drive AppNonce and DevAddr allocation.
+	// joinMu guards OTAA provisioning state and the join/addr sequences.
+	joinMu  sync.Mutex
 	otaa    map[frame.EUI64]*otaaDevice
 	joinSeq uint32
 	addrSeq uint32
@@ -160,15 +234,14 @@ type Server struct {
 	// MaxLog bounds the operational log (oldest entries are discarded).
 	MaxLog int
 
-	stats ServerStats
+	stats serverCounters
 }
 
-type dedupKey struct {
-	dev  frame.DevAddr
-	fcnt uint32
-}
-
+// pendingUplink is one slot of a device's dedup window (guarded by the
+// device's ddMu).
 type pendingUplink struct {
+	used    bool
+	fcnt    uint32
 	firstAt des.Time
 	copies  int
 	best    UplinkMeta
@@ -186,41 +259,104 @@ type ServerStats struct {
 	Joins       int
 }
 
+// serverCounters is the concurrent backing store for ServerStats.
+type serverCounters struct {
+	uplinks     atomic.Int64
+	delivered   atomic.Int64
+	duplicates  atomic.Int64
+	badMIC      atomic.Int64
+	unknown     atomic.Int64
+	replays     atomic.Int64
+	adrCommands atomic.Int64
+	joins       atomic.Int64
+}
+
 // New creates an empty network server.
 func New() *Server {
-	return &Server{
-		devices:            make(map[frame.DevAddr]*Device),
-		dedup:              make(map[dedupKey]*pendingUplink),
+	s := &Server{
 		DedupWindow:        des.Time(200 * des.Millisecond),
 		InstallationMargin: adr.DefaultInstallationMargin,
 		MaxLog:             1 << 20,
 	}
+	for i := range s.shards {
+		s.shards[i].devices = make(map[frame.DevAddr]*Device)
+	}
+	return s
+}
+
+// shardOf returns the shard owning a device address.
+func (s *Server) shardOf(addr frame.DevAddr) *shard {
+	return &s.shards[uint32(addr)&(numShards-1)]
 }
 
 // Register adds a device session.
 func (s *Server) Register(addr frame.DevAddr, nwk, app frame.AESKey, dr lora.DR, txPower uint8) *Device {
 	d := &Device{Addr: addr, NwkSKey: nwk, AppSKey: app, DR: dr, TXPower: txPower}
-	s.devices[addr] = d
+	sh := s.shardOf(addr)
+	sh.mu.Lock()
+	sh.devices[addr] = d
+	sh.mu.Unlock()
 	return d
+}
+
+// Deregister removes a device session (join replacing a prior session).
+func (s *Server) deregister(addr frame.DevAddr) {
+	sh := s.shardOf(addr)
+	sh.mu.Lock()
+	delete(sh.devices, addr)
+	sh.mu.Unlock()
 }
 
 // Device looks up a session.
 func (s *Server) Device(addr frame.DevAddr) (*Device, bool) {
-	d, ok := s.devices[addr]
+	sh := s.shardOf(addr)
+	sh.mu.RLock()
+	d, ok := sh.devices[addr]
+	sh.mu.RUnlock()
 	return d, ok
 }
 
 // Devices returns the number of registered sessions.
-func (s *Server) Devices() int { return len(s.devices) }
+func (s *Server) Devices() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].devices)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
 
 // Stats returns a snapshot of the server statistics.
-func (s *Server) Stats() ServerStats { return s.stats }
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Uplinks:     int(s.stats.uplinks.Load()),
+		Delivered:   int(s.stats.delivered.Load()),
+		Duplicates:  int(s.stats.duplicates.Load()),
+		BadMIC:      int(s.stats.badMIC.Load()),
+		Unknown:     int(s.stats.unknown.Load()),
+		Replays:     int(s.stats.replays.Load()),
+		ADRCommands: int(s.stats.adrCommands.Load()),
+		Joins:       int(s.stats.joins.Load()),
+	}
+}
 
-// Log returns the operational log (live slice; callers must not mutate).
-func (s *Server) Log() []LogEntry { return s.log }
+// Log returns the operational log (live slice; callers must not mutate,
+// and on a concurrently driven server must read it only after ingest has
+// drained).
+func (s *Server) Log() []LogEntry {
+	s.logMu.Lock()
+	l := s.log
+	s.logMu.Unlock()
+	return l
+}
 
 // ClearLog discards the operational log.
-func (s *Server) ClearLog() { s.log = nil }
+func (s *Server) ClearLog() {
+	s.logMu.Lock()
+	s.log = nil
+	s.logMu.Unlock()
+}
 
 // Errors reported by HandleUplink.
 var (
@@ -231,52 +367,53 @@ var (
 
 // HandleUplink processes one gateway copy of an uplink PHYPayload. It logs
 // the copy, verifies the MIC, deduplicates, delivers application data once
-// per frame, and runs ADR.
+// per frame, and runs ADR. Safe for concurrent calls.
 //
-// Copies whose (DevAddr, FCnt) already sit in the dedup window are
+// Copies whose FCnt already sits in the device's dedup window are
 // accounted from the plain-text header alone — the first copy's MIC
 // already authenticated the frame, so the 1–15 redundant per-gateway
-// AES-CMAC verifications of a dense deployment are skipped entirely. A
-// forged copy colliding with a live (DevAddr, FCnt) would be tallied as a
-// duplicate rather than a MIC failure; it still delivers nothing.
+// AES-CMAC verifications of a dense deployment are skipped entirely,
+// touching nothing but the device's own dedup slots. A forged copy
+// colliding with a live (DevAddr, FCnt) would be tallied as a duplicate
+// rather than a MIC failure; it still delivers nothing.
 func (s *Server) HandleUplink(raw []byte, meta UplinkMeta) error {
-	s.stats.Uplinks++
+	s.stats.uplinks.Add(1)
 	// Peek the DevAddr before full decode to find the session key.
 	if len(raw) < 12 {
 		return fmt.Errorf("netserver: uplink too short (%d bytes)", len(raw))
 	}
 	addr := frame.DevAddr(uint32(raw[1]) | uint32(raw[2])<<8 | uint32(raw[3])<<16 | uint32(raw[4])<<24)
-	dev, ok := s.devices[addr]
-	if !ok {
-		s.stats.Unknown++
-		return fmt.Errorf("%w: %v", ErrUnknownDevice, addr)
-	}
+	sh := s.shardOf(addr)
 
-	// The dedup key and the fields the duplicate path needs — FCnt for the
-	// log entry, the ADR bit for SNR accounting — are readable from the
+	// Everything the duplicate path needs — FCnt for the window match and
+	// the log entry, the ADR bit for SNR accounting — is readable from the
 	// unencrypted FHDR (FCnt little-endian at raw[6:8], FCtrl at raw[5]).
 	fcnt := uint32(raw[6]) | uint32(raw[7])<<8
-	key := dedupKey{addr, fcnt}
-	if p, ok := s.dedup[key]; ok && meta.At-p.firstAt <= s.DedupWindow {
-		s.appendLog(LogEntry{
-			At: meta.At, Gateway: meta.Gateway, Dev: addr,
-			Freq: meta.Freq, DR: meta.DR,
-			RSSIdBm: meta.RSSIdBm, SNRdB: meta.SNRdB, FCnt: fcnt,
-		})
-		p.copies++
-		if meta.SNRdB > p.best.SNRdB {
-			p.best = meta
-		}
-		s.stats.Duplicates++
-		if s.ADREnabled && raw[5]&0x80 != 0 {
-			dev.ADR.Observe(meta.SNRdB)
-		}
+
+	sh.mu.RLock()
+	dev, ok := sh.devices[addr]
+	sh.mu.RUnlock()
+	if !ok {
+		s.stats.unknown.Add(1)
+		return fmt.Errorf("%w: %v", ErrUnknownDevice, addr)
+	}
+	if s.tryDuplicate(dev, fcnt, raw, meta, false) {
+		return nil
+	}
+
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	// Re-check under the device lock: a racing copy of this very frame
+	// may have completed its full decode and inserted the dedup entry
+	// between our miss and here. Without this, that copy would be
+	// misfiled as a frame-counter replay instead of a duplicate.
+	if s.tryDuplicate(dev, fcnt, raw, meta, true) {
 		return nil
 	}
 
 	f := &dev.frm
 	if err := dev.decoder().DecodeTo(f, raw); err != nil {
-		s.stats.BadMIC++
+		s.stats.badMIC.Add(1)
 		return fmt.Errorf("%w: %v", ErrBadMIC, err)
 	}
 
@@ -289,16 +426,24 @@ func (s *Server) HandleUplink(raw []byte, meta UplinkMeta) error {
 	// New frame: replay guard (allow equality only for the dedup window
 	// handled above; FCnt must grow otherwise).
 	if dev.seenAny && f.FCnt <= dev.lastFCnt {
-		s.stats.Replays++
+		s.stats.replays.Add(1)
 		return fmt.Errorf("%w: fcnt %d ≤ %d", ErrReplay, f.FCnt, dev.lastFCnt)
 	}
 	dev.lastFCnt = f.FCnt
 	dev.seenAny = true
 	dev.lastUplinkAt = meta.At
-	s.dedup[key] = &pendingUplink{firstAt: meta.At, copies: 1, best: meta}
-	s.gcDedup(meta.At)
 
-	s.stats.Delivered++
+	// Open a dedup slot for this frame, overwriting the oldest. Expiry
+	// needs no sweeping: an out-of-window slot behaves identically to an
+	// absent one, and the ring recycles it on the device's Kth-next frame.
+	dev.ddMu.Lock()
+	p := &dev.dedup[dev.ddNext]
+	dev.ddNext = (dev.ddNext + 1) % dedupSlots
+	p.used, p.fcnt = true, fcnt
+	p.firstAt, p.copies, p.best = meta.At, 1, meta
+	dev.ddMu.Unlock()
+
+	s.stats.delivered.Add(1)
 	if f.FPort != nil && *f.FPort > 0 {
 		s.Served.Publish(Data{Dev: dev, FPort: *f.FPort, FCnt: f.FCnt, Payload: f.Payload, Meta: meta, Copies: 1})
 	}
@@ -310,7 +455,50 @@ func (s *Server) HandleUplink(raw []byte, meta UplinkMeta) error {
 	return nil
 }
 
-// runADR computes and (when changed) issues a LinkADRReq toward the device.
+// tryDuplicate handles the warm path: if fcnt already sits in the
+// device's dedup window, the copy is accounted without any cryptography
+// and true is returned. The scan touches only the device's own few
+// slots — cache-resident no matter how many sessions the server holds.
+// devLocked says whether the caller already holds dev.mu (the post-miss
+// re-check does; Go mutexes are not reentrant).
+func (s *Server) tryDuplicate(dev *Device, fcnt uint32, raw []byte, meta UplinkMeta, devLocked bool) bool {
+	dev.ddMu.Lock()
+	hit := false
+	for i := range dev.dedup {
+		p := &dev.dedup[i]
+		if p.used && p.fcnt == fcnt && meta.At-p.firstAt <= s.DedupWindow {
+			p.copies++
+			if meta.SNRdB > p.best.SNRdB {
+				p.best = meta
+			}
+			hit = true
+			break
+		}
+	}
+	dev.ddMu.Unlock()
+	if !hit {
+		return false
+	}
+	s.appendLog(LogEntry{
+		At: meta.At, Gateway: meta.Gateway, Dev: dev.Addr,
+		Freq: meta.Freq, DR: meta.DR,
+		RSSIdBm: meta.RSSIdBm, SNRdB: meta.SNRdB, FCnt: fcnt,
+	})
+	s.stats.duplicates.Add(1)
+	if s.ADREnabled && raw[5]&0x80 != 0 {
+		if !devLocked {
+			dev.mu.Lock()
+		}
+		dev.ADR.Observe(meta.SNRdB)
+		if !devLocked {
+			dev.mu.Unlock()
+		}
+	}
+	return true
+}
+
+// runADR computes and (when changed) issues a LinkADRReq toward the
+// device. Called with dev.mu held.
 func (s *Server) runADR(dev *Device) {
 	d := adr.Compute(&dev.ADR, dev.DR, dev.TXPower, s.InstallationMargin)
 	if !d.Change {
@@ -318,8 +506,8 @@ func (s *Server) runADR(dev *Device) {
 	}
 	dev.DR = d.DR
 	dev.TXPower = d.TXPower
-	s.stats.ADRCommands++
-	s.Commands.Publish(Command{Dev: dev, At: s.downlinkAt(dev), Cmds: []frame.MACCommand{{
+	s.stats.adrCommands.Add(1)
+	s.Commands.Publish(Command{Dev: dev, At: downlinkAtLocked(dev), Cmds: []frame.MACCommand{{
 		CID: frame.CIDLinkADR,
 		LinkADR: &frame.LinkADRReq{
 			DataRate: uint8(d.DR), TXPower: d.TXPower,
@@ -359,6 +547,13 @@ func (s *Server) SendChannelPlan(dev *Device, channels []region.Channel) error {
 // device has not been heard (the command still applies, just without a
 // usable time anchor).
 func (s *Server) downlinkAt(dev *Device) des.Time {
+	dev.mu.Lock()
+	at := downlinkAtLocked(dev)
+	dev.mu.Unlock()
+	return at
+}
+
+func downlinkAtLocked(dev *Device) des.Time {
 	if !dev.seenAny {
 		return 0
 	}
@@ -366,23 +561,30 @@ func (s *Server) downlinkAt(dev *Device) des.Time {
 }
 
 func (s *Server) appendLog(e LogEntry) {
+	s.logMu.Lock()
+	if len(s.log) == cap(s.log) {
+		// Grow by explicit doubling, capped at the retention bound:
+		// append's own policy tops out at 1.25x for large slices, which
+		// re-copies the multi-megabyte log ~4x over on the way up. With
+		// doubling the ramp copies the final size once, and once MaxLog
+		// is reached the capacity never moves again — the halving below
+		// reuses it in place.
+		n := 2 * cap(s.log)
+		if n == 0 {
+			n = 1024
+		}
+		if s.MaxLog > 0 && n > s.MaxLog+1 {
+			n = s.MaxLog + 1
+		}
+		grown := make([]LogEntry, len(s.log), n)
+		copy(grown, s.log)
+		s.log = grown
+	}
 	s.log = append(s.log, e)
 	if s.MaxLog > 0 && len(s.log) > s.MaxLog {
 		// Drop the oldest half to amortize the copy.
 		keep := s.log[len(s.log)-s.MaxLog/2:]
 		s.log = append(s.log[:0], keep...)
 	}
-}
-
-// gcDedup drops dedup entries older than 16 windows to bound memory.
-func (s *Server) gcDedup(now des.Time) {
-	if len(s.dedup) < 4096 {
-		return
-	}
-	horizon := now - 16*s.DedupWindow
-	for k, p := range s.dedup {
-		if p.firstAt < horizon {
-			delete(s.dedup, k)
-		}
-	}
+	s.logMu.Unlock()
 }

@@ -226,8 +226,14 @@ func TestBestSNRTracked(t *testing.T) {
 	raw := uplink(t, 0x100, 0, []byte("x"))
 	s.HandleUplink(raw, meta(0, 2, 0))
 	s.HandleUplink(raw, meta(1, 9, des.Millisecond))
-	// dedup entry's best copy should be gateway 1.
-	p := s.dedup[dedupKey{0x100, 0}]
+	// The frame's dedup slot should hold gateway 1 as the best copy.
+	dev, _ := s.Device(0x100)
+	var p *pendingUplink
+	for i := range dev.dedup {
+		if dev.dedup[i].used && dev.dedup[i].fcnt == 0 {
+			p = &dev.dedup[i]
+		}
+	}
 	if p == nil || p.best.Gateway != 1 || p.copies != 2 {
 		t.Errorf("pending = %+v", p)
 	}

@@ -1,0 +1,181 @@
+package radio
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// This file models the concentrator *front end*: how a real gateway board
+// derives its channel plan from two RF chains (radios) and a set of
+// intermediate-frequency (IF) chains, each IF chain feeding one multi-SF
+// demodulator. The Chipset type above captures the reception *resources*
+// (chains, decoder pool, span); FrontEnd captures the *layout* — which
+// absolute frequencies those resources end up monitoring, plus the Class A
+// RX2 window and the HAL's per-poll demodulation bound.
+//
+// The profiles below are grounded in the reference SX1302 packet-forwarder
+// HAL configuration: RADIO_0 at 902.7 MHz and RADIO_1 at 903.7 MHz, IF
+// offsets drawn from {-400, -200, 0, +200, +400} kHz split five/three
+// across the two radios, a LoRa "service" channel at RADIO_0 + 300 kHz on
+// the 9-chain layout, an RX2 window at 923.3 MHz SF12, and at most 8
+// packets fetched from the demodulator per poll (MAX_RX_PKT).
+
+// IFChain is one intermediate-frequency chain: an offset from the center
+// frequency of the RF chain (radio) that feeds it. The monitored channel
+// sits at Radios[RFChain] + OffsetHz.
+type IFChain struct {
+	RFChain  int       // index into FrontEnd.Radios
+	OffsetHz region.Hz // IF offset from the radio's center
+}
+
+// DownlinkWindow classifies where a downlink lands on a front end.
+type DownlinkWindow int
+
+const (
+	// WindowNone: the downlink matches neither the uplink plan nor RX2 —
+	// the gateway would reject the PULL_RESP ("TX freq out of range").
+	WindowNone DownlinkWindow = iota
+	// WindowRX1: the downlink reuses an uplink channel (Class A RX1).
+	WindowRX1
+	// WindowRX2: the downlink sits on the fixed RX2 frequency at the RX2
+	// data rate.
+	WindowRX2
+)
+
+func (w DownlinkWindow) String() string {
+	switch w {
+	case WindowRX1:
+		return "rx1"
+	case WindowRX2:
+		return "rx2"
+	}
+	return "none"
+}
+
+// FrontEnd is a concrete concentrator board layout.
+type FrontEnd struct {
+	Name    string
+	Chipset Chipset
+	// Radios are the RF-chain center frequencies (RADIO_0/RADIO_1 in the
+	// HAL's board configuration).
+	Radios [2]region.Hz
+	// Chains are the IF chains; each yields one monitored 125 kHz channel.
+	Chains []IFChain
+	// RX2 is the Class A second receive window: fixed frequency, fixed
+	// data rate, always open regardless of the uplink channel.
+	RX2   region.Channel
+	RX2DR lora.DR
+	// MaxRxPkt is the HAL's demodulation fetch bound: at most this many
+	// packets come out of the front end per poll, so one PUSH_DATA carries
+	// at most MaxRxPkt rxpks.
+	MaxRxPkt int
+}
+
+// SX1302Chipset9 extends the SX1302 resource profile with the LoRa
+// service (standalone single-SF) demodulator as a ninth chain. The base
+// SX1302 profile in radio.go counts only the 8 multi-SF chains; the
+// 9-chain front end needs the service demodulator accounted for or its
+// channel plan would not validate.
+var SX1302Chipset9 = Chipset{Name: "SX1302+STD", RxChains: 9, Decoders: 16, SpanHz: 1_600_000}
+
+// SX1302FrontEnd is the 8-chain reference layout: five IF chains on
+// RADIO_0 (-400…+400 kHz) and three on RADIO_1 (-400…0 kHz), yielding the
+// contiguous 902.3–903.7 MHz plan.
+var SX1302FrontEnd = FrontEnd{
+	Name:    "sx1302",
+	Chipset: SX1302,
+	Radios:  [2]region.Hz{902_700_000, 903_700_000},
+	Chains: []IFChain{
+		{0, -400_000}, {0, -200_000}, {0, 0}, {0, 200_000}, {0, 400_000},
+		{1, -400_000}, {1, -200_000}, {1, 0},
+	},
+	RX2:      region.Channel{Center: 923_300_000, Bandwidth: lora.BW125},
+	RX2DR:    lora.DRFromSF(12),
+	MaxRxPkt: 8,
+}
+
+// SX1302FrontEnd9 adds the LoRa service channel at RADIO_0 + 300 kHz
+// (903.0 MHz) as a ninth chain, the HAL's standalone single-SF
+// demodulator.
+var SX1302FrontEnd9 = FrontEnd{
+	Name:    "sx1302-9if",
+	Chipset: SX1302Chipset9,
+	Radios:  [2]region.Hz{902_700_000, 903_700_000},
+	Chains: []IFChain{
+		{0, -400_000}, {0, -200_000}, {0, 0}, {0, 200_000}, {0, 400_000},
+		{1, -400_000}, {1, -200_000}, {1, 0},
+		{0, 300_000}, // LoRa service channel
+	},
+	RX2:      region.Channel{Center: 923_300_000, Bandwidth: lora.BW125},
+	RX2DR:    lora.DRFromSF(12),
+	MaxRxPkt: 8,
+}
+
+// FrontEnds lists the built-in board layouts.
+var FrontEnds = []FrontEnd{SX1302FrontEnd, SX1302FrontEnd9}
+
+// FrontEndByName looks a built-in layout up by its Name.
+func FrontEndByName(name string) (FrontEnd, bool) {
+	for _, fe := range FrontEnds {
+		if fe.Name == name {
+			return fe, true
+		}
+	}
+	return FrontEnd{}, false
+}
+
+// Channels derives the monitored channel set from the radio centers and IF
+// chains: channel i sits at Radios[Chains[i].RFChain] + Chains[i].OffsetHz.
+// Duplicate frequencies (two IF chains tuned to the same channel) collapse
+// to one entry; the result is sorted by center frequency.
+func (fe FrontEnd) Channels() []region.Channel {
+	seen := make(map[region.Hz]bool, len(fe.Chains))
+	chs := make([]region.Channel, 0, len(fe.Chains))
+	for _, c := range fe.Chains {
+		hz := fe.Radios[c.RFChain] + c.OffsetHz
+		if seen[hz] {
+			continue
+		}
+		seen[hz] = true
+		chs = append(chs, region.Channel{Center: hz, Bandwidth: lora.BW125})
+	}
+	sort.Slice(chs, func(i, j int) bool { return chs[i].Center < chs[j].Center })
+	return chs
+}
+
+// Config builds the radio configuration the front end monitors, validated
+// against its own chipset limits (chain count and frequency span).
+func (fe FrontEnd) Config(sync lora.SyncWord) (Config, error) {
+	cfg := Config{Channels: fe.Channels(), Sync: sync}
+	if err := cfg.Validate(fe.Chipset); err != nil {
+		return Config{}, fmt.Errorf("front end %s: %w", fe.Name, err)
+	}
+	return cfg, nil
+}
+
+// Model wraps the front end's chipset as a GatewayModel for gateway.New.
+func (fe FrontEnd) Model() GatewayModel {
+	return GatewayModel{Manufacturer: "Semtech", Model: fe.Name, Chipset: fe.Chipset}
+}
+
+// ClassifyDownlink reports which receive window a downlink transmission
+// would use on this front end: RX2 when it matches the fixed RX2
+// frequency and data rate, RX1 when it reuses one of the uplink channels,
+// and none otherwise (the real HAL rejects such a PULL_RESP).
+func (fe FrontEnd) ClassifyDownlink(center region.Hz, dr lora.DR) DownlinkWindow {
+	if center == fe.RX2.Center {
+		if dr == fe.RX2DR {
+			return WindowRX2
+		}
+		return WindowNone
+	}
+	for _, c := range fe.Chains {
+		if fe.Radios[c.RFChain]+c.OffsetHz == center {
+			return WindowRX1
+		}
+	}
+	return WindowNone
+}

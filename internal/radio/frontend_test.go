@@ -1,0 +1,116 @@
+package radio
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// TestSX1302FrontEndChannels pins the derived plan of the 8-chain layout:
+// the contiguous 902.3–903.7 MHz block on the 200 kHz grid.
+func TestSX1302FrontEndChannels(t *testing.T) {
+	want := []region.Hz{
+		902_300_000, 902_500_000, 902_700_000, 902_900_000,
+		903_100_000, 903_300_000, 903_500_000, 903_700_000,
+	}
+	chs := SX1302FrontEnd.Channels()
+	if len(chs) != len(want) {
+		t.Fatalf("%d channels, want %d", len(chs), len(want))
+	}
+	for i, ch := range chs {
+		if ch.Center != want[i] {
+			t.Errorf("channel %d at %v, want %v", i, ch.Center, want[i])
+		}
+		if ch.Bandwidth != lora.BW125 {
+			t.Errorf("channel %d bandwidth %v", i, ch.Bandwidth)
+		}
+	}
+}
+
+// TestSX1302FrontEnd9ServiceChannel checks the 9-chain layout adds exactly
+// the 903.0 MHz service channel and nothing else.
+func TestSX1302FrontEnd9ServiceChannel(t *testing.T) {
+	base := map[region.Hz]bool{}
+	for _, ch := range SX1302FrontEnd.Channels() {
+		base[ch.Center] = true
+	}
+	var extra []region.Hz
+	for _, ch := range SX1302FrontEnd9.Channels() {
+		if !base[ch.Center] {
+			extra = append(extra, ch.Center)
+		}
+	}
+	if len(extra) != 1 || extra[0] != 903_000_000 {
+		t.Fatalf("extra channels %v, want [903.0 MHz]", extra)
+	}
+	if n := len(SX1302FrontEnd9.Channels()); n != 9 {
+		t.Fatalf("9-chain layout derived %d channels", n)
+	}
+}
+
+// TestFrontEndConfigValidates holds every built-in layout valid against
+// its own chipset: chain count within RxChains, span within SpanHz.
+func TestFrontEndConfigValidates(t *testing.T) {
+	for _, fe := range FrontEnds {
+		cfg, err := fe.Config(lora.SyncPublic)
+		if err != nil {
+			t.Errorf("%s: %v", fe.Name, err)
+			continue
+		}
+		if len(cfg.Channels) > fe.Chipset.RxChains {
+			t.Errorf("%s: %d channels exceed %d chains", fe.Name, len(cfg.Channels), fe.Chipset.RxChains)
+		}
+		if _, err := New(nil, fe.Chipset, cfg); err != nil {
+			t.Errorf("%s: radio.New: %v", fe.Name, err)
+		}
+	}
+}
+
+// TestFrontEndChannelDedup checks duplicate IF tunings collapse.
+func TestFrontEndChannelDedup(t *testing.T) {
+	fe := SX1302FrontEnd
+	fe.Chains = append([]IFChain{}, fe.Chains...)
+	fe.Chains = append(fe.Chains, IFChain{0, 0}) // duplicate of chain 2
+	if n := len(fe.Channels()); n != 8 {
+		t.Fatalf("deduped plan has %d channels, want 8", n)
+	}
+}
+
+// TestClassifyDownlink pins the RX1/RX2 window classification the gateway
+// simulator applies to PULL_RESP downlinks.
+func TestClassifyDownlink(t *testing.T) {
+	fe := SX1302FrontEnd
+	sf12 := lora.DRFromSF(12)
+	sf7 := lora.DRFromSF(7)
+	cases := []struct {
+		hz   region.Hz
+		dr   lora.DR
+		want DownlinkWindow
+	}{
+		{923_300_000, sf12, WindowRX2}, // the fixed RX2 window
+		{923_300_000, sf7, WindowNone}, // RX2 frequency, wrong DR
+		{902_300_000, sf7, WindowRX1},  // uplink channel reuse
+		{903_700_000, sf12, WindowRX1}, // RX1 at any DR
+		{915_000_000, sf7, WindowNone}, // out of plan
+		{903_000_000, sf7, WindowNone}, // service channel only on 9if
+	}
+	for _, c := range cases {
+		if got := fe.ClassifyDownlink(c.hz, c.dr); got != c.want {
+			t.Errorf("ClassifyDownlink(%v, %v) = %v, want %v", c.hz, c.dr, got, c.want)
+		}
+	}
+	if got := SX1302FrontEnd9.ClassifyDownlink(903_000_000, sf7); got != WindowRX1 {
+		t.Errorf("9if service channel classified %v, want rx1", got)
+	}
+}
+
+// TestFrontEndByName covers the registry lookup.
+func TestFrontEndByName(t *testing.T) {
+	if fe, ok := FrontEndByName("sx1302-9if"); !ok || fe.MaxRxPkt != 8 {
+		t.Fatalf("lookup sx1302-9if = %+v, %v", fe, ok)
+	}
+	if _, ok := FrontEndByName("sx1262"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}

@@ -241,6 +241,12 @@ func (f *Forwarder) readLoop() {
 			f.mu.Unlock()
 		case PullResp:
 			if p.TX != nil {
+				// Echo the token back as TX_ACK so the server can account
+				// in-flight downlinks (BatchBridge.FlushDownlinks).
+				ackPkt := Packet{Type: TXAck, Token: p.Token, EUI: f.EUI}
+				if raw, err := ackPkt.Marshal(); err == nil {
+					f.write(raw)
+				}
 				select {
 				case f.downlinks <- *p.TX:
 				case <-f.closed:

@@ -1,0 +1,39 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package udpfwd
+
+// Portable stand-ins for the Linux recvmmsg/sendmmsg batching in
+// mmsg_linux.go: same API, one syscall per datagram.
+
+import "net"
+
+// readLoopMmsg reports that batched socket IO is unavailable; readLoop
+// falls back to the portable per-datagram loop.
+func (b *BatchBridge) readLoopMmsg() bool { return false }
+
+// MultiSender batches writes on a connected UDP socket where the
+// platform supports it; here it is one Write per datagram. Not safe for
+// concurrent use.
+type MultiSender struct {
+	conn *net.UDPConn
+}
+
+// NewMultiSender wraps a connected UDP socket for batched sends.
+func NewMultiSender(conn *net.UDPConn) *MultiSender { return &MultiSender{conn: conn} }
+
+// Send transmits every buffer.
+func (s *MultiSender) Send(bufs [][]byte) error { return sendEach(s.conn, bufs) }
+
+// MultiReceiver batches receives on a connected UDP socket where the
+// platform supports it; here it is one Read per datagram. Not safe for
+// concurrent use.
+type MultiReceiver struct {
+	conn *net.UDPConn
+}
+
+// NewMultiReceiver wraps a connected UDP socket for batched receives.
+func NewMultiReceiver(conn *net.UDPConn) *MultiReceiver { return &MultiReceiver{conn: conn} }
+
+// Recv blocks for at least one datagram and returns how many arrived
+// (their contents are discarded).
+func (r *MultiReceiver) Recv() (int, error) { return recvOne(r.conn) }

@@ -1,0 +1,296 @@
+//go:build amd64 || arm64
+
+package udpfwd
+
+// recvmmsg/sendmmsg batching for the hot UDP paths. One syscall crossing
+// costs a few hundred nanoseconds — at hundreds of thousands of
+// datagrams per second, per-datagram ReadFromUDPAddrPort/Write become a
+// top CPU item all by themselves. Moving up to mmsgBatch datagrams per
+// kernel crossing amortizes that away while staying integrated with the
+// runtime netpoller: the raw syscalls run non-blocking inside
+// RawConn.Read/Write callbacks, so a would-block result still parks the
+// goroutine instead of spinning.
+//
+// Everything here is stdlib-only: the struct layouts below are the
+// 64-bit Linux ABI shared by amd64 and arm64 (hence the build tag; the
+// 32-bit layouts differ), and sendmmsg's number — missing from the
+// frozen syscall tables — comes from mmsg_linux_<arch>.go. Every other
+// platform takes the portable per-datagram paths in mmsg_fallback.go.
+
+import (
+	"encoding/binary"
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// mmsgBatch is how many datagrams one recvmmsg/sendmmsg call moves.
+const mmsgBatch = 16
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// received length.
+type mmsghdr struct {
+	hdr    syscall.Msghdr
+	msgLen uint32
+	_      [4]byte
+}
+
+// mmsgIO owns the receive-side batch state for one socket: mmsgBatch
+// packet buffers with their sockaddr slots, plus an ack batch whose
+// destinations alias the received sockaddrs verbatim (no parsing on the
+// ack path).
+type mmsgIO struct {
+	rc    syscall.RawConn
+	bufs  [mmsgBatch][]byte
+	names [mmsgBatch][64]byte
+	iovs  [mmsgBatch]syscall.Iovec
+	hdrs  [mmsgBatch]mmsghdr
+
+	ackBufs [mmsgBatch][4]byte
+	ackIovs [mmsgBatch]syscall.Iovec
+	ackHdrs [mmsgBatch]mmsghdr
+	nAcks   int
+}
+
+// newMmsgIO prepares batch state for conn, or returns nil when the
+// socket refuses raw access (the caller falls back to per-datagram IO).
+func newMmsgIO(conn *net.UDPConn, bufSize int) *mmsgIO {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	m := &mmsgIO{rc: rc}
+	for i := range m.hdrs {
+		m.bufs[i] = make([]byte, bufSize)
+		m.iovs[i] = syscall.Iovec{Base: &m.bufs[i][0], Len: uint64(bufSize)}
+		h := &m.hdrs[i].hdr
+		h.Name = &m.names[i][0]
+		h.Namelen = uint32(len(m.names[i]))
+		h.Iov = &m.iovs[i]
+		h.Iovlen = 1
+		m.ackIovs[i] = syscall.Iovec{Base: &m.ackBufs[i][0], Len: 4}
+		ah := &m.ackHdrs[i].hdr
+		ah.Iov = &m.ackIovs[i]
+		ah.Iovlen = 1
+	}
+	return m
+}
+
+// recv blocks until the socket is readable, then receives up to
+// mmsgBatch datagrams in one recvmmsg(2) call.
+func (m *mmsgIO) recv() (int, error) {
+	var n int
+	var errno syscall.Errno
+	err := m.rc.Read(func(fd uintptr) bool {
+		// Namelen is in/out: the kernel overwrites it with each source
+		// address length, so reset before every call.
+		for i := range m.hdrs {
+			m.hdrs[i].hdr.Namelen = uint32(len(m.names[i]))
+		}
+		r1, _, e := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+			uintptr(unsafe.Pointer(&m.hdrs[0])), mmsgBatch,
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // park in the netpoller until readable
+		}
+		n, errno = int(r1), e
+		return true
+	})
+	switch {
+	case err != nil:
+		return 0, err
+	case errno != 0:
+		return 0, errno
+	}
+	return n, nil
+}
+
+// datagram returns the bytes of the i-th received datagram.
+func (m *mmsgIO) datagram(i int) []byte { return m.bufs[i][:m.hdrs[i].msgLen] }
+
+// queueAck stages a 4-byte protocol ack addressed to datagram i's
+// source, reusing the kernel-written sockaddr as the destination.
+func (m *mmsgIO) queueAck(i int, tok0, tok1, typ byte) {
+	a := &m.ackBufs[m.nAcks]
+	a[0], a[1], a[2], a[3] = ProtocolVersion, tok0, tok1, typ
+	h := &m.ackHdrs[m.nAcks].hdr
+	h.Name = m.hdrs[i].hdr.Name
+	h.Namelen = m.hdrs[i].hdr.Namelen
+	m.nAcks++
+}
+
+// flushAcks sends every staged ack with sendmmsg(2). Acks are
+// best-effort (UDP; the forwarder retransmits on silence), so a send
+// error drops the remainder rather than failing the read loop.
+func (m *mmsgIO) flushAcks() {
+	off := 0
+	for off < m.nAcks {
+		var sent int
+		var errno syscall.Errno
+		err := m.rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&m.ackHdrs[off])), uintptr(m.nAcks-off),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false
+			}
+			sent, errno = int(r1), e
+			return true
+		})
+		if err != nil || errno != 0 || sent == 0 {
+			break
+		}
+		off += sent
+	}
+	m.nAcks = 0
+}
+
+// addrPort decodes datagram i's source address. Only the rare
+// PULL_DATA registration needs this — acks reuse the raw sockaddr.
+func (m *mmsgIO) addrPort(i int) (netip.AddrPort, bool) {
+	name := m.names[i][:]
+	// sa_family_t is a host-order uint16 (little-endian on both arches);
+	// the port that follows is network-order.
+	switch uint16(name[0]) | uint16(name[1])<<8 {
+	case syscall.AF_INET:
+		port := uint16(name[2])<<8 | uint16(name[3])
+		return netip.AddrPortFrom(netip.AddrFrom4([4]byte(name[4:8])), port), true
+	case syscall.AF_INET6:
+		port := uint16(name[2])<<8 | uint16(name[3])
+		return netip.AddrPortFrom(netip.AddrFrom16([16]byte(name[8:24])), port), true
+	}
+	return netip.AddrPort{}, false
+}
+
+// readLoopMmsg is the batched ingest loop: up to mmsgBatch datagrams per
+// recvmmsg, their acks coalesced into one sendmmsg. Returns false when
+// raw socket access is unavailable so readLoop can fall back to the
+// portable per-datagram loop.
+func (b *BatchBridge) readLoopMmsg() bool {
+	m := newMmsgIO(b.conn, 65536)
+	if m == nil {
+		return false
+	}
+	for {
+		n, err := m.recv()
+		if err != nil {
+			if b.closed.Load() {
+				return true
+			}
+			continue // transient error: keep serving
+		}
+		for i := 0; i < n; i++ {
+			buf := m.datagram(i)
+			if len(buf) < 4 || buf[0] != ProtocolVersion {
+				continue
+			}
+			switch PacketType(buf[3]) {
+			case PushData:
+				if len(buf) < 12 || b.draining.Load() {
+					continue
+				}
+				m.queueAck(i, buf[1], buf[2], byte(PushAck))
+				b.acceptPush(buf)
+			case PullData:
+				if len(buf) < 12 {
+					continue
+				}
+				if from, ok := m.addrPort(i); ok {
+					eui := EUI(binary.BigEndian.Uint64(buf[4:12]))
+					b.registerPull(eui, from)
+					m.queueAck(i, buf[1], buf[2], byte(PullAck))
+				}
+			case TXAck:
+				b.dlAcked.Add(1)
+			}
+		}
+		m.flushAcks()
+	}
+}
+
+// MultiSender batches writes on a connected UDP socket with sendmmsg(2),
+// falling back to one Write per datagram when raw access is unavailable.
+// Not safe for concurrent use.
+type MultiSender struct {
+	conn *net.UDPConn
+	rc   syscall.RawConn
+	iovs [mmsgBatch]syscall.Iovec
+	hdrs [mmsgBatch]mmsghdr
+}
+
+// NewMultiSender wraps a connected UDP socket for batched sends.
+func NewMultiSender(conn *net.UDPConn) *MultiSender {
+	s := &MultiSender{conn: conn}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return s
+	}
+	s.rc = rc
+	for i := range s.hdrs {
+		s.hdrs[i].hdr.Iov = &s.iovs[i]
+		s.hdrs[i].hdr.Iovlen = 1
+	}
+	return s
+}
+
+// Send transmits every buffer, batching up to mmsgBatch per syscall.
+func (s *MultiSender) Send(bufs [][]byte) error {
+	if s.rc == nil {
+		return sendEach(s.conn, bufs)
+	}
+	for len(bufs) > 0 {
+		n := len(bufs)
+		if n > mmsgBatch {
+			n = mmsgBatch
+		}
+		for i := 0; i < n; i++ {
+			s.iovs[i] = syscall.Iovec{Base: &bufs[i][0], Len: uint64(len(bufs[i]))}
+		}
+		var sent int
+		var errno syscall.Errno
+		err := s.rc.Write(func(fd uintptr) bool {
+			r1, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&s.hdrs[0])), uintptr(n),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false // park until the send queue drains
+			}
+			sent, errno = int(r1), e
+			return true
+		})
+		switch {
+		case err != nil:
+			return err
+		case errno != 0:
+			return errno
+		case sent == 0:
+			return syscall.EIO
+		}
+		bufs = bufs[sent:]
+	}
+	return nil
+}
+
+// MultiReceiver batches receives on a connected UDP socket with
+// recvmmsg(2) — the cheap way to drain a high-rate ack stream. Falls
+// back to one Read per datagram when raw access is unavailable. Not
+// safe for concurrent use.
+type MultiReceiver struct {
+	conn *net.UDPConn
+	m    *mmsgIO
+}
+
+// NewMultiReceiver wraps a connected UDP socket for batched receives.
+func NewMultiReceiver(conn *net.UDPConn) *MultiReceiver {
+	return &MultiReceiver{conn: conn, m: newMmsgIO(conn, 2048)}
+}
+
+// Recv blocks for at least one datagram and returns how many arrived
+// (their contents are discarded).
+func (r *MultiReceiver) Recv() (int, error) {
+	if r.m == nil {
+		return recvOne(r.conn)
+	}
+	return r.m.recv()
+}

@@ -1,0 +1,6 @@
+package udpfwd
+
+// sendmmsg(2) entered Linux at 3.0, after the stdlib syscall package's
+// number tables froze, so its number is spelled out per architecture
+// (recvmmsg, 2.6.33, did make the tables: syscall.SYS_RECVMMSG).
+const sysSendmmsg = 307

@@ -1,0 +1,5 @@
+package udpfwd
+
+// See mmsg_linux_amd64.go: sendmmsg(2) postdates the stdlib syscall
+// number tables.
+const sysSendmmsg = 269

@@ -1,0 +1,76 @@
+package udpfwd
+
+import "sync"
+
+// ring is a fixed-capacity FIFO of raw datagrams between the bridge's
+// read loop and one worker goroutine. The read loop never blocks on it:
+// when the ring is full the datagram is dropped and counted (explicit
+// overload accounting — under sustained overload the kernel socket buffer
+// would otherwise drop silently anyway, and a blocked read loop would
+// stall every worker's ring, not just the hot one).
+//
+// Workers drain in batches: one lock acquisition hands over up to max
+// queued datagrams, so per-packet lock traffic amortizes away exactly
+// when load is highest.
+type ring struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	slots  []*datagram
+	head   int // index of oldest queued entry
+	n      int // queued count
+	closed bool
+}
+
+func newRing(size int) *ring {
+	r := &ring{slots: make([]*datagram, size)}
+	r.cond.L = &r.mu
+	return r
+}
+
+// tryPush enqueues d, or reports false when the ring is full or closed
+// (caller recycles the datagram and counts the drop).
+func (r *ring) tryPush(d *datagram) bool {
+	r.mu.Lock()
+	if r.closed || r.n == len(r.slots) {
+		r.mu.Unlock()
+		return false
+	}
+	r.slots[(r.head+r.n)%len(r.slots)] = d
+	r.n++
+	if r.n == 1 {
+		r.cond.Signal()
+	}
+	r.mu.Unlock()
+	return true
+}
+
+// popBatch appends up to max queued datagrams to dst, blocking while the
+// ring is empty and open. An empty return means the ring is closed and
+// fully drained — the worker's signal to exit.
+func (r *ring) popBatch(dst []*datagram, max int) []*datagram {
+	r.mu.Lock()
+	for r.n == 0 && !r.closed {
+		r.cond.Wait()
+	}
+	take := r.n
+	if take > max {
+		take = max
+	}
+	for i := 0; i < take; i++ {
+		dst = append(dst, r.slots[r.head])
+		r.slots[r.head] = nil
+		r.head = (r.head + 1) % len(r.slots)
+	}
+	r.n -= take
+	r.mu.Unlock()
+	return dst
+}
+
+// close wakes any waiting worker; queued datagrams remain poppable so
+// shutdown drains instead of discarding.
+func (r *ring) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}

@@ -1,0 +1,250 @@
+package udpfwd
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/lora"
+)
+
+// randRXPK generates an rxpk with realistic field distributions: AS923
+// frequencies, SF7–SF12, RSSI/SNR in gateway ranges, payloads up to the
+// LoRa maximum.
+func randRXPK(rng *rand.Rand) RXPK {
+	payload := make([]byte, 12+rng.Intn(230))
+	rng.Read(payload)
+	// Frequencies as literals: wire values come from float64(hz)/1e6,
+	// whose shortest representation is the short decimal itself.
+	freqs := [...]float64{923.2, 923.4, 923.6, 923.8, 924.2, 924.4, 868.1, 902.7}
+	return RXPK{
+		Tmst: rng.Uint32(),
+		Freq: freqs[rng.Intn(len(freqs))],
+		Chan: rng.Intn(9),
+		RFCh: rng.Intn(2),
+		Stat: 1,
+		Modu: "LORA",
+		Datr: DatrString(lora.DR(rng.Intn(6))),
+		CodR: "4/5",
+		RSSI: -rng.Intn(120),
+		LSNR: float64(rng.Intn(400)-200) / 10,
+		Size: len(payload),
+		Data: EncodeData(payload),
+	}
+}
+
+// TestScanMatchesEncodingJSON is the differential harness: for generated
+// PUSH_DATA bodies, the zero-alloc scanner and encoding/json must agree
+// on every field the live path consumes.
+func TestScanMatchesEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		rxpks := make([]RXPK, 1+rng.Intn(8))
+		for i := range rxpks {
+			rxpks[i] = randRXPK(rng)
+		}
+		body, err := json.Marshal(pushPayload{RXPK: rxpks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views, err := scanRxpks(body, nil)
+		if err != nil {
+			t.Fatalf("trial %d: scanner rejected %s: %v", trial, body, err)
+		}
+		if len(views) != len(rxpks) {
+			t.Fatalf("trial %d: %d views, want %d", trial, len(views), len(rxpks))
+		}
+		for i, v := range views {
+			ref := rxpks[i]
+			wantHz := uint64(ref.Freq*1e6 + 0.5)
+			if v.Tmst != ref.Tmst || v.FreqHz != wantHz || v.Chain != ref.Chan ||
+				v.RFCh != ref.RFCh || v.RSSI != ref.RSSI {
+				t.Fatalf("trial %d rxpk %d: view %+v != ref %+v", trial, i, v, ref)
+			}
+			if math.Abs(v.LSNR-ref.LSNR) > 1e-12 {
+				t.Fatalf("trial %d rxpk %d: lsnr %v != %v", trial, i, v.LSNR, ref.LSNR)
+			}
+			if string(v.Datr) != ref.Datr || string(v.Data) != ref.Data {
+				t.Fatalf("trial %d rxpk %d: strings diverge", trial, i)
+			}
+		}
+	}
+}
+
+// TestScanSubsetBoundaries pins which bodies take the fast path and which
+// must fall back — the all-or-nothing contract.
+func TestScanSubsetBoundaries(t *testing.T) {
+	fallback := []string{
+		`{"stat":{"time":"x","rxnb":1}}`,                       // stat report
+		`{"rxpk":[{"tmst":1}],"stat":{"rxnb":1}}`,              // rxpk then stat
+		`{"rxpk":[{"time":"a\"b","tmst":1}]}`,                  // escape in skipped string
+		`{"rxpk":[{"lsnr":1e2,"tmst":1}]}`,                     // exponent float
+		`{"rxpk":[{"freq":923.2000001,"tmst":1}]}`,             // sub-Hz frequency
+		`{"rxpk":[{"extra":{"nested":1}}]}`,                    // nested object
+		`{"rxpk":[{"extra":[1,2]}]}`,                           // nested array
+		`{"other":[]}`,                                         // unknown top-level key
+		`  {"rxpk":[{"tmst":1}],"x":1}`,                        // trailing unknown key
+		`{"rxpk":[{"datr":"SF7BW125","data":"QQ==","tmst":1}]`, // truncated
+		`{"rxpk":[{"tmst":}]}`,                                 // missing value
+		`{"rxpk":{"tmst":1}}`,                                  // rxpk not an array
+		`[1,2,3]`,                                              // not an object
+		`{"rxpk":[{"lsnr":1.23456789012,"tmst":1}]}`,           // too many lsnr digits
+	}
+	for _, body := range fallback {
+		if _, err := scanRxpks([]byte(body), nil); err == nil {
+			t.Errorf("scanner accepted %s, want fallback/error", body)
+		}
+	}
+	ok := []string{
+		`{}`,
+		`{"rxpk":[]}`,
+		`{"rxpk":[{}]}`,
+		`{"rxpk":[{"tmst":1,"freq":923.2,"lsnr":-3.5,"rssi":-101}]}`,
+		`{"rxpk":[{"stat":1,"modu":"LORA","codr":"4/5","time":"2026-01-01T00:00:00Z"}]}`,
+		` { "rxpk" : [ { "tmst" : 7 } , { "tmst" : 8 } ] } `,
+		`{"rxpk":[{"imme":true,"x":null,"y":false}]}`, // skipped scalars
+		`{"rxpk":[{"freq":868}]}`,                     // integral MHz
+	}
+	for _, body := range ok {
+		if _, err := scanRxpks([]byte(body), nil); err != nil {
+			t.Errorf("scanner rejected %s: %v", body, err)
+		}
+	}
+}
+
+// TestScanMutationRobustness feeds the scanner random truncations and
+// byte flips of valid bodies: it must never panic, and whatever it
+// accepts must also be accepted by encoding/json (no false positives
+// inventing packets from garbage).
+func TestScanMutationRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base, err := json.Marshal(pushPayload{RXPK: []RXPK{randRXPK(rng), randRXPK(rng)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var views []rxpkView
+	for trial := 0; trial < 5000; trial++ {
+		mut := append([]byte(nil), base...)
+		switch rng.Intn(3) {
+		case 0:
+			mut = mut[:rng.Intn(len(mut))]
+		case 1:
+			mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+		case 2:
+			i := rng.Intn(len(mut))
+			mut = append(mut[:i], mut[rng.Intn(len(mut)-i)+i:]...)
+		}
+		views, err = scanRxpks(mut, views[:0])
+		if err == nil {
+			// RawMessage checks syntax without struct range errors (a
+			// mutated tmst may overflow uint32 — still valid JSON).
+			var ref struct {
+				RXPK []json.RawMessage `json:"rxpk"`
+			}
+			if jerr := json.Unmarshal(mut, &ref); jerr != nil {
+				t.Fatalf("scanner accepted %q but encoding/json rejects: %v", mut, jerr)
+			}
+			if len(views) != len(ref.RXPK) {
+				t.Fatalf("scanner found %d rxpks in %q, encoding/json %d", len(views), mut, len(ref.RXPK))
+			}
+		}
+	}
+}
+
+// TestScanZeroAlloc pins the fast path's allocation budget: scanning a
+// multi-rxpk body into reused scratch must not touch the heap.
+func TestScanZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	body, err := json.Marshal(pushPayload{RXPK: []RXPK{randRXPK(rng), randRXPK(rng), randRXPK(rng)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := make([]rxpkView, 0, 16)
+	raw := make([]byte, 512)
+	allocs := testing.AllocsPerRun(500, func() {
+		vs, err := scanRxpks(body, views[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vs {
+			if _, err := base64.StdEncoding.Decode(raw, vs[i].Data); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := parseDatrFast(vs[i].Datr); !ok {
+				t.Fatal("datr")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("scan path: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestParseDatrFast holds the fast datr parser equal to ParseDatr.
+func TestParseDatrFast(t *testing.T) {
+	for sf := 7; sf <= 12; sf++ {
+		s := fmt.Sprintf("SF%dBW125", sf)
+		want, err := ParseDatr(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := parseDatrFast([]byte(s))
+		if !ok || got != want {
+			t.Errorf("parseDatrFast(%q) = %v, %v; want %v", s, got, ok, want)
+		}
+	}
+	for _, bad := range []string{"", "SF7", "SF7BW250", "SF99BW125", "LORA", "SFxBW125", "SF7BW1255"} {
+		if _, ok := parseDatrFast([]byte(bad)); ok {
+			t.Errorf("parseDatrFast accepted %q", bad)
+		}
+	}
+}
+
+// TestMhzExactConversion pins the integer-Hz parse against the float
+// rounding the fallback path applies.
+func TestMhzExactConversion(t *testing.T) {
+	cases := map[string]uint64{
+		`{"rxpk":[{"freq":923.2}]}`:      923_200_000,
+		`{"rxpk":[{"freq":868.1}]}`:      868_100_000,
+		`{"rxpk":[{"freq":902.700012}]}`: 902_700_012,
+		`{"rxpk":[{"freq":470}]}`:        470_000_000,
+	}
+	for body, want := range cases {
+		views, err := scanRxpks([]byte(body), nil)
+		if err != nil || len(views) != 1 {
+			t.Fatalf("%s: %v", body, err)
+		}
+		if views[0].FreqHz != want {
+			t.Errorf("%s → %d Hz, want %d", body, views[0].FreqHz, want)
+		}
+	}
+}
+
+func BenchmarkScanRxpks(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	body, _ := json.Marshal(pushPayload{RXPK: []RXPK{randRXPK(rng)}})
+	views := make([]rxpkView, 0, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		views, err = scanRxpks(body, views[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalRxpks(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	body, _ := json.Marshal(pushPayload{RXPK: []RXPK{randRXPK(rng)}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var ref pushPayload
+		if err := json.Unmarshal(body, &ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
