@@ -51,6 +51,13 @@ type benchResult struct {
 	Devices        int     `json:"devices,omitempty"`
 	DevicesPerSec  float64 `json:"devices_per_sec,omitempty"`
 	BytesPerDevice int64   `json:"bytes_per_device,omitempty"`
+	// Candidates and SolveNs come from experiments that measure the CP
+	// solver (cp-eval/cp-rescore, fig17): candidates scored and the
+	// measured scoring/solve wall-clock inside the last run, from which
+	// the candidates/sec throughput column derives.
+	Candidates       int     `json:"candidates,omitempty"`
+	SolveNs          int64   `json:"solve_ns,omitempty"`
+	CandidatesPerSec float64 `json:"candidates_per_sec,omitempty"`
 	// PeakRSSBytes is the process's high-water resident set (VmHWM) after
 	// the timed runs — only meaningful with -isolate, where the child
 	// process ran exactly one experiment. 0 when unavailable.
@@ -244,6 +251,14 @@ func main() {
 			fmt.Printf("%-14s %12d devices %10.0f devices/sec %8d B/device  peak RSS %d MiB\n",
 				"", res.Devices, res.DevicesPerSec, res.BytesPerDevice, res.PeakRSSBytes>>20)
 		}
+		if res.CandidatesPerSec > 0 {
+			fmt.Printf("%-14s %12d candidates %8.0f candidates/sec  solve %s\n",
+				"", res.Candidates, res.CandidatesPerSec,
+				time.Duration(res.SolveNs).Round(time.Millisecond))
+		} else if res.SolveNs > 0 {
+			fmt.Printf("%-14s %12s solve %s wall-clock\n",
+				"", "", time.Duration(res.SolveNs).Round(time.Millisecond))
+		}
 	}
 
 	if *memprofile != "" {
@@ -299,12 +314,14 @@ func measure(e experiments.Experiment, seed int64, runs int, mintime time.Durati
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	done, batch := 0, runs
-	devices := 0
+	devices, candidates := 0, 0
+	var solveNs int64
 	var total time.Duration
 	t0 := time.Now()
 	for {
 		for r := 0; r < batch; r++ {
-			devices = e.Run(seed).Devices
+			out := e.Run(seed)
+			devices, candidates, solveNs = out.Devices, out.Candidates, out.SolveNs
 		}
 		done += batch
 		total = time.Since(t0)
@@ -326,6 +343,13 @@ func measure(e experiments.Experiment, seed int64, runs int, mintime time.Durati
 		res.Devices = devices
 		res.DevicesPerSec = float64(devices) / (float64(res.NsPerOp) / 1e9)
 		res.BytesPerDevice = res.BytesPerOp / int64(devices)
+	}
+	if solveNs > 0 {
+		res.SolveNs = solveNs
+		if candidates > 0 {
+			res.Candidates = candidates
+			res.CandidatesPerSec = float64(candidates) / (float64(solveNs) / 1e9)
+		}
 	}
 	return res
 }

@@ -29,6 +29,7 @@ package cp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/alphawan/alphawan/internal/lora"
 	"github.com/alphawan/alphawan/internal/region"
@@ -68,10 +69,71 @@ type NodeSpec struct {
 }
 
 // Problem is one CP instance.
+//
+// A Problem is immutable once handed to the solver: Evaluate and the
+// Scorer memoize the node↔gateway reachability structure on first use
+// (see reachability), so Channels/Gateways/Nodes must not change after
+// the first Evaluate or NewScorer call.
 type Problem struct {
 	Channels []region.Channel
 	Gateways []GatewaySpec
 	Nodes    []NodeSpec
+
+	reachOnce sync.Once
+	reach     *reachIndex
+}
+
+// reachEntry is one edge of the reachability structure: a node or
+// gateway index paired with the fastest data rate that closes the link.
+type reachEntry struct {
+	idx   int32
+	maxDR int32
+}
+
+// reachIndex is the per-Problem memoized reachability structure. MaxDR
+// encodes nested rings (a link closing at DR l closes at every slower
+// rate), so one (index, maxDR) entry per reachable pair captures the
+// whole r_ijl tensor.
+type reachIndex struct {
+	// gwNodes[j] lists, in ascending node order, every node that reaches
+	// gateway j at any rate — the membership universe a gateway's load is
+	// recomputed from.
+	gwNodes [][]reachEntry
+	// nodeGWs[i] lists, in ascending gateway order, every gateway node i
+	// reaches — the candidate set of the Φ_i = min_j φ_j scan.
+	nodeGWs [][]reachEntry
+	// traffic is a dense copy of NodeSpec.Traffic (the NodeSpec stride is
+	// cache-hostile on the load inner loop).
+	traffic []float64
+	// words is the per-row width of the Scorer's membership bitsets.
+	words int
+}
+
+// reachability builds (once) and returns the memoized index. Safe for
+// concurrent use: the GA's parallel fitness workers all evaluate the
+// same Problem.
+func (p *Problem) reachability() *reachIndex {
+	p.reachOnce.Do(func() {
+		r := &reachIndex{
+			gwNodes: make([][]reachEntry, len(p.Gateways)),
+			nodeGWs: make([][]reachEntry, len(p.Nodes)),
+			traffic: make([]float64, len(p.Nodes)),
+			words:   (len(p.Nodes) + 63) / 64,
+		}
+		for i := range p.Nodes {
+			n := &p.Nodes[i]
+			r.traffic[i] = n.Traffic
+			for j, m := range n.MaxDR {
+				if m < 0 {
+					continue
+				}
+				r.gwNodes[j] = append(r.gwNodes[j], reachEntry{idx: int32(i), maxDR: int32(m)})
+				r.nodeGWs[i] = append(r.nodeGWs[i], reachEntry{idx: int32(j), maxDR: int32(m)})
+			}
+		}
+		p.reach = r
+	})
+	return p.reach
 }
 
 // Validate checks structural consistency.
@@ -152,28 +214,118 @@ func (c Cost) Feasible() bool { return c.Unconnected == 0 && c.SpanViolations ==
 //
 // It sits on the GA's innermost loop (one call per candidate per
 // generation, across the parallel fitness workers), so it makes exactly
-// two short-lived allocations and no map operations: the float scratch —
-// gateway loads, gateway risks, and the dense (channel, DR) traffic
-// grid — comes from a single make, sized by the ≤64-channel bound the
-// bitmask representation already imposes. It remains safe to call
-// concurrently on one Problem.
+// two short-lived allocations and no map operations on the common path:
+// the float scratch — gateway loads, gateway risks, and the dense
+// (channel, DR) traffic grid — comes from a single make, sized by the
+// ≤64-channel bound the bitmask representation already imposes. It
+// remains safe to call concurrently on one Problem.
+//
+// Loads and node risks walk the memoized reachability index instead of
+// scanning every (node, gateway) pair; membership lists are stored in
+// ascending index order, so every floating-point accumulation happens in
+// exactly the same canonical order as the dense scans it replaced and
+// the returned Cost is bit-identical. Negative rings defeat the sparse
+// index (a ring of -1 links even MaxDR -1 gateways, which the index
+// omits), so those assignments take the dense reference path.
 func (p *Problem) Evaluate(a *Assignment) Cost {
+	for _, ring := range a.NodeRing {
+		if ring < 0 {
+			return p.evaluateRef(a)
+		}
+	}
 	var cost Cost
 	nGW := len(p.Gateways)
+	r := p.reachability()
 
-	// Gateway channel sets → bitmask per gateway for O(1) membership, and
-	// radio-constraint checks.
 	operated := make([]uint64, nGW) // supports ≤64 channels; guarded below
 	if len(p.Channels) > 64 {
 		panic("cp: more than 64 channels not supported")
 	}
 	nPair := len(p.Channels) * lora.NumDRs
 	scratch := make([]float64, 2*nGW+nPair)
+	cost.SpanViolations = p.operatedMasks(a, operated)
+
+	// Gateway loads k_j, each accumulated over the gateway's membership
+	// list in ascending node order.
+	loads := scratch[:nGW]
+	for j := 0; j < nGW; j++ {
+		m := operated[j]
+		if m == 0 {
+			continue
+		}
+		load := 0.0
+		for _, e := range r.gwNodes[j] {
+			i := e.idx
+			if int(e.maxDR) >= a.NodeRing[i] && m&(1<<uint(a.NodeChannel[i])) != 0 {
+				load += r.traffic[i]
+			}
+		}
+		loads[j] = load
+	}
+
+	// Risks φ_j and node risks Φ_i.
+	risks := scratch[nGW : 2*nGW]
+	for j, k := range loads {
+		if over := k - float64(p.Gateways[j].Decoders); over > 0 {
+			risks[j] = over
+		}
+	}
+	for i := range p.Nodes {
+		ch, ring := a.NodeChannel[i], a.NodeRing[i]
+		best := math.Inf(1)
+		for _, e := range r.nodeGWs[i] {
+			if int(e.maxDR) >= ring && operated[e.idx]&(1<<uint(ch)) != 0 && risks[e.idx] < best {
+				best = risks[e.idx]
+			}
+		}
+		if math.IsInf(best, 1) {
+			cost.Unconnected++
+			continue
+		}
+		cost.DecoderRisk += best * r.traffic[i]
+	}
+
+	// Channel contention: traffic beyond one concurrent packet per
+	// (channel, DR) pair, accumulated on the dense grid. Assignments with
+	// settings outside the grid (un-repaired mutants) spill to a lazily
+	// allocated map so their overload still counts.
+	pair := scratch[2*nGW:]
+	var spill map[int]float64
+	for i := range p.Nodes {
+		key := a.NodeChannel[i]*lora.NumDRs + a.NodeRing[i]
+		if uint(key) < uint(len(pair)) {
+			pair[key] += r.traffic[i]
+		} else {
+			if spill == nil {
+				spill = make(map[int]float64)
+			}
+			spill[key] += r.traffic[i]
+		}
+	}
+	for _, m := range pair {
+		if m > 1 {
+			cost.ChannelOverload += m - 1
+		}
+	}
+	for _, m := range spill {
+		if m > 1 {
+			cost.ChannelOverload += m - 1
+		}
+	}
+	return cost
+}
+
+// operatedMasks runs the radio-constraint pass: it fills operated[j]
+// with gateway j's channel bitmask (zero when the set violates a
+// constraint) and returns the violation count. Shared by Evaluate, the
+// reference evaluator, and the Scorer so all three agree bit-for-bit.
+func (p *Problem) operatedMasks(a *Assignment, operated []uint64) (spanViolations int) {
 	for j, chs := range p.Gateways {
+		operated[j] = 0
 		set := a.GWChannels[j]
 		if len(set) == 0 || len(set) > chs.MaxChannels ||
 			(chs.FixedChannels > 0 && len(set) != chs.FixedChannels) {
-			cost.SpanViolations++
+			spanViolations++
 			continue
 		}
 		lo, hi := region.Hz(math.MaxInt64), region.Hz(math.MinInt64)
@@ -192,10 +344,30 @@ func (p *Problem) Evaluate(a *Assignment) Cost {
 			}
 		}
 		if !ok || hi-lo > chs.SpanHz {
-			cost.SpanViolations++
+			spanViolations++
 			operated[j] = 0
 		}
 	}
+	return spanViolations
+}
+
+// evaluateRef is the dense O(nodes × gateways) evaluator the memoized
+// fast path replaced. It stays as the oracle for the differential tests
+// and as the fallback for assignments with negative rings, which link
+// gateways the sparse reachability index does not enumerate.
+func (p *Problem) evaluateRef(a *Assignment) Cost {
+	var cost Cost
+	nGW := len(p.Gateways)
+
+	// Gateway channel sets → bitmask per gateway for O(1) membership, and
+	// radio-constraint checks.
+	operated := make([]uint64, nGW) // supports ≤64 channels; guarded below
+	if len(p.Channels) > 64 {
+		panic("cp: more than 64 channels not supported")
+	}
+	nPair := len(p.Channels) * lora.NumDRs
+	scratch := make([]float64, 2*nGW+nPair)
+	cost.SpanViolations = p.operatedMasks(a, operated)
 
 	// Gateway loads k_j.
 	loads := scratch[:nGW]

@@ -1,0 +1,775 @@
+package cp
+
+import (
+	"math"
+	"math/bits"
+
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/region"
+)
+
+// Gene identifies one decision variable of an Assignment for the
+// incremental Scorer: either a node's (channel, ring) pair or a
+// gateway's channel set. Node genes are the node index; gateway genes
+// are the bitwise complement of the gateway index, so the two ranges
+// never collide and a Gene packs into one machine word.
+type Gene int32
+
+// NodeGene returns the gene for node i's (channel, ring) setting.
+func NodeGene(i int) Gene { return Gene(i) }
+
+// GWGene returns the gene for gateway j's channel set.
+func GWGene(j int) Gene { return Gene(^j) }
+
+// IsNode reports whether the gene is a node gene; Index returns the node
+// or gateway index it names.
+func (g Gene) IsNode() bool { return g >= 0 }
+
+// Index returns the node index (node genes) or gateway index (gateway
+// genes) the gene addresses.
+func (g Gene) Index() int {
+	if g >= 0 {
+		return int(g)
+	}
+	return int(^g)
+}
+
+// Scorer carries the per-assignment evaluation state of one candidate —
+// operated bitmasks, gateway loads and risks, per-node risk
+// contributions, the dense (channel, DR) pair grid with its spill map,
+// and the membership bitsets that tie them together — so that after a
+// handful of gene changes only the affected pieces are recomputed.
+//
+// The one rule that makes this exact rather than approximate: a dirty
+// float is never adjusted by ±delta. Gateway loads and pair-grid cells
+// are re-accumulated from their membership bitsets in ascending node
+// order — the same canonical order Evaluate uses — and the DecoderRisk
+// and ChannelOverload sums are re-folded linearly whenever an element of
+// theirs changed bitwise. Floating-point addition is not associative, so
+// only identical add chains yield identical bits; re-summation in
+// canonical order reproduces Evaluate's chain exactly, which the
+// byte-identity of the experiment suite (and TestScorerDifferential)
+// depends on.
+//
+// A Scorer is single-goroutine state; distinct Scorers over one Problem
+// may be used concurrently (the shared reachability index is read-only).
+type Scorer struct {
+	p *Problem
+	r *reachIndex
+
+	// a is the Scorer's private snapshot of the assignment being scored.
+	a Assignment
+
+	// Per-gateway state.
+	operated []uint64 // channel bitmask, 0 when constraint-violating
+	spanBad  []bool   // gateway counted in SpanViolations
+	loads    []float64
+	risks    []float64
+	// gwBits[j*words : (j+1)*words] is the membership bitset of gateway
+	// j's load: nodes currently linked to j.
+	gwBits []uint64
+
+	// Per-node state.
+	phi     []float64 // Φ_i, +Inf when unconnected
+	contrib []float64 // Φ_i · u_i, 0 when unconnected
+	unconn  []bool
+
+	// Pair-grid state.
+	cellLoad []float64
+	// cellBits[key*words : (key+1)*words] is the membership bitset of
+	// grid cell key.
+	cellBits []uint64
+	spill    map[int]float64
+	// spillNodes counts nodes whose (channel, ring) key lies outside the
+	// dense grid; the spill map is rebuilt by a full node scan whenever
+	// it is, or stops being, populated.
+	spillNodes int
+	spillTouch bool
+
+	cost  Cost
+	words int
+	nPair int
+
+	// Dirt tracking between gene changes and the next flush.
+	loadDirty   []bool
+	dirtyGWs    []int32
+	cellDirty   []bool
+	dirtyCells  []int32
+	phiDirty    []uint64  // nodes whose Φ needs a full rescan
+	riskOld     []float64 // pre-flush risk of gateways in riskChanged
+	riskChanged []int32
+	gwTouched   bool // SpanViolations needs recounting
+	// needFull forces the next flush through a full rebuild. Set while
+	// any node ring is negative: such rings link even MaxDR -1 gateways,
+	// which the sparse reachability index does not enumerate, so
+	// incremental membership updates would be wrong.
+	needFull bool
+}
+
+// NewScorer allocates a Scorer for the problem. The returned Scorer
+// holds no assignment yet; call Reset (or CopyFrom) before Cost.
+func NewScorer(p *Problem) *Scorer {
+	if len(p.Channels) > 64 {
+		panic("cp: more than 64 channels not supported")
+	}
+	r := p.reachability()
+	nGW := len(p.Gateways)
+	nN := len(p.Nodes)
+	nPair := len(p.Channels) * lora.NumDRs
+	s := &Scorer{
+		p:        p,
+		r:        r,
+		operated: make([]uint64, nGW),
+		spanBad:  make([]bool, nGW),
+		loads:    make([]float64, nGW),
+		risks:    make([]float64, nGW),
+		gwBits:   make([]uint64, nGW*r.words),
+		phi:      make([]float64, nN),
+		contrib:  make([]float64, nN),
+		unconn:   make([]bool, nN),
+		cellLoad: make([]float64, nPair),
+		cellBits: make([]uint64, nPair*r.words),
+		words:    r.words,
+		nPair:    nPair,
+
+		loadDirty:   make([]bool, nGW),
+		dirtyGWs:    make([]int32, 0, nGW),
+		cellDirty:   make([]bool, nPair),
+		phiDirty:    make([]uint64, r.words),
+		riskOld:     make([]float64, nGW),
+		riskChanged: make([]int32, 0, nGW),
+	}
+	s.a.GWChannels = make([][]int, nGW)
+	s.a.NodeChannel = make([]int, nN)
+	s.a.NodeRing = make([]int, nN)
+	return s
+}
+
+// Assignment returns the Scorer's current assignment snapshot. The
+// caller must not mutate it; change state through SetNode /
+// SetGWChannels instead.
+func (s *Scorer) Assignment() *Assignment { return &s.a }
+
+// Reset loads a fresh assignment and rebuilds all state from scratch.
+// The resulting Cost is bit-identical to p.Evaluate(a).
+func (s *Scorer) Reset(a *Assignment) {
+	s.copyAssign(a)
+	s.fullRebuild()
+}
+
+// CopyFrom makes s an exact replica of base — assignment snapshot,
+// evaluation state, and any pending dirt — without touching the shared
+// reachability index. It is the freelist path: clone a parent's Scorer,
+// replay a child's diff, flush.
+func (s *Scorer) CopyFrom(base *Scorer) {
+	if s.p != base.p {
+		panic("cp: CopyFrom across problems")
+	}
+	s.copyAssign(&base.a)
+	copy(s.operated, base.operated)
+	copy(s.spanBad, base.spanBad)
+	copy(s.loads, base.loads)
+	copy(s.risks, base.risks)
+	copy(s.gwBits, base.gwBits)
+	copy(s.phi, base.phi)
+	copy(s.contrib, base.contrib)
+	copy(s.unconn, base.unconn)
+	copy(s.cellLoad, base.cellLoad)
+	copy(s.cellBits, base.cellBits)
+	s.spillNodes = base.spillNodes
+	s.spillTouch = base.spillTouch
+	if len(base.spill) == 0 {
+		s.spill = nil
+	} else {
+		if s.spill == nil {
+			s.spill = make(map[int]float64, len(base.spill))
+		} else {
+			clear(s.spill)
+		}
+		for k, v := range base.spill {
+			s.spill[k] = v
+		}
+	}
+	s.cost = base.cost
+	copy(s.loadDirty, base.loadDirty)
+	s.dirtyGWs = append(s.dirtyGWs[:0], base.dirtyGWs...)
+	copy(s.cellDirty, base.cellDirty)
+	s.dirtyCells = append(s.dirtyCells[:0], base.dirtyCells...)
+	copy(s.phiDirty, base.phiDirty)
+	s.gwTouched = base.gwTouched
+	s.needFull = base.needFull
+	s.riskChanged = s.riskChanged[:0] // transient within one flush
+}
+
+func (s *Scorer) copyAssign(a *Assignment) {
+	for j := range s.a.GWChannels {
+		s.a.GWChannels[j] = append(s.a.GWChannels[j][:0], a.GWChannels[j]...)
+	}
+	copy(s.a.NodeChannel, a.NodeChannel)
+	copy(s.a.NodeRing, a.NodeRing)
+}
+
+// SetNode changes node i's (channel, ring) setting and marks the
+// affected gateways, cells, and Φ entries dirty.
+func (s *Scorer) SetNode(i, ch, ring int) {
+	oldCh, oldRing := s.a.NodeChannel[i], s.a.NodeRing[i]
+	if ch == oldCh && ring == oldRing {
+		return
+	}
+	s.a.NodeChannel[i] = ch
+	s.a.NodeRing[i] = ring
+	if s.needFull || ring < 0 || oldRing < 0 {
+		s.needFull = true
+		return
+	}
+
+	// Link membership flips against every gateway the node can reach.
+	w, bit := i>>6, uint64(1)<<uint(i&63)
+	for _, e := range s.r.nodeGWs[i] {
+		j := int(e.idx)
+		m := s.operated[j]
+		oldL := int(e.maxDR) >= oldRing && m&(1<<uint(oldCh)) != 0
+		newL := int(e.maxDR) >= ring && m&(1<<uint(ch)) != 0
+		if oldL != newL {
+			s.gwBits[j*s.words+w] ^= bit
+			s.markLoadDirty(j)
+		}
+	}
+
+	// Pair-grid membership.
+	s.moveCell(oldCh*lora.NumDRs+oldRing, ch*lora.NumDRs+ring, w, bit)
+	s.phiDirty[w] |= bit
+}
+
+// moveCell moves one node's pair-grid membership from oldKey to newKey;
+// w and bit address the node in a bitset row.
+func (s *Scorer) moveCell(oldKey, newKey, w int, bit uint64) {
+	if uint(oldKey) < uint(s.nPair) {
+		s.cellBits[oldKey*s.words+w] &^= bit
+		s.markCellDirty(oldKey)
+	} else {
+		s.spillNodes--
+		s.spillTouch = true
+	}
+	if uint(newKey) < uint(s.nPair) {
+		s.cellBits[newKey*s.words+w] |= bit
+		s.markCellDirty(newKey)
+	} else {
+		s.spillNodes++
+		s.spillTouch = true
+	}
+}
+
+// SetGWChannels changes gateway j's channel set. The set is copied.
+func (s *Scorer) SetGWChannels(j int, set []int) {
+	dst := s.a.GWChannels[j]
+	if len(dst) == len(set) {
+		same := true
+		for k, v := range set {
+			if dst[k] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	s.a.GWChannels[j] = append(dst[:0], set...)
+	if s.needFull {
+		return
+	}
+
+	// Re-run the radio-constraint pass for this gateway alone.
+	oldMask := s.operated[j]
+	mask, bad := s.gwMask(j)
+	s.operated[j] = mask
+	if bad != s.spanBad[j] {
+		s.spanBad[j] = bad
+		s.gwTouched = true
+	}
+	if mask == oldMask {
+		return
+	}
+
+	// The gateway's membership row changes wholesale: every old member's
+	// Φ may lose this gateway, every new member's may gain it. Fold the
+	// old row into phiDirty, rebuild the row from the membership list,
+	// fold the new row in too.
+	row := s.gwBits[j*s.words : (j+1)*s.words]
+	for w, word := range row {
+		s.phiDirty[w] |= word
+		row[w] = 0
+	}
+	for _, e := range s.r.gwNodes[j] {
+		i := int(e.idx)
+		if int(e.maxDR) >= s.a.NodeRing[i] && mask&(1<<uint(s.a.NodeChannel[i])) != 0 {
+			row[i>>6] |= uint64(1) << uint(i&63)
+		}
+	}
+	for w, word := range row {
+		s.phiDirty[w] |= word
+	}
+	s.markLoadDirty(j)
+}
+
+// gwMask runs the radio-constraint check for one gateway, mirroring
+// operatedMasks exactly.
+func (s *Scorer) gwMask(j int) (mask uint64, bad bool) {
+	chs := s.p.Gateways[j]
+	set := s.a.GWChannels[j]
+	if len(set) == 0 || len(set) > chs.MaxChannels ||
+		(chs.FixedChannels > 0 && len(set) != chs.FixedChannels) {
+		return 0, true
+	}
+	lo, hi := region.Hz(math.MaxInt64), region.Hz(math.MinInt64)
+	for _, k := range set {
+		if k < 0 || k >= len(s.p.Channels) {
+			return 0, true
+		}
+		mask |= 1 << uint(k)
+		if l := s.p.Channels[k].Low(); l < lo {
+			lo = l
+		}
+		if h := s.p.Channels[k].High(); h > hi {
+			hi = h
+		}
+	}
+	if hi-lo > chs.SpanHz {
+		return 0, true
+	}
+	return mask, false
+}
+
+func (s *Scorer) markLoadDirty(j int) {
+	if !s.loadDirty[j] {
+		s.loadDirty[j] = true
+		s.dirtyGWs = append(s.dirtyGWs, int32(j))
+	}
+}
+
+func (s *Scorer) markCellDirty(key int) {
+	if !s.cellDirty[key] {
+		s.cellDirty[key] = true
+		s.dirtyCells = append(s.dirtyCells, int32(key))
+	}
+}
+
+// Rescore applies assignment a's values for the changed genes and
+// returns the flushed Cost. Genes not listed are assumed unchanged;
+// listing an unchanged gene is a harmless no-op. The result is
+// bit-identical to a fresh p.Evaluate(a).
+func (s *Scorer) Rescore(a *Assignment, changed []Gene) Cost {
+	for _, g := range changed {
+		if g.IsNode() {
+			i := g.Index()
+			s.SetNode(i, a.NodeChannel[i], a.NodeRing[i])
+		} else {
+			j := g.Index()
+			s.SetGWChannels(j, a.GWChannels[j])
+		}
+	}
+	return s.Cost()
+}
+
+// Cost flushes all pending dirt and returns the cost of the current
+// assignment, bit-identical to p.Evaluate(Assignment()).
+func (s *Scorer) Cost() Cost {
+	if s.needFull {
+		s.fullRebuild()
+		return s.cost
+	}
+
+	// Dirty gateway loads: re-accumulate from the membership bitset in
+	// ascending node order (Evaluate's canonical chain), recording
+	// bitwise risk transitions for the Φ passes below.
+	for _, j32 := range s.dirtyGWs {
+		j := int(j32)
+		load := 0.0
+		row := s.gwBits[j*s.words : (j+1)*s.words]
+		for w, word := range row {
+			base := w << 6
+			for word != 0 {
+				load += s.r.traffic[base+bits.TrailingZeros64(word)]
+				word &= word - 1
+			}
+		}
+		s.loads[j] = load
+		newRisk := 0.0
+		if over := load - float64(s.p.Gateways[j].Decoders); over > 0 {
+			newRisk = over
+		}
+		if newRisk != s.risks[j] {
+			s.riskOld[j] = s.risks[j]
+			s.riskChanged = append(s.riskChanged, j32)
+			s.risks[j] = newRisk
+		}
+		s.loadDirty[j] = false
+	}
+	s.dirtyGWs = s.dirtyGWs[:0]
+
+	// Risk-change fan-out, exploiting that Φ_i is a min: a member whose
+	// Φ sat strictly below a gateway's old risk cannot be holding that
+	// risk as its min, so a risk *increase* there leaves Φ untouched; a
+	// risk *decrease* folds in as min(Φ, newRisk), which is exact (min
+	// never rounds) and bit-identical to a full rescan. Only members
+	// whose Φ equaled the old risk of an increased gateway need the
+	// rescan. Increases are classified first, against pre-merge Φ —
+	// merging first would invalidate the Φ < oldRisk test.
+	contribChanged := false
+	for _, j32 := range s.riskChanged {
+		j := int(j32)
+		if s.risks[j] < s.riskOld[j] {
+			continue
+		}
+		ro := s.riskOld[j]
+		row := s.gwBits[j*s.words : (j+1)*s.words]
+		for w, word := range row {
+			base := w << 6
+			for word != 0 {
+				tz := bits.TrailingZeros64(word)
+				word &= word - 1
+				if s.phi[base+tz] >= ro {
+					s.phiDirty[w] |= uint64(1) << uint(tz)
+				}
+			}
+		}
+	}
+	for _, j32 := range s.riskChanged {
+		j := int(j32)
+		rn := s.risks[j]
+		if rn >= s.riskOld[j] {
+			continue
+		}
+		row := s.gwBits[j*s.words : (j+1)*s.words]
+		for w, word := range row {
+			base := w << 6
+			for word != 0 {
+				i := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				if rn < s.phi[i] {
+					s.phi[i] = rn
+					s.contrib[i] = rn * s.r.traffic[i]
+					contribChanged = true
+				}
+			}
+		}
+	}
+	s.riskChanged = s.riskChanged[:0]
+
+	// Remaining dirty Φ entries (changed nodes, re-operated gateways,
+	// possible argmin losses): recompute exactly — min over linked risks
+	// is order-free — then linearly re-fold DecoderRisk in ascending
+	// node order if any contribution changed bitwise.
+	for w := range s.phiDirty {
+		word := s.phiDirty[w]
+		if word == 0 {
+			continue
+		}
+		s.phiDirty[w] = 0
+		base := w << 6
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			ch, ring := s.a.NodeChannel[i], s.a.NodeRing[i]
+			best := math.Inf(1)
+			for _, e := range s.r.nodeGWs[i] {
+				if int(e.maxDR) >= ring && s.operated[e.idx]&(1<<uint(ch)) != 0 && s.risks[e.idx] < best {
+					best = s.risks[e.idx]
+				}
+			}
+			newUn := math.IsInf(best, 1)
+			var c float64
+			if !newUn {
+				c = best * s.r.traffic[i]
+			}
+			s.phi[i] = best
+			if newUn != s.unconn[i] {
+				if newUn {
+					s.cost.Unconnected++
+				} else {
+					s.cost.Unconnected--
+				}
+				s.unconn[i] = newUn
+			}
+			if c != s.contrib[i] {
+				s.contrib[i] = c
+				contribChanged = true
+			}
+		}
+	}
+	if contribChanged {
+		sum := 0.0
+		for _, c := range s.contrib {
+			sum += c
+		}
+		s.cost.DecoderRisk = sum
+	}
+
+	// Dirty pair-grid cells, same canonical-order rule; the spill map is
+	// rebuilt wholesale by a node scan whenever it is in play.
+	cellsChanged := false
+	for _, key32 := range s.dirtyCells {
+		key := int(key32)
+		load := 0.0
+		row := s.cellBits[key*s.words : (key+1)*s.words]
+		for w, word := range row {
+			base := w << 6
+			for word != 0 {
+				load += s.r.traffic[base+bits.TrailingZeros64(word)]
+				word &= word - 1
+			}
+		}
+		if load != s.cellLoad[key] {
+			s.cellLoad[key] = load
+			cellsChanged = true
+		}
+		s.cellDirty[key] = false
+	}
+	s.dirtyCells = s.dirtyCells[:0]
+	if s.spillTouch {
+		s.rebuildSpill()
+		s.spillTouch = false
+		cellsChanged = true
+	}
+	if cellsChanged {
+		over := 0.0
+		for _, m := range s.cellLoad {
+			if m > 1 {
+				over += m - 1
+			}
+		}
+		for _, m := range s.spill {
+			if m > 1 {
+				over += m - 1
+			}
+		}
+		s.cost.ChannelOverload = over
+	}
+
+	if s.gwTouched {
+		n := 0
+		for _, b := range s.spanBad {
+			if b {
+				n++
+			}
+		}
+		s.cost.SpanViolations = n
+		s.gwTouched = false
+	}
+	return s.cost
+}
+
+func (s *Scorer) rebuildSpill() {
+	s.spill = nil
+	if s.spillNodes <= 0 {
+		s.spillNodes = 0
+		return
+	}
+	s.spill = make(map[int]float64, s.spillNodes)
+	for i := range s.p.Nodes {
+		key := s.a.NodeChannel[i]*lora.NumDRs + s.a.NodeRing[i]
+		if uint(key) >= uint(s.nPair) {
+			s.spill[key] += s.r.traffic[i]
+		}
+	}
+}
+
+// fullRebuild recomputes every piece of state from the assignment
+// snapshot, mirroring Evaluate's passes (including its dense fallback
+// when negative rings are present).
+func (s *Scorer) fullRebuild() {
+	s.cost = Cost{}
+	negRings := 0
+	for _, ring := range s.a.NodeRing {
+		if ring < 0 {
+			negRings++
+		}
+	}
+	s.needFull = negRings > 0
+
+	// Radio-constraint pass, via the same per-gateway check the
+	// incremental SetGWChannels path uses (it mirrors operatedMasks
+	// condition for condition).
+	sv := 0
+	for j := range s.p.Gateways {
+		mask, bad := s.gwMask(j)
+		s.operated[j] = mask
+		s.spanBad[j] = bad
+		if bad {
+			sv++
+		}
+	}
+	s.cost.SpanViolations = sv
+
+	// Membership bitsets and loads. With negative rings present the
+	// sparse index is unusable, so membership is derived from the dense
+	// MaxDR rows — the loads themselves still accumulate in ascending
+	// node order either way.
+	for w := range s.gwBits {
+		s.gwBits[w] = 0
+	}
+	for j := range s.loads {
+		s.loads[j] = 0
+	}
+	if s.needFull {
+		for i := range s.p.Nodes {
+			n := &s.p.Nodes[i]
+			ch, ring := s.a.NodeChannel[i], s.a.NodeRing[i]
+			w, bit := i>>6, uint64(1)<<uint(i&63)
+			for j := range s.p.Gateways {
+				if n.MaxDR[j] >= ring && s.operated[j]&(1<<uint(ch)) != 0 {
+					s.gwBits[j*s.words+w] |= bit
+					s.loads[j] += n.Traffic
+				}
+			}
+		}
+	} else {
+		for j := range s.p.Gateways {
+			m := s.operated[j]
+			if m == 0 {
+				continue
+			}
+			load := 0.0
+			for _, e := range s.r.gwNodes[j] {
+				i := int(e.idx)
+				if int(e.maxDR) >= s.a.NodeRing[i] && m&(1<<uint(s.a.NodeChannel[i])) != 0 {
+					s.gwBits[j*s.words+i>>6] |= uint64(1) << uint(i&63)
+					load += s.r.traffic[i]
+				}
+			}
+			s.loads[j] = load
+		}
+	}
+
+	for j, k := range s.loads {
+		s.risks[j] = 0
+		if over := k - float64(s.p.Gateways[j].Decoders); over > 0 {
+			s.risks[j] = over
+		}
+	}
+
+	// Φ and the DecoderRisk fold (adding a 0.0 contribution for
+	// unconnected nodes leaves the chain bit-identical to Evaluate's
+	// skip).
+	sum := 0.0
+	for i := range s.p.Nodes {
+		ch, ring := s.a.NodeChannel[i], s.a.NodeRing[i]
+		best := math.Inf(1)
+		if s.needFull {
+			n := &s.p.Nodes[i]
+			for j := range s.p.Gateways {
+				if n.MaxDR[j] >= ring && s.operated[j]&(1<<uint(ch)) != 0 && s.risks[j] < best {
+					best = s.risks[j]
+				}
+			}
+		} else {
+			for _, e := range s.r.nodeGWs[i] {
+				if int(e.maxDR) >= ring && s.operated[e.idx]&(1<<uint(ch)) != 0 && s.risks[e.idx] < best {
+					best = s.risks[e.idx]
+				}
+			}
+		}
+		s.phi[i] = best
+		if math.IsInf(best, 1) {
+			s.cost.Unconnected++
+			s.unconn[i] = true
+			s.contrib[i] = 0
+			continue
+		}
+		s.unconn[i] = false
+		s.contrib[i] = best * s.r.traffic[i]
+		sum += s.contrib[i]
+	}
+	s.cost.DecoderRisk = sum
+
+	// Pair grid, spill, and the overload fold.
+	for k := range s.cellBits {
+		s.cellBits[k] = 0
+	}
+	for k := range s.cellLoad {
+		s.cellLoad[k] = 0
+	}
+	s.spill = nil
+	s.spillNodes = 0
+	s.spillTouch = false
+	for i := range s.p.Nodes {
+		key := s.a.NodeChannel[i]*lora.NumDRs + s.a.NodeRing[i]
+		if uint(key) < uint(s.nPair) {
+			s.cellBits[key*s.words+i>>6] |= uint64(1) << uint(i&63)
+			s.cellLoad[key] += s.r.traffic[i]
+		} else {
+			if s.spill == nil {
+				s.spill = make(map[int]float64)
+			}
+			s.spill[key] += s.r.traffic[i]
+			s.spillNodes++
+		}
+	}
+	over := 0.0
+	for _, m := range s.cellLoad {
+		if m > 1 {
+			over += m - 1
+		}
+	}
+	for _, m := range s.spill {
+		if m > 1 {
+			over += m - 1
+		}
+	}
+	s.cost.ChannelOverload = over
+
+	// Clear any stale dirt.
+	for _, j := range s.dirtyGWs {
+		s.loadDirty[j] = false
+	}
+	s.dirtyGWs = s.dirtyGWs[:0]
+	for _, k := range s.dirtyCells {
+		s.cellDirty[k] = false
+	}
+	s.dirtyCells = s.dirtyCells[:0]
+	for w := range s.phiDirty {
+		s.phiDirty[w] = 0
+	}
+	s.gwTouched = false
+}
+
+// GatewayLoad returns gateway j's current load k_j (flushed state only:
+// call Cost first after gene changes).
+func (s *Scorer) GatewayLoad(j int) float64 { return s.loads[j] }
+
+// PairLoad returns the traffic on (channel, DR) cell key, consulting the
+// spill map for out-of-grid keys (flushed state only).
+func (s *Scorer) PairLoad(key int) float64 {
+	if uint(key) < uint(s.nPair) {
+		return s.cellLoad[key]
+	}
+	return s.spill[key]
+}
+
+// Linked reports whether node i currently contributes to gateway j's
+// load (flushed state only).
+func (s *Scorer) Linked(i, j int) bool {
+	return s.gwBits[j*s.words+i>>6]&(uint64(1)<<uint(i&63)) != 0
+}
+
+// AppendLinks appends, in ascending order, the gateways node i would
+// link to if it used (ch, ring), and returns the extended slice. It is
+// the allocation-free replacement for the hill-climb's per-call links
+// closure.
+func (s *Scorer) AppendLinks(i, ch, ring int, out []int) []int {
+	if ring < 0 {
+		for j := range s.p.Gateways {
+			if s.p.Nodes[i].MaxDR[j] >= ring && s.operated[j]&(1<<uint(ch)) != 0 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	for _, e := range s.r.nodeGWs[i] {
+		if int(e.maxDR) >= ring && s.operated[e.idx]&(1<<uint(ch)) != 0 {
+			out = append(out, int(e.idx))
+		}
+	}
+	return out
+}

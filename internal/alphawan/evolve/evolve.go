@@ -44,6 +44,22 @@ type Options struct {
 	// Patience stops early after this many generations without
 	// improvement (0 = run all generations).
 	Patience int
+	// RescoreMaxGenes caps the diff size the incremental scoring path
+	// accepts: a child whose recorded gene diff against its first parent
+	// is no larger is scored by cloning that parent's Scorer and
+	// replaying the diff; larger (crossover-heavy) diffs take a full
+	// Evaluate, which is cheaper once a diff fans out across most
+	// gateways. 0 picks an automatic cap; negative disables incremental
+	// scoring entirely. Either path yields bit-identical costs, so this
+	// is a pure performance knob.
+	RescoreMaxGenes int
+	// ExactPolish prices the final hill-climb's candidate moves with the
+	// incremental Scorer — the real objective — instead of the legacy
+	// surrogate. It usually polishes deeper, but its decision trajectory
+	// differs from the surrogate's, so it stays opt-in: the default
+	// surrogate's byte-exact outputs are pinned by the experiment
+	// regression suite.
+	ExactPolish bool
 }
 
 // DefaultOptions returns solver settings sized for the paper's scales
@@ -61,6 +77,20 @@ func DefaultOptions(seed int64) Options {
 	}
 }
 
+// SolveStats counts how candidates were scored. The path decisions are
+// made serially (before the parallel fitness fan-out), so the counters
+// are deterministic for a given seed regardless of worker count.
+type SolveStats struct {
+	// FullEvals counts full Evaluate calls.
+	FullEvals int
+	// Rescores counts children scored by cloning a parent Scorer and
+	// replaying the recorded gene diff.
+	Rescores int
+	// EliteCarries counts elite individuals whose known cost was carried
+	// through a generation without re-evaluation.
+	EliteCarries int
+}
+
 // Result is the solver outcome.
 type Result struct {
 	Assignment  *cp.Assignment
@@ -68,6 +98,8 @@ type Result struct {
 	Generations int
 	// SeededCost is the greedy seed's cost, for ablation studies.
 	SeededCost cp.Cost
+	// Stats breaks down how candidates were scored.
+	Stats SolveStats
 }
 
 // Solve searches the problem and returns the best assignment found.
@@ -92,23 +124,107 @@ type solver struct {
 	p   *cp.Problem
 	opt Options
 	rng *rand.Rand
+
+	stats      SolveStats
+	rescoreMax int
+
+	// Scorer freelist: scorers of dead individuals are recycled into new
+	// children. Pops and pushes happen only on the serial path.
+	pool []*cp.Scorer
+
+	// Gene-diff recording scratch: diffBuf[slot] is reused for the child
+	// bred into that population slot each generation; seen/epoch dedup
+	// genes touched by more than one of crossover/mutate/repair.
+	diffBuf [][]cp.Gene
+	cur     []cp.Gene
+	seen    []int32
+	epoch   int32
+
+	// localSearch scratch, reused across the hill-climb's inner loop so
+	// link enumeration stays allocation-free.
+	lsCur []int
+	lsTmp []int
 }
 
 type indiv struct {
 	a    *cp.Assignment
 	cost cp.Cost
+	// sc, when non-nil, holds this individual's flushed Scorer state,
+	// available as a rescore base for its children.
+	sc *cp.Scorer
+	// parent and diff stage an incremental scoring decision for evalAll:
+	// clone parent, replay diff. Set serially at breeding time.
+	parent *cp.Scorer
+	diff   []cp.Gene
+	// scored marks the cost as already known (carried elites), so
+	// evalAll skips the slot entirely.
+	scored bool
+}
+
+func (s *solver) getScorer() *cp.Scorer {
+	if n := len(s.pool); n > 0 {
+		sc := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return sc
+	}
+	return cp.NewScorer(s.p)
+}
+
+// beginDiff starts recording the gene diff for the child bred into the
+// given population slot.
+func (s *solver) beginDiff(slot int) {
+	s.epoch++
+	s.cur = s.diffBuf[slot][:0]
+}
+
+func (s *solver) touchNode(i int) {
+	if s.seen[i] != s.epoch {
+		s.seen[i] = s.epoch
+		s.cur = append(s.cur, cp.NodeGene(i))
+	}
+}
+
+func (s *solver) touchGW(j int) {
+	slot := len(s.p.Nodes) + j
+	if s.seen[slot] != s.epoch {
+		s.seen[slot] = s.epoch
+		s.cur = append(s.cur, cp.GWGene(j))
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *solver) run() *Result {
+	s.seen = make([]int32, len(s.p.Nodes)+len(s.p.Gateways))
+	s.diffBuf = make([][]cp.Gene, s.opt.Population)
+	s.rescoreMax = s.opt.RescoreMaxGenes
+	if s.rescoreMax == 0 {
+		// Past this size a diff's load/Φ fan-out touches most gateways
+		// and the replay stops beating a straight Evaluate.
+		s.rescoreMax = 2 + (len(s.p.Nodes)+len(s.p.Gateways))/16
+	}
+
 	pop := make([]indiv, s.opt.Population)
 	pop[0] = indiv{a: s.greedySeed()}
 	for i := 1; i < len(pop); i++ {
 		if i < len(pop)/4 {
 			// A few mutated copies of the seed.
 			a := pop[0].a.Clone()
+			s.beginDiff(i)
 			s.mutate(a, 4*s.opt.MutationRate)
 			pop[i] = indiv{a: a}
 		} else {
+			s.beginDiff(i)
 			pop[i] = indiv{a: s.randomAssignment()}
 		}
 	}
@@ -122,18 +238,50 @@ func (s *solver) run() *Result {
 	for g := 0; g < s.opt.Generations; g++ {
 		gens = g + 1
 		next := make([]indiv, 0, len(pop))
+		eliteN := 0
 		for e := 0; e < s.opt.Elitism && e < len(pop); e++ {
-			next = append(next, indiv{a: pop[e].a.Clone()})
+			// Elites carry their known cost (and Scorer state, if built)
+			// through the generation; evalAll skips them. Assignments are
+			// never mutated in place — children clone their parents — so
+			// the carried pointer is safe to share.
+			next = append(next, indiv{a: pop[e].a, cost: pop[e].cost, sc: pop[e].sc, scored: true})
+			eliteN++
 		}
 		for len(next) < len(pop) {
-			pa := s.tournament(pop)
-			pb := s.tournament(pop)
-			child := s.crossover(pa.a, pb.a)
+			pai := s.tournamentIdx(pop)
+			pbi := s.tournamentIdx(pop)
+			pa := &pop[pai]
+			slot := len(next)
+			s.beginDiff(slot)
+			child := s.crossover(pa.a, pop[pbi].a)
 			s.mutate(child, s.opt.MutationRate)
 			s.repair(child)
-			next = append(next, indiv{a: child})
+			s.diffBuf[slot] = s.cur
+			ind := indiv{a: child}
+			if s.rescoreMax >= 0 && len(s.cur) <= s.rescoreMax {
+				// Small diff: stage a clone-and-replay of the first
+				// parent's Scorer (the child is its clone plus the diff).
+				// Built lazily — a parent scored via the full path has no
+				// Scorer state until someone needs it as a base.
+				if pa.sc == nil {
+					pa.sc = s.getScorer()
+					pa.sc.Reset(pa.a)
+				}
+				ind.parent = pa.sc
+				ind.sc = s.getScorer()
+				ind.diff = s.cur
+			}
+			next = append(next, ind)
 		}
 		s.evalAll(next)
+		// The old generation's non-elite scorers are dead now that every
+		// child is scored; recycle them into the freelist.
+		for i := eliteN; i < len(pop); i++ {
+			if pop[i].sc != nil {
+				s.pool = append(s.pool, pop[i].sc)
+				pop[i].sc = nil
+			}
+		}
 		sortPop(next)
 		pop = next
 		if pop[0].cost.Total() < best.cost.Total() {
@@ -150,7 +298,13 @@ func (s *solver) run() *Result {
 	// the exact objective.
 	s.localSearch(best.a)
 	best.cost = s.p.Evaluate(best.a)
-	return &Result{Assignment: best.a, Cost: best.cost, Generations: gens, SeededCost: seedCost}
+	return &Result{
+		Assignment:  best.a,
+		Cost:        best.cost,
+		Generations: gens,
+		SeededCost:  seedCost,
+		Stats:       s.stats,
+	}
 }
 
 // localSearch hill-climbs node genes under a surrogate objective that is
@@ -160,6 +314,10 @@ func (s *solver) run() *Result {
 // touches only its own linked gateways, so each step is O(channels ×
 // rings) instead of a full re-evaluation.
 func (s *solver) localSearch(a *cp.Assignment) {
+	if s.opt.ExactPolish {
+		s.exactPolish(a)
+		return
+	}
 	nGW := len(s.p.Gateways)
 	operatedBy := make([][]int, len(s.p.Channels)) // channel → gateways
 	for j := 0; j < nGW; j++ {
@@ -169,8 +327,12 @@ func (s *solver) localSearch(a *cp.Assignment) {
 	}
 	loads := make([]float64, nGW)
 	pairLoad := make(map[int]float64)
-	links := func(i, ch, ring int) []int {
-		var out []int
+	// links fills the given scratch slice (reused across the whole
+	// hill-climb) instead of allocating per call; two scratches exist
+	// because the current placement's link list must survive the price
+	// probes of every candidate placement.
+	links := func(i, ch, ring int, out []int) []int {
+		out = out[:0]
 		for _, j := range operatedBy[ch] {
 			if s.p.Nodes[i].MaxDR[j] >= ring {
 				out = append(out, j)
@@ -179,7 +341,8 @@ func (s *solver) localSearch(a *cp.Assignment) {
 		return out
 	}
 	for i := range s.p.Nodes {
-		for _, j := range links(i, a.NodeChannel[i], a.NodeRing[i]) {
+		s.lsTmp = links(i, a.NodeChannel[i], a.NodeRing[i], s.lsTmp)
+		for _, j := range s.lsTmp {
 			loads[j] += s.p.Nodes[i].Traffic
 		}
 		pairLoad[a.NodeChannel[i]*lora.NumDRs+a.NodeRing[i]] += s.p.Nodes[i].Traffic
@@ -207,7 +370,8 @@ func (s *solver) localSearch(a *cp.Assignment) {
 			}
 			curCh, curRing := a.NodeChannel[i], a.NodeRing[i]
 			curKey := curCh*lora.NumDRs + curRing
-			curLinks := links(i, curCh, curRing)
+			s.lsCur = links(i, curCh, curRing, s.lsCur)
+			curLinks := s.lsCur
 			if len(curLinks) == 0 {
 				continue // unconnected: repaired elsewhere
 			}
@@ -220,7 +384,8 @@ func (s *solver) localSearch(a *cp.Assignment) {
 
 			price := func(ch, ring int) float64 {
 				c := 100 * pairOver(ch*lora.NumDRs+ring, n.Traffic)
-				for _, g := range links(i, ch, ring) {
+				s.lsTmp = links(i, ch, ring, s.lsTmp)
+				for _, g := range s.lsTmp {
 					c += overload(g, n.Traffic)
 				}
 				return c
@@ -248,7 +413,8 @@ func (s *solver) localSearch(a *cp.Assignment) {
 				improved = true
 			}
 			// Put the node back at its (possibly new) placement.
-			for _, j := range links(i, a.NodeChannel[i], a.NodeRing[i]) {
+			s.lsTmp = links(i, a.NodeChannel[i], a.NodeRing[i], s.lsTmp)
+			for _, j := range s.lsTmp {
 				loads[j] += n.Traffic
 			}
 			pairLoad[a.NodeChannel[i]*lora.NumDRs+a.NodeRing[i]] += n.Traffic
@@ -259,33 +425,111 @@ func (s *solver) localSearch(a *cp.Assignment) {
 	}
 }
 
+// exactPolish is the hill-climb on the real objective: candidate moves
+// are priced by replaying them on the incremental Scorer and reading the
+// exact folded Cost, instead of the surrogate overload terms. Candidate
+// enumeration order matches localSearch; each probe is one SetNode +
+// flush, and the walk continues from the probe (no revert), so pricing a
+// node costs candidates+1 flushes.
+func (s *solver) exactPolish(a *cp.Assignment) {
+	sc := s.getScorer()
+	sc.Reset(a)
+	cur := sc.Cost().Total()
+
+	const maxPasses = 4
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := range s.p.Nodes {
+			n := &s.p.Nodes[i]
+			if n.Fixed {
+				continue
+			}
+			curCh, curRing := a.NodeChannel[i], a.NodeRing[i]
+			bestTotal, bestCh, bestRing := cur, curCh, curRing
+			for j := range s.p.Gateways {
+				maxDR := n.MaxDR[j]
+				if maxDR < 0 {
+					continue
+				}
+				for _, ch := range a.GWChannels[j] {
+					for ring := maxDR; ring >= 0; ring-- {
+						if ch == curCh && ring == curRing {
+							continue
+						}
+						sc.SetNode(i, ch, ring)
+						if cand := sc.Cost().Total(); cand < bestTotal-1e-12 {
+							bestTotal, bestCh, bestRing = cand, ch, ring
+						}
+					}
+				}
+			}
+			sc.SetNode(i, bestCh, bestRing)
+			cur = sc.Cost().Total()
+			if bestCh != curCh || bestRing != curRing {
+				a.NodeChannel[i], a.NodeRing[i] = bestCh, bestRing
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	s.pool = append(s.pool, sc)
+}
+
 func sortPop(pop []indiv) {
 	sort.SliceStable(pop, func(i, j int) bool {
 		return pop[i].cost.Total() < pop[j].cost.Total()
 	})
 }
 
-// evalAll scores the population. Evaluate is pure and each individual
-// writes only its own slot, so the parallel path fans across the shared
-// deterministic worker pool while staying bit-for-bit identical to the
-// serial loop.
+// evalAll scores the population. Scoring-path decisions (elite skip,
+// rescore vs full Evaluate) were all staged on the serial path, each
+// slot writes only itself, and both scoring paths produce bit-identical
+// costs, so the parallel fan-out across the shared deterministic worker
+// pool stays bit-for-bit identical to the serial loop.
 func (s *solver) evalAll(pop []indiv) {
+	for i := range pop {
+		switch {
+		case pop[i].scored:
+			s.stats.EliteCarries++
+		case pop[i].parent != nil:
+			s.stats.Rescores++
+		default:
+			s.stats.FullEvals++
+		}
+	}
+	score := func(i int) {
+		ind := &pop[i]
+		if ind.scored {
+			return
+		}
+		if ind.parent != nil {
+			ind.sc.CopyFrom(ind.parent)
+			ind.cost = ind.sc.Rescore(ind.a, ind.diff)
+		} else {
+			ind.cost = s.p.Evaluate(ind.a)
+		}
+		ind.scored = true
+		ind.parent = nil
+		ind.diff = nil
+	}
 	if !s.opt.Parallel {
 		for i := range pop {
-			pop[i].cost = s.p.Evaluate(pop[i].a)
+			score(i)
 		}
 		return
 	}
-	runner.RunCells(len(pop), func(i int) {
-		pop[i].cost = s.p.Evaluate(pop[i].a)
-	})
+	runner.RunCells(len(pop), score)
 }
 
-func (s *solver) tournament(pop []indiv) indiv {
-	best := pop[s.rng.Intn(len(pop))]
+// tournamentIdx returns the population index of a tournament winner (an
+// index, not a copy, so lazily built Scorer state sticks to the slot).
+func (s *solver) tournamentIdx(pop []indiv) int {
+	best := s.rng.Intn(len(pop))
 	for k := 1; k < s.opt.TournamentK; k++ {
-		c := pop[s.rng.Intn(len(pop))]
-		if c.cost.Total() < best.cost.Total() {
+		c := s.rng.Intn(len(pop))
+		if pop[c].cost.Total() < pop[best].cost.Total() {
 			best = c
 		}
 	}
@@ -491,15 +735,24 @@ func (s *solver) randomBlock(j int) []int {
 	return set
 }
 
+// crossover breeds a child as a clone of a with b's genes mixed in,
+// recording every gene whose value actually changed relative to a (the
+// diff the incremental scoring path replays).
 func (s *solver) crossover(a, b *cp.Assignment) *cp.Assignment {
 	c := a.Clone()
 	for j := range c.GWChannels {
 		if s.rng.Intn(2) == 0 {
+			if !equalInts(c.GWChannels[j], b.GWChannels[j]) {
+				s.touchGW(j)
+			}
 			c.GWChannels[j] = append([]int{}, b.GWChannels[j]...)
 		}
 	}
 	for i := range c.NodeChannel {
 		if s.rng.Intn(2) == 0 {
+			if c.NodeChannel[i] != b.NodeChannel[i] || c.NodeRing[i] != b.NodeRing[i] {
+				s.touchNode(i)
+			}
 			c.NodeChannel[i] = b.NodeChannel[i]
 			c.NodeRing[i] = b.NodeRing[i]
 		}
@@ -510,7 +763,11 @@ func (s *solver) crossover(a, b *cp.Assignment) *cp.Assignment {
 func (s *solver) mutate(a *cp.Assignment, rate float64) {
 	for j := range a.GWChannels {
 		if s.rng.Float64() < rate {
-			a.GWChannels[j] = s.randomBlock(j)
+			nb := s.randomBlock(j)
+			if !equalInts(a.GWChannels[j], nb) {
+				s.touchGW(j)
+			}
+			a.GWChannels[j] = nb
 		}
 	}
 	nCH := len(s.p.Channels)
@@ -519,10 +776,16 @@ func (s *solver) mutate(a *cp.Assignment, rate float64) {
 			continue
 		}
 		if s.rng.Float64() < rate {
-			a.NodeChannel[i] = s.rng.Intn(nCH)
+			if nc := s.rng.Intn(nCH); nc != a.NodeChannel[i] {
+				s.touchNode(i)
+				a.NodeChannel[i] = nc
+			}
 		}
 		if s.rng.Float64() < rate {
-			a.NodeRing[i] = s.rng.Intn(lora.NumDRs)
+			if nr := s.rng.Intn(lora.NumDRs); nr != a.NodeRing[i] {
+				s.touchNode(i)
+				a.NodeRing[i] = nr
+			}
 		}
 	}
 }
@@ -561,6 +824,7 @@ func (s *solver) repair(a *cp.Assignment) {
 			for _, k := range a.GWChannels[j] {
 				if k == a.NodeChannel[i] {
 					if a.NodeRing[i] > n.MaxDR[j] {
+						s.touchNode(i)
 						a.NodeRing[i] = n.MaxDR[j]
 					}
 					ok = true
@@ -576,8 +840,12 @@ func (s *solver) repair(a *cp.Assignment) {
 				continue
 			}
 			set := a.GWChannels[j]
-			a.NodeChannel[i] = set[s.rng.Intn(len(set))]
+			if nc := set[s.rng.Intn(len(set))]; nc != a.NodeChannel[i] {
+				s.touchNode(i)
+				a.NodeChannel[i] = nc
+			}
 			if a.NodeRing[i] > n.MaxDR[j] {
+				s.touchNode(i)
 				a.NodeRing[i] = n.MaxDR[j]
 			}
 			break

@@ -1,6 +1,7 @@
 package evolve
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/alphawan/alphawan/internal/alphawan/cp"
@@ -256,5 +257,129 @@ func TestParallelFitnessStress(t *testing.T) {
 	opt.Parallel = true
 	if _, err := Solve(p, opt); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRescorePathMatchesFullEval pins the central claim of the
+// incremental scoring path: with the same seed, a run that rescores
+// every stageable child and a run with incremental scoring disabled
+// walk the exact same search trajectory to the same bit-identical
+// result — the knob moves only time, never the answer.
+func TestRescorePathMatchesFullEval(t *testing.T) {
+	p := &cp.Problem{
+		Channels: region.Testbed.AllChannels(),
+		Gateways: gwSpec(4),
+		Nodes:    fullReach(48, 4),
+	}
+	run := func(rescoreMax int) *Result {
+		opt := DefaultOptions(11)
+		opt.Generations = 30
+		opt.Patience = 0
+		opt.RescoreMaxGenes = rescoreMax
+		res, err := Solve(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full := run(-1)       // incremental scoring disabled
+	delta := run(1 << 20) // every staged diff rescored
+	if full.Stats.Rescores != 0 {
+		t.Errorf("disabled run rescored %d candidates", full.Stats.Rescores)
+	}
+	if delta.Stats.Rescores == 0 {
+		t.Error("forced run never took the rescore path")
+	}
+	if full.Cost != delta.Cost || full.Generations != delta.Generations {
+		t.Fatalf("paths diverged: full %+v/%d vs rescore %+v/%d",
+			full.Cost, full.Generations, delta.Cost, delta.Generations)
+	}
+	for i := range full.Assignment.NodeChannel {
+		if full.Assignment.NodeChannel[i] != delta.Assignment.NodeChannel[i] ||
+			full.Assignment.NodeRing[i] != delta.Assignment.NodeRing[i] {
+			t.Fatalf("node %d gene diverged between scoring paths", i)
+		}
+	}
+}
+
+// TestEliteCarrySkipsReEvaluation asserts elites ride through
+// generations on their known cost instead of being re-scored.
+func TestEliteCarrySkipsReEvaluation(t *testing.T) {
+	p := &cp.Problem{
+		Channels: region.AS923.AllChannels(),
+		Gateways: gwSpec(2),
+		Nodes:    fullReach(30, 2),
+	}
+	opt := DefaultOptions(3)
+	opt.Generations = 10
+	opt.Patience = 0
+	res, err := Solve(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := opt.Elitism * res.Generations; res.Stats.EliteCarries != want {
+		t.Errorf("elite carries = %d, want %d (%d elites x %d generations)",
+			res.Stats.EliteCarries, want, opt.Elitism, res.Generations)
+	}
+	scored := res.Stats.FullEvals + res.Stats.Rescores
+	budget := opt.Population * (res.Generations + 1)
+	if scored >= budget {
+		t.Errorf("scored %d candidates, want fewer than the naive %d", scored, budget)
+	}
+}
+
+// TestLocalSearchAllocBudget pins the hill-climb's allocation profile:
+// per-call setup (load arrays, the pair map) is allowed, but pricing
+// candidates must not allocate — the budget stays flat no matter how
+// many (node, channel, ring) placements a pass enumerates.
+func TestLocalSearchAllocBudget(t *testing.T) {
+	p := &cp.Problem{
+		Channels: region.AS923.AllChannels(),
+		Gateways: gwSpec(4),
+		Nodes:    fullReach(48, 4), // ≈48 x 8 x 6 candidate prices per pass
+	}
+	s := &solver{p: p, opt: DefaultOptions(1), rng: rand.New(rand.NewSource(1))}
+	base := s.greedySeed()
+	scratch := base.Clone()
+	// Warm the solver's reusable link scratches.
+	s.localSearch(scratch)
+	allocs := testing.AllocsPerRun(10, func() {
+		copy(scratch.NodeChannel, base.NodeChannel)
+		copy(scratch.NodeRing, base.NodeRing)
+		s.localSearch(scratch)
+	})
+	if allocs > 100 {
+		t.Errorf("localSearch allocates %.0f allocs/op; want per-call setup only (≤100), independent of candidate count", allocs)
+	}
+}
+
+// TestExactPolish exercises the opt-in Scorer-priced hill-climb: it
+// must stay deterministic, feasible, and report a cost consistent with
+// a fresh Evaluate of the returned assignment.
+func TestExactPolish(t *testing.T) {
+	p := &cp.Problem{
+		Channels: region.AS923.AllChannels(),
+		Gateways: gwSpec(4),
+		Nodes:    fullReach(48, 4),
+	}
+	opt := DefaultOptions(9)
+	opt.Generations = 20
+	opt.ExactPolish = true
+	a, err := Solve(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Errorf("exact polish not deterministic: %+v vs %+v", a.Cost, b.Cost)
+	}
+	if !a.Cost.Feasible() {
+		t.Errorf("exact polish left infeasible plan: %+v", a.Cost)
+	}
+	if got := p.Evaluate(a.Assignment); got != a.Cost {
+		t.Errorf("reported cost %+v != Evaluate %+v", a.Cost, got)
 	}
 }

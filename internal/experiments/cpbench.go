@@ -1,0 +1,211 @@
+// The cp-eval / cp-rescore pair measures the Channel Planning solver's
+// two scoring paths on the same fig17-scale instance and the same
+// candidate stream: cp-eval prices every candidate with a full
+// cp.Evaluate, cp-rescore clones a base Scorer and replays each
+// candidate's gene diff incrementally. Their tables carry the same
+// Σ-total checksum — the incremental path is bit-identical by
+// construction (pinned by the cp package's differential tests), and the
+// matching checksums re-prove it on every bench run. The wall-clock
+// ratio between the two is the candidates/sec speedup that makes online
+// replanning affordable (ROADMAP item 4).
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/alphawan/alphawan/internal/alphawan/cp"
+	"github.com/alphawan/alphawan/internal/lora"
+	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/tabulate"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "cp-eval",
+		Title: "CP candidate scoring, full-Evaluate baseline (fig17-scale instance)",
+		Paper: "Internal solver microbenchmark (no paper counterpart): the per-candidate cost that bounds GA throughput and replanning latency.",
+		Run:   func(seed int64) *Result { return runCPBench(seed, false) },
+	})
+	register(Experiment{
+		ID:    "cp-rescore",
+		Title: "CP candidate scoring, incremental Scorer replay (fig17-scale instance)",
+		Paper: "Internal solver microbenchmark (no paper counterpart): delta-scored candidates must be bit-identical to cp-eval and ≥3x faster.",
+		Run:   func(seed int64) *Result { return runCPBench(seed, true) },
+	})
+}
+
+// cpBenchMoves is the candidate stream length. Small (1–2 gene) diffs
+// model the online-replanning workload: a node moved, a ring tightened,
+// occasionally a gateway re-blocked.
+const cpBenchMoves = 2048
+
+// cpBenchInstance builds the fig17-scale instance: the Testbed band's 24
+// channels, 12 SX1302-class gateways, 144 nodes (the band's theoretical
+// capacity) with distance-graded reachability, plus a feasible base
+// assignment. Deterministic per seed.
+func cpBenchInstance(seed int64) (*cp.Problem, *cp.Assignment) {
+	rng := rand.New(rand.NewSource(seed))
+	p := &cp.Problem{Channels: region.Testbed.AllChannels()}
+	const nGW = 12
+	for j := 0; j < nGW; j++ {
+		p.Gateways = append(p.Gateways, cp.GatewaySpec{
+			Decoders: 16, MaxChannels: 8, SpanHz: 1_600_000,
+		})
+	}
+	for i := 0; i < region.Testbed.TheoreticalCapacity(); i++ {
+		n := cp.NodeSpec{Traffic: float64(1+rng.Intn(4)) / 2}
+		for j := 0; j < nGW; j++ {
+			if rng.Intn(10) < 3 {
+				n.MaxDR = append(n.MaxDR, -1)
+			} else {
+				n.MaxDR = append(n.MaxDR, rng.Intn(lora.NumDRs))
+			}
+		}
+		if n.MaxDR[i%nGW] < 0 {
+			n.MaxDR[i%nGW] = lora.NumDRs - 1
+		}
+		p.Nodes = append(p.Nodes, n)
+	}
+	a := &cp.Assignment{
+		GWChannels:  make([][]int, nGW),
+		NodeChannel: make([]int, len(p.Nodes)),
+		NodeRing:    make([]int, len(p.Nodes)),
+	}
+	for j := 0; j < nGW; j++ {
+		base := (j * 3) % len(p.Channels)
+		for k := 0; k < 8; k++ {
+			a.GWChannels[j] = append(a.GWChannels[j], (base+k)%len(p.Channels))
+		}
+	}
+	for i := range p.Nodes {
+		for j, m := range p.Nodes[i].MaxDR {
+			if m >= 0 {
+				a.NodeChannel[i] = a.GWChannels[j][i%len(a.GWChannels[j])]
+				a.NodeRing[i] = i % (m + 1)
+				break
+			}
+		}
+	}
+	return p, a
+}
+
+// cpMove is one candidate: gene values to apply and restore.
+type cpMove struct {
+	genes []cp.Gene
+	ch    []int // per node gene: channel, ring
+	ring  []int
+	gwSet []int // for an optional trailing gateway gene
+}
+
+func cpBenchMoveSet(seed int64, p *cp.Problem) []cpMove {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	moves := make([]cpMove, cpBenchMoves)
+	for k := range moves {
+		m := &moves[k]
+		nMoves := 1 + rng.Intn(2)
+		for g := 0; g < nMoves; g++ {
+			i := rng.Intn(len(p.Nodes))
+			m.genes = append(m.genes, cp.NodeGene(i))
+			m.ch = append(m.ch, rng.Intn(len(p.Channels)))
+			m.ring = append(m.ring, rng.Intn(lora.NumDRs))
+		}
+		if k%32 == 0 {
+			j := rng.Intn(len(p.Gateways))
+			m.genes = append(m.genes, cp.GWGene(j))
+			base := rng.Intn(len(p.Channels) - 7)
+			for b := 0; b < 8; b++ {
+				m.gwSet = append(m.gwSet, base+b)
+			}
+		}
+	}
+	return moves
+}
+
+// applyMove writes the move's gene values into a, returning nothing;
+// the caller restores from the pristine base afterwards.
+func applyMove(a *cp.Assignment, m *cpMove) {
+	node := 0
+	for _, g := range m.genes {
+		if g.IsNode() {
+			i := g.Index()
+			a.NodeChannel[i] = m.ch[node]
+			a.NodeRing[i] = m.ring[node]
+			node++
+		} else {
+			a.GWChannels[g.Index()] = m.gwSet
+		}
+	}
+}
+
+func revertMove(a, base *cp.Assignment, m *cpMove) {
+	for _, g := range m.genes {
+		if g.IsNode() {
+			i := g.Index()
+			a.NodeChannel[i] = base.NodeChannel[i]
+			a.NodeRing[i] = base.NodeRing[i]
+		} else {
+			// Re-point at the base's slice rather than copying in place:
+			// after applyMove, a.GWChannels[j] aliases the move's own
+			// gwSet, which must stay pristine.
+			a.GWChannels[g.Index()] = base.GWChannels[g.Index()]
+		}
+	}
+}
+
+func runCPBench(seed int64, incremental bool) *Result {
+	p, base := cpBenchInstance(seed)
+	moves := cpBenchMoveSet(seed, p)
+	scratch := base.Clone()
+
+	var (
+		sum   float64
+		start time.Time
+		ns    int64
+	)
+	if incremental {
+		sc := cp.NewScorer(p)
+		sc.Reset(base)
+		sc.Cost()
+		spare := cp.NewScorer(p)
+		// Warm the spare's append-backed state outside the timed region.
+		spare.CopyFrom(sc)
+		start = time.Now()
+		for k := range moves {
+			m := &moves[k]
+			applyMove(scratch, m)
+			spare.CopyFrom(sc)
+			sum += spare.Rescore(scratch, m.genes).Total()
+			revertMove(scratch, base, m)
+		}
+		ns = time.Since(start).Nanoseconds()
+	} else {
+		start = time.Now()
+		for k := range moves {
+			m := &moves[k]
+			applyMove(scratch, m)
+			sum += p.Evaluate(scratch).Total()
+			revertMove(scratch, base, m)
+		}
+		ns = time.Since(start).Nanoseconds()
+	}
+
+	path := "full Evaluate"
+	if incremental {
+		path = "Scorer clone+replay"
+	}
+	res := &Result{Table: tabulate.New(
+		"CP solver microbench — "+path+" over one candidate stream",
+		"metric", "value",
+	)}
+	res.Table.AddRow("instance", "24 ch x 12 GW x 144 nodes")
+	res.Table.AddRow("candidates", cpBenchMoves)
+	res.Table.AddRow("base cost total", p.Evaluate(base).Total())
+	res.Table.AddRow("sum of candidate totals", sum)
+	res.Note("Σ of candidate totals is the cross-path checksum: cp-eval and cp-rescore must print the same value, re-proving bit-identical incremental scoring on every run")
+	res.Sidecarf("%s: scored %d candidates in %.2f ms (%.0f candidates/sec)",
+		path, cpBenchMoves, float64(ns)/1e6, float64(cpBenchMoves)/(float64(ns)/1e9))
+	res.Candidates = cpBenchMoves
+	res.SolveNs = ns
+	return res
+}

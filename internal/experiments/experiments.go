@@ -28,6 +28,14 @@ type Result struct {
 	// experiment tracks it — the denominator of the bench harness's
 	// devices/sec and bytes/device reporting.
 	Devices int
+	// Candidates is the number of CP-solver candidates scored, when the
+	// experiment measures the solver — the numerator of the bench
+	// harness's candidates/sec reporting.
+	Candidates int
+	// SolveNs is the measured CP scoring/solve wall-clock in
+	// nanoseconds, when the experiment measures it. Host-dependent, like
+	// the Sidecar; the determinism tests and baseline dumps ignore it.
+	SolveNs int64
 }
 
 // Note appends a formatted observation.
