@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/alphawan/alphawan/internal/experiments"
+)
+
+func main() {
+	dir := os.Args[1]
+	os.MkdirAll(dir, 0o755)
+	for _, e := range experiments.All() {
+		res := e.Run(1)
+		var b strings.Builder
+		b.WriteString(res.Table.CSV())
+		for _, n := range res.Notes {
+			b.WriteString(n)
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.ID+".txt"), []byte(b.String()), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Println("dumped", e.ID)
+	}
+}
