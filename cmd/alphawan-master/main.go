@@ -29,6 +29,7 @@ func main() {
 	listen := flag.String("listen", ":7600", "TCP listen address")
 	secret := flag.String("secret", "", "shared HMAC secret (required)")
 	networks := flag.Int("networks", 0, "pre-size the region for this many networks on the AS923 band (0 = first operator's request configures it)")
+	rebalance := flag.Bool("rebalance", false, "allow authenticated operators to trigger a region-wide rebalance (recomputes every live allocation)")
 	flag.Parse()
 	if *secret == "" {
 		fmt.Fprintln(os.Stderr, "alphawan-master: -secret is required")
@@ -42,7 +43,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("alphawan-master: %v", err)
 	}
-	log.Printf("alphawan-master: listening on %s", srv.Addr())
+	srv.AllowRebalance(*rebalance)
+	log.Printf("alphawan-master: listening on %s (rebalance=%v)", srv.Addr(), *rebalance)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

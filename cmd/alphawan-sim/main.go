@@ -9,6 +9,7 @@
 //	alphawan-sim -run all [-parallel 8]
 //	alphawan-sim -trace out.jsonl [-seed 1] [-progress] [-mac pure|slotted|capture]
 //	alphawan-sim -faults plan.json [-trace out.jsonl] [-seed 1]
+//	alphawan-sim -faults plan.json -adaptive [-replan-interval 3] [-seed 1]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"github.com/alphawan/alphawan/internal/des"
 	"github.com/alphawan/alphawan/internal/events/sinks"
 	"github.com/alphawan/alphawan/internal/experiments"
 	"github.com/alphawan/alphawan/internal/faults"
@@ -39,6 +41,10 @@ func main() {
 		"write a packet-lifecycle JSONL trace of the built-in two-operator scenario to this file")
 	faultsPlan := flag.String("faults", "",
 		"inject the fault plan (JSON, see examples/faultplans) into the built-in scenario and report invariants")
+	adaptive := flag.Bool("adaptive", false,
+		"with -faults: run the planned two-gateway-per-operator scenario with the closed replanning loop attached (episode times become relative to traffic start)")
+	replanInterval := flag.Float64("replan-interval", 3,
+		"with -adaptive: control-loop tick interval in seconds")
 	progress := flag.Bool("progress", false,
 		"with -trace: print periodic run-summary counters to stderr")
 	macFlag := flag.String("mac", "pure",
@@ -79,6 +85,8 @@ func main() {
 	}
 
 	switch {
+	case *faultsPlan != "" && *adaptive:
+		runAdaptiveChaos(*faultsPlan, *seed, *replanInterval, *progress)
 	case *faultsPlan != "":
 		runChaos(*faultsPlan, *trace, *seed, *progress)
 	case *trace != "":
@@ -193,6 +201,61 @@ func runChaos(planPath, tracePath string, seed int64, progress bool) {
 	fmt.Printf("fault plan: %s (%d episodes)\n", planPath, len(plan.Episodes))
 	for i := range plan.Episodes {
 		fmt.Printf("  %s\n", &plan.Episodes[i])
+	}
+	st := inj.Stats()
+	fmt.Printf("injected: backhaul drop=%d dup=%d reorder=%d delayed=%d; commands drop=%d delayed=%d\n",
+		st.BackhaulDropped, st.BackhaulDuplicated, st.BackhaulReordered, st.BackhaulDelayed,
+		st.CommandsDropped, st.CommandsDelayed)
+
+	tot := n.Col.Total()
+	fmt.Printf("sent=%d received=%d PRR=%.1f%%\n", tot.Sent, tot.Received, 100*tot.PRR())
+	for c := metrics.DecoderContentionIntra; c <= metrics.Others; c++ {
+		fmt.Printf("  lost to %-26s %d\n", c.String()+":", tot.Losses[c])
+	}
+
+	violations := inv.Finish()
+	if len(violations) == 0 {
+		fmt.Printf("invariants: all held (%d transmissions checked)\n", inv.Started())
+		return
+	}
+	fmt.Printf("invariants: %d VIOLATIONS\n", len(violations))
+	for _, v := range violations {
+		fmt.Printf("  %s\n", v)
+	}
+	os.Exit(1)
+}
+
+// runAdaptiveChaos runs the planned two-gateway-per-operator scenario
+// with the fault plan injected and the closed replanning loop attached,
+// then prints the episode schedule, each controller's replan record,
+// the injector's counters, the final loss breakdown, and the invariant
+// verdict (plan-swap safety included). A run with invariant violations
+// exits non-zero.
+func runAdaptiveChaos(planPath string, seed int64, intervalS float64, progress bool) {
+	plan, err := faults.LoadPlan(planPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alphawan-sim: %v\n", err)
+		os.Exit(1)
+	}
+	interval := des.Time(intervalS * float64(des.Second))
+	if interval <= 0 {
+		fmt.Fprintf(os.Stderr, "alphawan-sim: -replan-interval must be positive\n")
+		os.Exit(1)
+	}
+	var prog *os.File
+	if progress {
+		prog = os.Stderr
+	}
+
+	n, inj, inv, ctrls := sinks.RunAdaptiveDemo(seed, plan, interval, prog)
+
+	fmt.Printf("fault plan: %s (%d episodes, shifted to traffic start)\n", planPath, len(plan.Episodes))
+	for i := range plan.Episodes {
+		fmt.Printf("  %s\n", &plan.Episodes[i])
+	}
+	for i, ctrl := range ctrls {
+		r, a, p := ctrl.Replans()
+		fmt.Printf("operator %d: %d replans, %d adopted, %d genes pushed\n", i, r, a, p)
 	}
 	st := inj.Stats()
 	fmt.Printf("injected: backhaul drop=%d dup=%d reorder=%d delayed=%d; commands drop=%d delayed=%d\n",

@@ -1,0 +1,229 @@
+// Package adaptive closes the loop the paper leaves open: the Master
+// plans once, the faults subsystem injects, and nothing reacts. Here a
+// Master-side control loop subscribes to the event bus — per-gateway
+// decoder-contention drops, network-wide loss-cause outcomes, and the
+// fault injector's episode transitions — maintains a drifted telemetry
+// view of the live network (gateways up or down, degraded decoder pools,
+// per-channel load), and on a DES-clocked cadence re-prices the live
+// channel plan with the incremental cp.Scorer and runs a bounded
+// warm-started re-solve. A candidate plan is adopted only when it is
+// valid and no worse than the incumbent under the telemetry snapshot
+// that triggered it; adopted diffs are pushed to gateways and end
+// devices through the existing command-delivery seam.
+//
+// Determinism: the view is a pure bus subscriber (no DES events, no
+// RNG), controller ticks are scheduled on the DES clock at attach time,
+// and each re-solve draws from its own deterministic seed — so the same
+// simulation seed and fault plan reproduce the identical replan
+// decisions bit for bit, and with no faults attached the whole loop is
+// a provable no-op.
+package adaptive
+
+import (
+	"github.com/alphawan/alphawan/internal/faults"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/metrics"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/sim"
+)
+
+// numCauses mirrors the metrics package's internal cause count.
+const numCauses = int(metrics.Others) + 1
+
+// NetTelemetry aggregates one network's outcomes as the view observed
+// them on the bus — the same accounting metrics.Collector keeps, rebuilt
+// independently so the control loop has no privileged access to ground
+// truth (and so the telemetry unit suite can diff the two).
+type NetTelemetry struct {
+	Sent     int
+	Received int
+	// Losses counts lost transmissions by metrics.Cause.
+	Losses [numCauses]int
+}
+
+// View is the drifted telemetry state the controller replans against.
+// All of its bus subscribers are allocation-free once warm (the
+// steady-state alloc guard pins this), and none schedules DES events or
+// draws randomness, so attaching a view never perturbs a run.
+type View struct {
+	net *sim.Network
+
+	// chIdx maps a channel center frequency to its index in the planning
+	// universe; channelLoad counts transmission starts per index.
+	chIdx       map[region.Hz]int
+	channelLoad []int
+
+	// decoderDrops counts decoder-contention drops per gateway (port
+	// index), the per-gateway contention signal the paper's objective
+	// prices.
+	decoderDrops []int
+
+	// episodeDrops attributes gateway-down drops to the fault episode
+	// that caused them (medium.Drop.Episode).
+	episodeDrops map[int64]int
+
+	perNet []NetTelemetry
+
+	// outages and degrades are the currently active fault episodes, in
+	// arrival order; epoch increments on every transition — the dirty
+	// signal the controller's ticks poll. With no injector watched (or
+	// an empty plan) the epoch stays 0 forever and the controller never
+	// replans.
+	outages  []*faults.Episode
+	degrades []*faults.Episode
+	epoch    uint64
+}
+
+// NewView subscribes a telemetry view to a composed scenario. The
+// channel universe fixes the per-channel load index. Call before the run
+// starts so no event escapes observation.
+func NewView(n *sim.Network, channels []region.Channel) *View {
+	v := &View{
+		net:          n,
+		chIdx:        make(map[region.Hz]int, len(channels)),
+		channelLoad:  make([]int, len(channels)),
+		episodeDrops: make(map[int64]int),
+		perNet:       make([]NetTelemetry, len(n.Operators)+1),
+	}
+	for i, ch := range channels {
+		v.chIdx[ch.Center] = i
+	}
+	gws := 0
+	for _, op := range n.Operators {
+		gws += len(op.Gateways)
+	}
+	v.decoderDrops = make([]int, gws)
+	n.Med.TXStarts.Subscribe(v.txStart)
+	n.Med.Drops.Subscribe(v.drop)
+	n.Col.Outcomes.Subscribe(v.outcome)
+	return v
+}
+
+// WatchFaults records the injector's episode transitions: gateway
+// outages and decoder degrades update the up/down and decoder-cap state
+// and bump the epoch. Backhaul and downlink episodes do not change what
+// the CP problem can express, so they are ignored.
+func (v *View) WatchFaults(inj *faults.Injector) {
+	inj.Events.Subscribe(func(e faults.FaultEvent) {
+		switch e.Episode.Kind {
+		case faults.KindGatewayOutage:
+			if e.Active {
+				v.outages = append(v.outages, e.Episode)
+			} else {
+				v.outages = removeEpisode(v.outages, e.Episode)
+			}
+		case faults.KindDecoderDegrade:
+			if e.Active {
+				v.degrades = append(v.degrades, e.Episode)
+			} else {
+				v.degrades = removeEpisode(v.degrades, e.Episode)
+			}
+		default:
+			return
+		}
+		v.epoch++
+	})
+}
+
+func removeEpisode(eps []*faults.Episode, ep *faults.Episode) []*faults.Episode {
+	out := eps[:0]
+	for _, e := range eps {
+		if e != ep {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (v *View) txStart(t *medium.Transmission) {
+	if i, ok := v.chIdx[t.Channel.Center]; ok {
+		v.channelLoad[i]++
+	}
+}
+
+func (v *View) drop(d medium.Drop) {
+	if d.Reason == radio.DropNoDecoder {
+		if i := d.Port.Index(); i < len(v.decoderDrops) {
+			v.decoderDrops[i]++
+		}
+	}
+	if d.Episode != 0 {
+		v.episodeDrops[d.Episode]++
+	}
+}
+
+func (v *View) outcome(o metrics.Outcome) {
+	id := int(o.TX.Network)
+	if id >= len(v.perNet) {
+		return
+	}
+	s := &v.perNet[id]
+	s.Sent++
+	if o.Received {
+		s.Received++
+		return
+	}
+	s.Losses[o.Cause]++
+}
+
+// Epoch returns the fault-transition counter. A controller tick replans
+// only when the epoch moved since its last look.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// GatewayDown reports whether any active outage episode targets the
+// gateway.
+func (v *View) GatewayDown(gwID int) bool {
+	for _, ep := range v.outages {
+		if ep.Targets(gwID) {
+			return true
+		}
+	}
+	return false
+}
+
+// DecoderCap returns the tightest active degrade cap on the gateway's
+// decoder pool, or 0 when none is active — mirroring the injector's
+// tightest-cap-wins rule.
+func (v *View) DecoderCap(gwID int) int {
+	cap := 0
+	for _, ep := range v.degrades {
+		if !ep.Targets(gwID) {
+			continue
+		}
+		if cap == 0 || ep.Decoders < cap {
+			cap = ep.Decoders
+		}
+	}
+	return cap
+}
+
+// Network returns the view's telemetry for one network (zero value if
+// out of range).
+func (v *View) Network(id medium.NetworkID) NetTelemetry {
+	if id < 0 || int(id) >= len(v.perNet) {
+		return NetTelemetry{}
+	}
+	return v.perNet[id]
+}
+
+// DecoderDrops returns the decoder-contention drop count observed at a
+// gateway (by port index).
+func (v *View) DecoderDrops(gwID int) int {
+	if gwID < 0 || gwID >= len(v.decoderDrops) {
+		return 0
+	}
+	return v.decoderDrops[gwID]
+}
+
+// ChannelLoad returns the transmission-start count observed on channel
+// index i of the planning universe.
+func (v *View) ChannelLoad(i int) int {
+	if i < 0 || i >= len(v.channelLoad) {
+		return 0
+	}
+	return v.channelLoad[i]
+}
+
+// EpisodeDrops returns the drops attributed to a fault episode.
+func (v *View) EpisodeDrops(episodeID int64) int { return v.episodeDrops[episodeID] }

@@ -1,0 +1,197 @@
+package adaptive
+
+import (
+	"testing"
+
+	"github.com/alphawan/alphawan/internal/baseline"
+	"github.com/alphawan/alphawan/internal/des"
+	"github.com/alphawan/alphawan/internal/faults"
+	"github.com/alphawan/alphawan/internal/medium"
+	"github.com/alphawan/alphawan/internal/metrics"
+	"github.com/alphawan/alphawan/internal/phy"
+	"github.com/alphawan/alphawan/internal/radio"
+	"github.com/alphawan/alphawan/internal/region"
+	"github.com/alphawan/alphawan/internal/sim"
+)
+
+// chaosScenario composes the shrunken two-operator network the view
+// tests observe: one 8-decoder gateway per operator on the shared AS923
+// grid, with the demo fault plan attached.
+func chaosScenario(t *testing.T, seed int64) (*sim.Network, *View, *faults.Injector) {
+	t.Helper()
+	n := sim.New(seed, phy.Urban(seed))
+	channels := region.AS923.AllChannels()
+	for i := 0; i < 2; i++ {
+		op := n.AddOperator()
+		cfg := baseline.StandardConfigs(region.AS923, 1, op.Sync)[0]
+		if _, err := op.AddGateway(radio.Models[2], phy.Pt(float64(i)*150, 0), cfg); err != nil {
+			t.Fatal(err)
+		}
+		op.UniformNodes(12, 2500, 2500, channels, seed+int64(i))
+	}
+	view := NewView(n, channels)
+	inj, err := faults.Attach(n, faults.DemoPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	view.WatchFaults(inj)
+	return n, view, inj
+}
+
+// TestViewMatchesCollector pins the telemetry aggregation against the
+// metrics.Collector ground truth: the view rebuilds per-network sent /
+// received / per-cause loss counts from the same bus events the
+// collector consumes, and the two must agree exactly on a chaos run —
+// including the drops attributed to fault episodes, which are recounted
+// independently off the raw drop stream.
+func TestViewMatchesCollector(t *testing.T) {
+	n, view, inj := chaosScenario(t, 5)
+
+	// Independent episode-drop recount, straight off the medium.
+	episodeDrops := map[int64]int{}
+	n.Med.Drops.Subscribe(func(d medium.Drop) {
+		if d.Episode != 0 {
+			episodeDrops[d.Episode]++
+		}
+	})
+	// Independent decoder-contention recount per gateway port.
+	decoderDrops := map[int]int{}
+	n.Med.Drops.Subscribe(func(d medium.Drop) {
+		if d.Reason == radio.DropNoDecoder {
+			decoderDrops[d.Port.Index()]++
+		}
+	})
+
+	n.RunBackgroundTraffic(0, 20*des.Second, des.Second)
+
+	total := 0
+	for _, op := range n.Operators {
+		want := n.Col.Network(op.ID)
+		got := view.Network(op.ID)
+		if got.Sent != want.Sent || got.Received != want.Received {
+			t.Errorf("net %d: view sent/received %d/%d, collector %d/%d",
+				op.ID, got.Sent, got.Received, want.Sent, want.Received)
+		}
+		for c := 0; c < numCauses; c++ {
+			if got.Losses[c] != want.Losses[c] {
+				t.Errorf("net %d cause %v: view counts %d losses, collector %d",
+					op.ID, metrics.Cause(c), got.Losses[c], want.Losses[c])
+			}
+		}
+		total += got.Sent
+	}
+	if total == 0 {
+		t.Fatal("view observed no traffic")
+	}
+	for id, want := range episodeDrops {
+		if got := view.EpisodeDrops(id); got != want {
+			t.Errorf("episode %d: view attributes %d drops, recount says %d", id, got, want)
+		}
+	}
+	for gw := 0; gw < 2; gw++ {
+		if got := view.DecoderDrops(gw); got != decoderDrops[gw] {
+			t.Errorf("gw %d: view counts %d decoder drops, recount says %d", gw, got, decoderDrops[gw])
+		}
+	}
+	if view.DecoderDrops(-1) != 0 || view.DecoderDrops(99) != 0 {
+		t.Error("out-of-range gateway reports nonzero decoder drops")
+	}
+	// Every counted transmission started on a universe channel, so the
+	// per-channel load must account for at least the sent total.
+	load := 0
+	for i := 0; i < len(region.AS923.AllChannels()); i++ {
+		load += view.ChannelLoad(i)
+	}
+	if load < total {
+		t.Errorf("channel load sums to %d, below %d sent", load, total)
+	}
+	if view.ChannelLoad(-1) != 0 || view.ChannelLoad(99) != 0 {
+		t.Error("out-of-range channel reports nonzero load")
+	}
+	if s := inj.Stats(); s == (faults.Stats{}) {
+		t.Error("demo plan injected nothing — the test observed no chaos")
+	}
+}
+
+// TestViewFaultState pins the epoch/up-down/decoder-cap bookkeeping
+// against the demo plan's schedule: the epoch moves once per outage or
+// degrade transition (backhaul and downlink episodes are invisible to
+// the planner and must not move it), and the mid-run state answers
+// match the active episodes.
+func TestViewFaultState(t *testing.T) {
+	n, view, _ := chaosScenario(t, 6)
+	if view.Epoch() != 0 {
+		t.Fatalf("epoch %d before the run", view.Epoch())
+	}
+	// Demo plan: outage of gw0 over [6,9), degrade of gw1 to 4 over
+	// [4,14). Probe mid-episode state from the DES clock.
+	type probe struct {
+		gw0Down bool
+		gw1Cap  int
+	}
+	probes := map[des.Time]probe{}
+	for _, at := range []des.Time{5 * des.Second, 7 * des.Second, 16 * des.Second} {
+		at := at
+		n.Sim.At(at, func() {
+			probes[at] = probe{gw0Down: view.GatewayDown(0), gw1Cap: view.DecoderCap(1)}
+		})
+	}
+	n.RunBackgroundTraffic(0, 20*des.Second, des.Second)
+	want := map[des.Time]probe{
+		5 * des.Second:  {gw0Down: false, gw1Cap: 4},
+		7 * des.Second:  {gw0Down: true, gw1Cap: 4},
+		16 * des.Second: {gw0Down: false, gw1Cap: 0},
+	}
+	for at, w := range want {
+		if probes[at] != w {
+			t.Errorf("at %v: state %+v, want %+v", at, probes[at], w)
+		}
+	}
+	// 2 transitions each for the outage and the degrade; the backhaul
+	// and downlink episodes must not move the epoch.
+	if got := view.Epoch(); got != 4 {
+		t.Errorf("epoch %d after the run, want 4", got)
+	}
+	if view.GatewayDown(0) || view.GatewayDown(1) {
+		t.Error("gateways still down after every episode ended")
+	}
+	if view.DecoderCap(1) != 0 {
+		t.Error("decoder cap still active after every episode ended")
+	}
+}
+
+// TestTelemetrySteadyStateZeroAllocs is the hot-path alloc guard: once
+// the view's maps have seen a key, the bus handlers must run without
+// allocating — they execute inline on every transmission event of a
+// simulation, so a single alloc per event would dominate large runs.
+func TestTelemetrySteadyStateZeroAllocs(t *testing.T) {
+	n := sim.New(1, phy.Urban(1))
+	channels := region.AS923.AllChannels()
+	op := n.AddOperator()
+	cfg := baseline.StandardConfigs(region.AS923, 1, op.Sync)[0]
+	if _, err := op.AddGateway(radio.Models[2], phy.Pt(0, 0), cfg); err != nil {
+		t.Fatal(err)
+	}
+	op.UniformNodes(2, 500, 500, channels, 1)
+	v := NewView(n, channels)
+
+	tx := &medium.Transmission{ID: 1, Network: op.ID, Channel: channels[0]}
+	port := op.Gateways[0].Port()
+	drop := medium.Drop{Port: port, TX: tx, Reason: radio.DropNoDecoder, Episode: 7}
+	out := metrics.Outcome{TX: tx, Received: true}
+
+	// Warm every map key the handlers will touch.
+	v.txStart(tx)
+	v.drop(drop)
+	v.outcome(out)
+
+	if avg := testing.AllocsPerRun(100, func() { v.txStart(tx) }); avg != 0 {
+		t.Errorf("txStart allocates %.1f/op warm", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { v.drop(drop) }); avg != 0 {
+		t.Errorf("drop allocates %.1f/op warm", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { v.outcome(out) }); avg != 0 {
+		t.Errorf("outcome allocates %.1f/op warm", avg)
+	}
+}

@@ -173,6 +173,40 @@ func (a *Assignment) Clone() *Assignment {
 	return c
 }
 
+// Validate checks that the assignment is structurally sound for the
+// problem and satisfies the hard radio constraints: dimensions match,
+// every node gene lies inside the (channel, ring) grid, and no gateway's
+// channel set violates its chain-count, span, or fixed-size constraint.
+// The online replanner refuses to adopt a candidate that fails this
+// check, whatever its score.
+func (a *Assignment) Validate(p *Problem) error {
+	if len(p.Channels) > 64 {
+		return fmt.Errorf("cp: more than 64 channels not supported")
+	}
+	if len(a.GWChannels) != len(p.Gateways) {
+		return fmt.Errorf("cp: assignment covers %d gateways, problem has %d",
+			len(a.GWChannels), len(p.Gateways))
+	}
+	if len(a.NodeChannel) != len(p.Nodes) || len(a.NodeRing) != len(p.Nodes) {
+		return fmt.Errorf("cp: assignment covers %d/%d node genes, problem has %d nodes",
+			len(a.NodeChannel), len(a.NodeRing), len(p.Nodes))
+	}
+	for i, ch := range a.NodeChannel {
+		if ch < 0 || ch >= len(p.Channels) {
+			return fmt.Errorf("cp: node %d on channel %d, universe has %d",
+				i, ch, len(p.Channels))
+		}
+		if ring := a.NodeRing[i]; ring < 0 || ring >= lora.NumDRs {
+			return fmt.Errorf("cp: node %d on ring %d, want [0, %d)", i, ring, lora.NumDRs)
+		}
+	}
+	operated := make([]uint64, len(p.Gateways))
+	if sv := p.operatedMasks(a, operated); sv > 0 {
+		return fmt.Errorf("cp: %d gateway channel sets violate radio constraints", sv)
+	}
+	return nil
+}
+
 // Cost breaks a solution's badness into its components.
 type Cost struct {
 	// DecoderRisk is Σ_i Φ_i — the paper's objective.

@@ -60,6 +60,14 @@ type Options struct {
 	// surrogate's byte-exact outputs are pinned by the experiment
 	// regression suite.
 	ExactPolish bool
+	// WarmStart, when non-nil, seeds the population with this assignment
+	// (cloned) instead of making the greedy constructive seed slot 0: the
+	// online replanner warm-starts the search from the live incumbent
+	// plan, so small repairs are found in few generations. The greedy
+	// seed stays in the race at slot 1. Dimensions must match the
+	// problem. Nil leaves the seeding — and the whole RNG draw
+	// sequence — byte-identical to the original solver.
+	WarmStart *cp.Assignment
 }
 
 // DefaultOptions returns solver settings sized for the paper's scales
@@ -216,7 +224,17 @@ func (s *solver) run() *Result {
 
 	pop := make([]indiv, s.opt.Population)
 	pop[0] = indiv{a: s.greedySeed()}
-	for i := 1; i < len(pop); i++ {
+	start := 1
+	if ws := s.opt.WarmStart; ws != nil {
+		// The incumbent takes slot 0 — the slot whose mutated copies seed
+		// a quarter of the population — so the search explores around the
+		// live plan; the greedy constructive seed stays in the race at
+		// slot 1. Neither seed draws RNG, so the nil path is untouched.
+		pop[1] = indiv{a: pop[0].a}
+		pop[0] = indiv{a: ws.Clone()}
+		start = 2
+	}
+	for i := start; i < len(pop); i++ {
 		if i < len(pop)/4 {
 			// A few mutated copies of the seed.
 			a := pop[0].a.Clone()

@@ -212,6 +212,39 @@ func (r *Registry) Release(operator string) {
 // Operators returns the registered operator names in allocation order.
 func (r *Registry) Operators() []string { return append([]string{}, r.order...) }
 
+// Rebalance recomputes every registered operator's allocation against a
+// new coexistence estimate: indices are compacted to registration order
+// (closing the gaps releases leave behind) and the misalignment step is
+// re-derived from the new expected network count, so the remaining plans
+// spread back out across the grid period. An estimate below the current
+// registration count (or < 1) is raised to it. Returns the refreshed
+// allocations in registration order; operators must fetch and re-apply
+// their plan — the Master is the authority, not the delivery path.
+func (r *Registry) Rebalance(expectedNetworks int) []*Allocation {
+	if expectedNetworks < len(r.order) {
+		expectedNetworks = len(r.order)
+	}
+	if expectedNetworks < 1 {
+		expectedNetworks = 1
+	}
+	r.expected = expectedNetworks
+	out := make([]*Allocation, 0, len(r.order))
+	overlap := AdjacentOverlap(r.spec, region.Hz(r.spec.SpacingHz/int64(r.expected)))
+	for idx, operator := range r.order {
+		a := &Allocation{
+			Operator: operator, Index: idx,
+			ShiftHz: int64(ShiftFor(r.spec, r.expected, idx)),
+			Overlap: overlap,
+		}
+		for _, c := range PlanChannels(r.spec, r.expected, idx) {
+			a.Centers = append(a.Centers, int64(c.Center))
+		}
+		r.ops[operator] = a
+		out = append(out, a)
+	}
+	return out
+}
+
 // PlanChannelsWithShift materializes a channel plan at an explicit
 // frequency shift (used by experiments sweeping overlap ratios directly
 // rather than deriving the shift from an expected network count).

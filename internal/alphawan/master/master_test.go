@@ -225,6 +225,98 @@ func TestServerRejectsUnknownMethod(t *testing.T) {
 	}
 }
 
+// TestRegistryRebalance pins the re-packing semantics: after a release,
+// a rebalance compacts the surviving operators' indices and re-derives
+// the misalignment step from the new estimate, so two survivors of a
+// three-network region spread back out to half-grid shifts.
+func TestRegistryRebalance(t *testing.T) {
+	r := NewRegistry(testSpec, 3)
+	for _, op := range []string{"op1", "op2", "op3"} {
+		if _, err := r.Register(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Release("op2")
+
+	out := r.Rebalance(2)
+	if len(out) != 2 {
+		t.Fatalf("rebalanced %d allocations, want 2", len(out))
+	}
+	if r.Expected() != 2 {
+		t.Errorf("expected estimate %d, want 2", r.Expected())
+	}
+	if out[0].Operator != "op1" || out[0].Index != 0 || out[0].ShiftHz != 0 {
+		t.Errorf("first survivor = %+v", out[0])
+	}
+	// op3 held index 2 (shift 2·spacing/3); compaction gives it index 1
+	// at the new half-grid step.
+	if out[1].Operator != "op3" || out[1].Index != 1 ||
+		out[1].ShiftHz != testSpec.SpacingHz/2 {
+		t.Errorf("second survivor = %+v", out[1])
+	}
+	for _, a := range out {
+		if got, _ := r.Register(a.Operator); got != a {
+			t.Errorf("registry does not serve %s's rebalanced plan", a.Operator)
+		}
+		if len(a.Centers) == 0 {
+			t.Errorf("%s rebalanced to an empty plan", a.Operator)
+		}
+	}
+	// An estimate below the live registration count is raised to it.
+	if r.Rebalance(0); r.Expected() != 2 {
+		t.Errorf("estimate %d after rebalance(0), want live count 2", r.Expected())
+	}
+}
+
+// TestServerRebalance exercises the gated protocol method over TCP: off
+// by default, and once enabled it rewrites the live allocations and
+// hands the requester its refreshed plan inline.
+func TestServerRebalance(t *testing.T) {
+	secret := []byte("region-secret")
+	srv, err := NewServer("127.0.0.1:0", secret, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c1, err := Dial(srv.Addr().String(), "op1", secret, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.RequestPlan(testSpec, 3); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := Dial(srv.Addr().String(), "op2", secret, time.Second)
+	defer c2.Close()
+	p2, err := c2.RequestPlan(testSpec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c1.Rebalance(2); err == nil {
+		t.Fatal("rebalance must be rejected while disabled")
+	}
+	srv.AllowRebalance(true)
+	p, err := c1.Rebalance(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || p.Operator != "op1" || p.Index != 0 {
+		t.Errorf("requester plan = %+v", p)
+	}
+	// op2's allocation moved from a third-grid to a half-grid shift; a
+	// re-request serves the rewritten plan.
+	p2r, err := c2.RequestPlan(testSpec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2r.ShiftHz != testSpec.SpacingHz/2 || p2r.ShiftHz == p2.ShiftHz {
+		t.Errorf("op2 shift %d after rebalance, want %d (was %d)",
+			p2r.ShiftHz, testSpec.SpacingHz/2, p2.ShiftHz)
+	}
+}
+
 func TestBandSpecRoundTrip(t *testing.T) {
 	b := testSpec.Band("AS923")
 	if b.Channels != region.AS923.Channels || b.Start != region.AS923.Start {

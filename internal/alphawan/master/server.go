@@ -12,7 +12,7 @@ import (
 
 // Request is one JSON-line request from an operator's network server.
 type Request struct {
-	Method string `json:"method"` // "register", "request_plan", "release", "status"
+	Method string `json:"method"` // "register", "request_plan", "release", "status", "rebalance"
 	// Operator names the requesting network operator.
 	Operator string `json:"operator"`
 	// Auth is the HMAC of the operator name under the shared secret.
@@ -36,8 +36,9 @@ type Response struct {
 type Server struct {
 	secret []byte
 
-	mu  sync.Mutex
-	reg *Registry
+	mu        sync.Mutex
+	reg       *Registry
+	rebalance bool
 
 	ln     net.Listener
 	closed chan struct{}
@@ -61,6 +62,16 @@ func NewServer(addr string, secret []byte, reg *Registry) (*Server, error) {
 
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// AllowRebalance enables (or disables) the "rebalance" method. It is off
+// by default: a rebalance rewrites every operator's live allocation, so
+// the deployment must opt in to letting any authenticated operator
+// trigger one.
+func (s *Server) AllowRebalance(on bool) {
+	s.mu.Lock()
+	s.rebalance = on
+	s.mu.Unlock()
+}
 
 // Close stops the server.
 func (s *Server) Close() error {
@@ -138,6 +149,21 @@ func (s *Server) handle(req *Request) Response {
 			ops = s.reg.Operators()
 		}
 		return Response{OK: true, Operators: ops}
+	case "rebalance":
+		if !s.rebalance {
+			return Response{Error: "rebalance disabled on this master"}
+		}
+		if s.reg == nil {
+			return Response{Error: "region not configured: nothing to rebalance"}
+		}
+		s.reg.Rebalance(req.ExpectedNetworks)
+		resp := Response{OK: true, Operators: s.reg.Operators()}
+		// The requester gets its refreshed plan inline; everyone else
+		// re-fetches with request_plan.
+		if a, ok := s.reg.ops[req.Operator]; ok {
+			resp.Plan = a
+		}
+		return resp
 	default:
 		return Response{Error: fmt.Sprintf("unknown method %q", req.Method)}
 	}
@@ -217,4 +243,16 @@ func (c *Client) Status() ([]string, error) {
 		return nil, err
 	}
 	return resp.Operators, nil
+}
+
+// Rebalance asks the Master to recompute every allocation against a new
+// coexistence estimate (0 = current registration count) and returns this
+// operator's refreshed plan (nil when the caller is not registered).
+// Fails unless the Master was started with rebalancing enabled.
+func (c *Client) Rebalance(expectedNetworks int) (*Allocation, error) {
+	resp, err := c.roundTrip(Request{Method: "rebalance", ExpectedNetworks: expectedNetworks})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Plan, nil
 }

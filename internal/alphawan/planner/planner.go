@@ -93,6 +93,11 @@ type Result struct {
 	// Problem and Assignment expose the raw solve for ablations.
 	Problem    *cp.Problem
 	Assignment *cp.Assignment
+	// Devices maps Problem/Assignment node index i to the device it
+	// models: Devices[i] is the DevAddr behind Problem.Nodes[i]. The
+	// online replanner uses it to push per-node diffs of a re-solved
+	// Assignment back to the right devices.
+	Devices []frame.DevAddr
 }
 
 // Plan runs the full pipeline.
@@ -178,6 +183,7 @@ func Plan(in Input) (*Result, error) {
 		Cost: res.Cost, Latency: lat,
 		Problem: prob, Assignment: res.Assignment,
 		NodePlans: map[frame.DevAddr]NodePlan{},
+		Devices:   devs,
 	}
 	for j := range in.Gateways {
 		cfg := radio.Config{Sync: in.Sync}

@@ -38,6 +38,10 @@ type profileT struct {
 	// (fig-resilience): nodes per operator and measured traffic window.
 	resilNodes  int
 	resilWindow des.Time
+	// adaptNodes/adaptWindow size the closed-loop replanning sweep
+	// (fig-adaptive): nodes per operator and measured traffic window.
+	adaptNodes  int
+	adaptWindow des.Time
 	// cityScales is the device-count sweep of the city-1M experiment;
 	// citySmoke sizes the single-run city-smoke cell; cityWindow,
 	// cityMeanInterval, and cityCell set the measured window, the mean
@@ -63,6 +67,8 @@ func fullProfile() profileT {
 		fig12cSeeds: 10,
 		resilNodes:  40,
 		resilWindow: 90 * des.Second,
+		adaptNodes:  36,
+		adaptWindow: 90 * des.Second,
 
 		cityScales:       []int{100_000, 300_000, 1_000_000},
 		citySmoke:        50_000,
@@ -91,6 +97,8 @@ func smallProfile() profileT {
 		solverPatience: 10,
 		resilNodes:     20,
 		resilWindow:    45 * des.Second,
+		adaptNodes:     16,
+		adaptWindow:    45 * des.Second,
 
 		cityScales:       []int{1500, 3000},
 		citySmoke:        2000,

@@ -30,6 +30,11 @@ import (
 //  4. Bounded recovery — after an outage or degrade episode ends,
 //     network-wide delivery throughput returns to at least
 //     RecoveryFactor of its pre-episode level within RecoveryWindow.
+//  5. Replan safety — across a live plan swap (NotePlanSwap), every
+//     packet in flight at the swap instant is finalized exactly once:
+//     none double-counted by the old and new plan, none silently lost.
+//     FCnt monotonicity (check 2) continues to hold through mid-run
+//     channel reassignment with no special casing.
 //
 // Construct with Watch before the run, optionally WatchInjector for the
 // recovery check, then call Finish after the run for the verdict.
@@ -66,6 +71,11 @@ type Invariants struct {
 	// spans records outage/degrade episode windows as observed on the
 	// injector's event stream.
 	spans []span
+
+	// swapTracked holds the ids of transmissions that were in flight at
+	// the most recent plan swap (check 5), each mapped to how many
+	// outcomes it received since the swap.
+	swapTracked map[int64]int
 
 	violations []string
 }
@@ -153,6 +163,12 @@ func (v *Invariants) txStart(t *medium.Transmission) {
 
 func (v *Invariants) outcome(o metrics.Outcome) {
 	id := o.TX.ID
+	if n, ok := v.swapTracked[id]; ok {
+		v.swapTracked[id] = n + 1
+		if n+1 > 1 {
+			v.violate("tx %d finalized %d times across a plan swap", id, n+1)
+		}
+	}
 	if v.done[id] {
 		v.violate("tx %d finalized twice", id)
 		return
@@ -191,6 +207,23 @@ func (v *Invariants) occupancy(p *medium.Port) {
 	v.prevInUse[p] = in
 }
 
+// NotePlanSwap marks a live plan swap (check 5): every transmission
+// currently in flight is tracked until it receives exactly one outcome.
+// Wire it to the replanning controller's decision events — only adopted
+// swaps that actually push a diff need the mark, but marking every
+// decision is harmless. Successive swaps fold into one tracking set;
+// ids already tracked keep their outcome counts.
+func (v *Invariants) NotePlanSwap(at des.Time) {
+	if v.swapTracked == nil {
+		v.swapTracked = make(map[int64]int)
+	}
+	for id := range v.pending {
+		if _, ok := v.swapTracked[id]; !ok {
+			v.swapTracked[id] = 0
+		}
+	}
+}
+
 func (v *Invariants) served(op medium.NetworkID, d netserver.Data) {
 	k := devKey{op: op, addr: d.Dev.Addr}
 	if v.seenFCnt[k] && d.FCnt <= v.lastFCnt[k] {
@@ -219,6 +252,22 @@ func (v *Invariants) Finish() []string {
 	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
 	for _, id := range stale {
 		v.violate("tx %d started but never got an outcome", id)
+	}
+	// Swap-tracked packets that never finalized get the plan-swap
+	// attribution on top of the generic staleness report, with the same
+	// mid-flight grace.
+	var lost []int64
+	for id, n := range v.swapTracked {
+		if n != 0 {
+			continue
+		}
+		if end, ok := v.pending[id]; !ok || end+1 < now {
+			lost = append(lost, id)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	for _, id := range lost {
+		v.violate("tx %d in flight at a plan swap was never finalized", id)
 	}
 	v.checkRecovery(now)
 	if v.dropped > 0 {

@@ -184,6 +184,70 @@ func TestRecoveryCheck(t *testing.T) {
 	}
 }
 
+// TestPlanSwapSafety drives the replan-safety check (check 5) through
+// deliberate stub violations: a packet finalized by both the old and the
+// new plan, a packet lost across the swap, and an FCnt regression after
+// a mid-run channel reassignment — plus the clean-swap false-positive
+// guard.
+func TestPlanSwapSafety(t *testing.T) {
+	// Clean swap: in-flight packet finalized exactly once afterwards.
+	n := testNet(t, 1, 2)
+	inv := Watch(n)
+	tx := &medium.Transmission{ID: 50_001, End: des.Second}
+	n.Med.TXStarts.Publish(tx)
+	inv.NotePlanSwap(n.Sim.Now())
+	n.Col.Outcomes.Publish(metrics.Outcome{TX: tx, Received: true})
+	// Still on the air at cutoff: tracked but not stale, not a loss.
+	inFlight := &medium.Transmission{ID: 50_002, End: des.Minute}
+	n.Med.TXStarts.Publish(inFlight)
+	inv.NotePlanSwap(n.Sim.Now())
+	if v := inv.Finish(); len(v) != 0 {
+		t.Errorf("clean swap reported violations: %v", v)
+	}
+
+	// Double count: the stub finalizes the same packet under both plans.
+	n2 := testNet(t, 2, 2)
+	inv2 := Watch(n2)
+	tx2 := &medium.Transmission{ID: 50_003, End: des.Second}
+	n2.Med.TXStarts.Publish(tx2)
+	inv2.NotePlanSwap(n2.Sim.Now())
+	n2.Col.Outcomes.Publish(metrics.Outcome{TX: tx2, Received: true})
+	n2.Col.Outcomes.Publish(metrics.Outcome{TX: tx2, Received: false})
+	got := strings.Join(inv2.Violations(), "\n")
+	if !strings.Contains(got, "finalized 2 times across a plan swap") {
+		t.Errorf("missing double-count violation in:\n%s", got)
+	}
+
+	// Loss: the stub drops the packet on the floor during the swap.
+	n3 := testNet(t, 3, 2)
+	inv3 := Watch(n3)
+	tx3 := &medium.Transmission{ID: 50_004, End: des.Second}
+	n3.Med.TXStarts.Publish(tx3)
+	inv3.NotePlanSwap(n3.Sim.Now())
+	n3.Sim.RunUntil(10 * des.Second)
+	got = strings.Join(inv3.Finish(), "\n")
+	if !strings.Contains(got, "tx 50004 in flight at a plan swap was never finalized") {
+		t.Errorf("missing swap-loss violation in:\n%s", got)
+	}
+
+	// FCnt monotonicity holds straight through a swap: increases stay
+	// legal, a post-swap regression is still flagged.
+	n4 := testNet(t, 4, 2)
+	inv4 := Watch(n4)
+	op := n4.Operators[0]
+	dev, _ := op.Server.Device(op.Nodes[0].DevAddr)
+	op.Server.Served.Publish(netserver.Data{Dev: dev, FCnt: 5})
+	inv4.NotePlanSwap(n4.Sim.Now())
+	op.Server.Served.Publish(netserver.Data{Dev: dev, FCnt: 6})
+	if v := inv4.Violations(); len(v) != 0 {
+		t.Fatalf("monotonic FCnts across swap flagged: %v", v)
+	}
+	op.Server.Served.Publish(netserver.Data{Dev: dev, FCnt: 4})
+	if got := len(inv4.Violations()); got != 1 {
+		t.Errorf("%d violations, want 1 (post-swap regression): %v", got, inv4.Violations())
+	}
+}
+
 // TestViolationCap asserts the report is bounded and the overflow is
 // summarized.
 func TestViolationCap(t *testing.T) {

@@ -542,6 +542,38 @@ func (s *Server) SendChannelPlan(dev *Device, channels []region.Channel) error {
 	return nil
 }
 
+// SendNodePlan issues one combined downlink batch retargeting a device to
+// a single operating channel, data rate, and transmit power — the push
+// path of the online replanner. The batch order matters: the NewChannelReq
+// first rewrites channel slot 0, then the LinkADRReq (ChMaskCntl 6: keep
+// every defined channel enabled) applies the new DR and power, so a
+// single-channel device lands exactly on its planned setting. The server's
+// DR/TXPower mirrors are updated so the standard ADR engine continues from
+// the planned state rather than fighting it.
+func (s *Server) SendNodePlan(dev *Device, ch region.Channel, dr lora.DR, txPower uint8) {
+	dev.mu.Lock()
+	dev.DR = dr
+	dev.TXPower = txPower
+	at := downlinkAtLocked(dev)
+	dev.mu.Unlock()
+	s.Commands.Publish(Command{Dev: dev, At: at, Cmds: []frame.MACCommand{
+		{
+			CID: frame.CIDNewChannel,
+			NewChannel: &frame.NewChannelReq{
+				ChIndex: 0, FreqHz: uint64(ch.Center),
+				MinDR: 0, MaxDR: uint8(lora.DR5),
+			},
+		},
+		{
+			CID: frame.CIDLinkADR,
+			LinkADR: &frame.LinkADRReq{
+				DataRate: uint8(dr), TXPower: txPower,
+				ChMask: 0xFFFF, ChMaskCntl: 6, NbTrans: 1,
+			},
+		},
+	}})
+}
+
 // downlinkAt computes the device-side delivery time of a downlink issued
 // now: the RX1 window after the device's newest uplink, or zero when the
 // device has not been heard (the command still applies, just without a
